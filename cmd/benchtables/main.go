@@ -1,0 +1,112 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section on the synthetic corpora (see DESIGN.md §6 for the
+// experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	benchtables -all                 # everything, paper order
+//	benchtables -table3 -fig2        # individual artifacts
+//	benchtables -fig4 -updates 2000  # dynamic experiment, shorter run
+//	benchtables -scale 0.5           # half-size corpora
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment in paper order")
+		table3   = flag.Bool("table3", false, "Table III: document statistics and compression ratios")
+		static_  = flag.Bool("static", false, "§V-B: TreeRePair vs GrammarRePair comparison")
+		fig2     = flag.Bool("fig2", false, "Fig. 2: blow-up during grammar recompression")
+		fig3     = flag.Bool("fig3", false, "Fig. 3: effect of the optimization (Gn family)")
+		fig4     = flag.Bool("fig4", false, "Fig. 4: updates on moderately compressing corpora")
+		fig5     = flag.Bool("fig5", false, "Fig. 5: updates on exponentially compressing corpora")
+		fig6     = flag.Bool("fig6", false, "Fig. 6: recompression runtimes + §V-C space")
+		ablation = flag.Bool("ablation", false, "ablation: k_in sweep and optimization toggle")
+
+		scale   = flag.Float64("scale", 1.0, "corpus scale multiplier (1.0 = laptop defaults)")
+		seed    = flag.Int64("seed", 20160516, "RNG seed for corpora and workloads")
+		updates = flag.Int("updates", 4000, "number of update operations for Figs. 4/5")
+		batch   = flag.Int("batch", 100, "recompression interval for Figs. 4/5")
+		renames = flag.Int("renames", 300, "number of renames for Fig. 6")
+		gnMin   = flag.Int("gnmin", 4, "smallest Gn exponent for Fig. 3")
+		gnMax   = flag.Int("gnmax", 12, "largest Gn exponent for Fig. 3")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default(os.Stdout)
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.Updates = *updates
+	cfg.Batch = *batch
+	cfg.Renames = *renames
+	cfg.GnMin = *gnMin
+	cfg.GnMax = *gnMax
+
+	if *all {
+		if err := experiments.All(cfg); err != nil {
+			fail(err)
+		}
+		return
+	}
+	ran := false
+	sep := func() {
+		if ran {
+			fmt.Println()
+		}
+		ran = true
+	}
+	if *table3 {
+		sep()
+		experiments.Table3(cfg)
+	}
+	if *static_ {
+		sep()
+		experiments.Static(cfg)
+	}
+	if *fig2 {
+		sep()
+		experiments.Fig2(cfg)
+	}
+	if *fig3 {
+		sep()
+		experiments.Fig3(cfg)
+	}
+	if *fig4 {
+		sep()
+		if _, err := experiments.DynamicAll(cfg, true); err != nil {
+			fail(err)
+		}
+	}
+	if *fig5 {
+		sep()
+		if _, err := experiments.DynamicAll(cfg, false); err != nil {
+			fail(err)
+		}
+	}
+	if *fig6 {
+		sep()
+		if _, err := experiments.Fig6(cfg); err != nil {
+			fail(err)
+		}
+	}
+	if *ablation {
+		sep()
+		experiments.Ablation(cfg)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchtables:", err)
+	os.Exit(1)
+}

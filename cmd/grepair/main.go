@@ -1,0 +1,139 @@
+// Command grepair compresses structure-only XML into SLCF tree grammars,
+// applies updates to the compressed form, and reports statistics.
+//
+// Usage:
+//
+//	grepair stats    < doc.xml        # edges, depth, grammar sizes
+//	grepair compress < doc.xml        # print the grammar
+//	grepair roundtrip < doc.xml       # compress, decompress, emit XML
+//	grepair update -op rename -pos 7 -label chapter < doc.xml
+//	grepair update -op delete -pos 9 < doc.xml
+//	grepair update -op insert -pos 3 -frag '<note><p/></note>' < doc.xml
+//
+// Updates address nodes by preorder index in the binary encoding; the
+// document is compressed first, the update runs on the grammar via path
+// isolation, and the result is decompressed back to XML on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	sltgrammar "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	switch cmd {
+	case "stats":
+		runStats()
+	case "compress":
+		runCompress()
+	case "roundtrip":
+		runRoundtrip()
+	case "update":
+		runUpdate(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: grepair {stats|compress|roundtrip|update} [flags] < doc.xml")
+	os.Exit(2)
+}
+
+func parse() *sltgrammar.Unranked {
+	u, err := sltgrammar.ParseXML(os.Stdin)
+	if err != nil {
+		fail(err)
+	}
+	return u
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "grepair:", err)
+	os.Exit(1)
+}
+
+func runStats() {
+	u := parse()
+	doc := sltgrammar.Encode(u)
+	gTR, stTR := sltgrammar.Compress(doc)
+	gGR, stGR := sltgrammar.CompressTreeGR(doc)
+	fmt.Printf("document:       %d elements, %d edges, depth %d\n", u.Nodes(), u.Edges(), u.Depth())
+	fmt.Printf("TreeRePair:     %d edges (%.3f%%), %d rounds\n",
+		gTR.Size(), 100*float64(gTR.Size())/float64(u.Edges()), stTR.Rounds)
+	fmt.Printf("GrammarRePair:  %d edges (%.3f%%), %d rounds, max intermediate %d\n",
+		gGR.Size(), 100*float64(gGR.Size())/float64(u.Edges()), stGR.Rounds, stGR.MaxIntermediate)
+}
+
+func runCompress() {
+	u := parse()
+	g, _ := sltgrammar.Compress(sltgrammar.Encode(u))
+	fmt.Print(g.String())
+}
+
+func runRoundtrip() {
+	u := parse()
+	g, _ := sltgrammar.Compress(sltgrammar.Encode(u))
+	emit(g)
+}
+
+func runUpdate(args []string) {
+	fs := flag.NewFlagSet("update", flag.ExitOnError)
+	op := fs.String("op", "", "rename | insert | delete")
+	pos := fs.Int64("pos", -1, "preorder position in the binary encoding")
+	label := fs.String("label", "", "new label (rename)")
+	frag := fs.String("frag", "", "XML fragment (insert)")
+	recompress := fs.Bool("recompress", true, "run GrammarRePair after the update")
+	if err := fs.Parse(args); err != nil {
+		fail(err)
+	}
+	u := parse()
+	g, _ := sltgrammar.Compress(sltgrammar.Encode(u))
+
+	var o sltgrammar.Op
+	switch *op {
+	case "rename":
+		o = sltgrammar.RenameOp(*pos, *label)
+	case "delete":
+		o = sltgrammar.DeleteOp(*pos)
+	case "insert":
+		f, err := sltgrammar.ParseXML(strings.NewReader(*frag))
+		if err != nil {
+			fail(fmt.Errorf("bad -frag: %w", err))
+		}
+		o = sltgrammar.InsertOp(*pos, f)
+	default:
+		fail(fmt.Errorf("unknown -op %q", *op))
+	}
+	if err := sltgrammar.Apply(g, o); err != nil {
+		fail(err)
+	}
+	if *recompress {
+		g, _ = sltgrammar.Recompress(g)
+	}
+	emit(g)
+}
+
+func emit(g *sltgrammar.Grammar) {
+	doc, err := sltgrammar.Decompress(g, 0)
+	if err != nil {
+		fail(err)
+	}
+	u, err := sltgrammar.Decode(doc)
+	if err != nil {
+		fail(err)
+	}
+	if err := sltgrammar.WriteXML(os.Stdout, u); err != nil {
+		fail(err)
+	}
+	fmt.Println()
+}

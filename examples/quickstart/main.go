@@ -1,0 +1,73 @@
+// Quickstart: parse structure-only XML, compress it into an SLCF tree
+// grammar, update the compressed form, recompress with GrammarRePair,
+// and serialize back to XML — the full public-API pipeline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	sltgrammar "repro"
+)
+
+const doc = `<library>
+  <shelf>
+    <book><title/><author/><year/></book>
+    <book><title/><author/><year/></book>
+    <book><title/><author/><year/></book>
+  </shelf>
+  <shelf>
+    <book><title/><author/><year/></book>
+    <book><title/><author/><year/></book>
+  </shelf>
+</library>`
+
+func main() {
+	// 1. Parse (text content and attributes are discarded; the paper's
+	//    compressors work on the element structure).
+	u, err := sltgrammar.ParseXML(strings.NewReader(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document: %d elements, %d edges, depth %d\n", u.Nodes(), u.Edges(), u.Depth())
+
+	// 2. Encode to the binary first-child/next-sibling tree and compress
+	//    with TreeRePair.
+	bin := sltgrammar.Encode(u)
+	g, st := sltgrammar.Compress(bin)
+	fmt.Printf("compressed: |G| = %d edges after %d digram rounds\n", sltgrammar.Size(g), st.Rounds)
+	fmt.Println(g.String())
+
+	// 3. Update the compressed document in place. Positions are preorder
+	//    indices of the binary tree; position 0 is the root element.
+	if err := sltgrammar.Rename(g, 0, "archive"); err != nil {
+		log.Fatal(err)
+	}
+	note := sltgrammar.NewElement("note", sltgrammar.NewElement("p"))
+	if err := sltgrammar.InsertBefore(g, 1, note); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after rename+insert (no recompression): |G| = %d\n", sltgrammar.Size(g))
+
+	// 4. Recompress directly on the grammar — the paper's contribution.
+	g2, rst := sltgrammar.Recompress(g)
+	fmt.Printf("after GrammarRePair: |G| = %d (max intermediate %d, %d rounds)\n",
+		sltgrammar.Size(g2), rst.MaxIntermediate, rst.Rounds)
+
+	// 5. Decompress and serialize.
+	out, err := sltgrammar.Decompress(g2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := sltgrammar.Decode(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("result: ")
+	if err := sltgrammar.WriteXML(os.Stdout, back); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

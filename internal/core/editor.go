@@ -1,0 +1,115 @@
+// Package core implements GrammarRePair, the paper's contribution:
+// RePair compression executed directly on an SLCF tree grammar
+// (Algorithms 1–8), without decompressing to the tree.
+package core
+
+import (
+	"repro/internal/grammar"
+	"repro/internal/xmltree"
+)
+
+// editor wraps one rule body with parent/child-index maps so that
+// inlining steps (which splice trees in place) stay O(size of the
+// inlined body) instead of re-walking the whole rule.
+type editor struct {
+	g    *grammar.Grammar
+	rule *grammar.Rule
+	par  map[*xmltree.Node]*xmltree.Node
+	idx  map[*xmltree.Node]int
+}
+
+func newEditor(g *grammar.Grammar, rule *grammar.Rule) *editor {
+	ed := &editor{
+		g:    g,
+		rule: rule,
+		par:  make(map[*xmltree.Node]*xmltree.Node),
+		idx:  make(map[*xmltree.Node]int),
+	}
+	rule.RHS.WalkParent(func(n, p *xmltree.Node, i int) bool {
+		ed.par[n] = p
+		ed.idx[n] = i
+		return true
+	})
+	return ed
+}
+
+// parent returns the current parent of n within the rule (nil for root)
+// and n's child index in it.
+func (ed *editor) parent(n *xmltree.Node) (*xmltree.Node, int) {
+	return ed.par[n], ed.idx[n]
+}
+
+// splice replaces the node old (which must be in the rule) by sub,
+// updating the parent maps for every node of sub except the interiors of
+// the subtrees listed in keep (whose maps are already correct because the
+// subtrees were simply relocated).
+func (ed *editor) splice(old, sub *xmltree.Node, keep map[*xmltree.Node]bool) {
+	p, i := ed.parent(old)
+	if p == nil {
+		ed.rule.RHS = sub
+	} else {
+		p.Children[i] = sub
+	}
+	var walk func(n, parent *xmltree.Node, idx int)
+	walk = func(n, parent *xmltree.Node, idx int) {
+		ed.par[n] = parent
+		ed.idx[n] = idx
+		if keep[n] {
+			return // relocated subtree: interior maps still valid
+		}
+		for j, c := range n.Children {
+			walk(c, n, j)
+		}
+	}
+	walk(sub, p, i)
+}
+
+// inlineCall replaces the nonterminal call node with an instantiation of
+// body (a template that is copied) and returns the new subtree root.
+// The call's argument subtrees are spliced by reference.
+func (ed *editor) inlineCall(call *xmltree.Node, body *xmltree.Node) *xmltree.Node {
+	args := call.Children
+	keep := make(map[*xmltree.Node]bool, len(args))
+	for _, a := range args {
+		keep[a] = true
+	}
+	sub := grammar.SubstituteParams(body.Copy(), args)
+	ed.splice(call, sub, keep)
+	return sub
+}
+
+// inlineRule inlines the grammar rule called at node call.
+func (ed *editor) inlineRule(call *xmltree.Node) *xmltree.Node {
+	callee := ed.g.Rule(call.Label.ID)
+	return ed.inlineCall(call, callee.RHS)
+}
+
+// replaceDigramScan replaces every explicit occurrence of the digram
+// (a, i, b) in the rule body by a node labeled with the generated
+// terminal x, top-down greedily (the generalization of left-greedy
+// matching the paper mandates in Section III-C). Returns the number of
+// replacements. The editor's maps are NOT maintained; callers must treat
+// the editor as spent afterwards (the occurrence index rescans the rule).
+func replaceDigramScan(rule *grammar.Rule, a int32, i int, b int32, x int32) int {
+	n := 0
+	var rec func(v *xmltree.Node) *xmltree.Node
+	rec = func(v *xmltree.Node) *xmltree.Node {
+		if v.Label == xmltree.Term(a) && i-1 < len(v.Children) {
+			w := v.Children[i-1]
+			if w.Label == xmltree.Term(b) {
+				nc := make([]*xmltree.Node, 0, len(v.Children)-1+len(w.Children))
+				nc = append(nc, v.Children[:i-1]...)
+				nc = append(nc, w.Children...)
+				nc = append(nc, v.Children[i:]...)
+				v = xmltree.New(xmltree.Term(x), nc...)
+				n++
+			}
+		}
+		for j, c := range v.Children {
+			v.Children[j] = rec(c)
+		}
+		return v
+	}
+	rule.RHS = rec(rule.RHS)
+	return n
+}

@@ -1,0 +1,436 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/digram"
+	"repro/internal/grammar"
+	"repro/internal/xmltree"
+)
+
+// usageCap saturates usage counts: exponentially compressing grammars
+// generate trees with astronomically many nodes, and only the ordering of
+// frequencies matters. Using a large finite cap (instead of +Inf) keeps
+// count deltas well-defined.
+const usageCap = 1e300
+
+// parentRef records the in-rule parent of a parameter node: the node and
+// the 0-based child index the parameter occupies.
+type parentRef struct {
+	node *xmltree.Node
+	idx  int
+}
+
+// ruleOccs caches everything the index knows about one rule.
+type ruleOccs struct {
+	gens         map[digram.Digram][]*xmltree.Node // occurrence generators by digram
+	calls        map[int32]int                     // callee rule -> #occurrences
+	nodes        int                               // node count of the RHS
+	paramParents []parentRef                       // local parent of y1..yk
+	usageApplied float64                           // usage weight its gens contribute with
+}
+
+// resolved is a fully resolved tree parent or tree child: the terminal
+// node (somewhere in the grammar), its label, and — for parents — the
+// child index of the edge.
+type resolved struct {
+	node  *xmltree.Node
+	label int32
+	idx   int // 1-based child index (parents only)
+}
+
+// iface is the label-level interface of a rule: the terminal its root
+// chain resolves to and, per parameter, the terminal above it. When a
+// rule's interface changes, every caller's digrams may change, so callers
+// are rescanned.
+type iface struct {
+	root   int32
+	params []resolved
+}
+
+func (a *iface) equal(b *iface) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.root != b.root || len(a.params) != len(b.params) {
+		return false
+	}
+	for i := range a.params {
+		if a.params[i].label != b.params[i].label || a.params[i].idx != b.params[i].idx {
+			return false
+		}
+	}
+	return true
+}
+
+// occIndex maintains, incrementally across replacement rounds, the
+// Algorithm 4 (RETRIEVEOCCS) state: per-rule digram occurrence generators,
+// usage-weighted global frequencies, and the non-overlap bookkeeping for
+// equal-label digrams.
+type occIndex struct {
+	g       *grammar.Grammar
+	maxRank int
+
+	perRule map[int32]*ruleOccs
+	counts  map[digram.Digram]float64
+	usage   map[int32]float64
+	queue   digram.Queue
+	// genSet holds, per equal-label digram, the set of stored generator
+	// nodes (all of which are terminal tree children); a candidate whose
+	// resolved tree parent is in this set would overlap (Alg. 4 line 11).
+	genSet map[digram.Digram]map[*xmltree.Node]bool
+
+	ifaces map[int32]*iface
+	// per-refresh resolution memos
+	rootMemo  map[int32]*resolved
+	paramMemo map[int32][]*resolved
+}
+
+func newOccIndex(g *grammar.Grammar, maxRank int) *occIndex {
+	ix := &occIndex{
+		g:       g,
+		maxRank: maxRank,
+		perRule: make(map[int32]*ruleOccs),
+		counts:  make(map[digram.Digram]float64),
+		usage:   make(map[int32]float64),
+		genSet:  make(map[digram.Digram]map[*xmltree.Node]bool),
+		ifaces:  make(map[int32]*iface),
+	}
+	ix.refresh(g.RuleIDs(), nil)
+	return ix
+}
+
+// live reports the current frequency of d (for the priority queue).
+func (ix *occIndex) live(d digram.Digram) float64 { return ix.counts[d] }
+
+// best pops the most frequent digram with ≥ 2 occurrences.
+func (ix *occIndex) best() (digram.Digram, float64, bool) {
+	return ix.queue.PopBest(ix.live)
+}
+
+// rulesWithGenerators returns the IDs of rules holding generators of d.
+func (ix *occIndex) rulesWithGenerators(d digram.Digram) []int32 {
+	var out []int32
+	for rid, ro := range ix.perRule {
+		if len(ro.gens[d]) > 0 {
+			out = append(out, rid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// generators returns the generator nodes of d within rule rid.
+func (ix *occIndex) generators(rid int32, d digram.Digram) []*xmltree.Node {
+	if ro := ix.perRule[rid]; ro != nil {
+		return ro.gens[d]
+	}
+	return nil
+}
+
+// totalNodes returns the summed RHS node count over all rules (tracked for
+// intermediate-size instrumentation).
+func (ix *occIndex) totalNodes() int {
+	t := 0
+	for _, ro := range ix.perRule {
+		t += ro.nodes
+	}
+	return t
+}
+
+// refresh brings the index up to date after a replacement round that
+// edited (or created) the given rules and deleted others. Passing all
+// rule IDs as edited performs the initial full build.
+func (ix *occIndex) refresh(edited []int32, deleted []int32) {
+	// Drop deleted rules entirely.
+	for _, rid := range deleted {
+		ix.dropContributions(rid)
+		delete(ix.perRule, rid)
+		delete(ix.ifaces, rid)
+	}
+	// Phase A: rebuild local structure (calls, parameter parents, node
+	// counts) for every edited rule, so interface resolution below sees
+	// current trees.
+	for _, rid := range edited {
+		if ix.g.Rule(rid) == nil {
+			continue
+		}
+		ix.rebuildLocal(rid)
+	}
+	// Phase B: recompute every rule's interface with fresh memos and
+	// collect the rules whose interface changed.
+	ix.rootMemo = make(map[int32]*resolved)
+	ix.paramMemo = make(map[int32][]*resolved)
+	changed := make(map[int32]bool)
+	for _, rid := range ix.g.RuleIDs() {
+		ni := ix.computeIface(rid)
+		if !ni.equal(ix.ifaces[rid]) {
+			changed[rid] = true
+		}
+		ix.ifaces[rid] = ni
+	}
+	// Phase C: dirty = edited ∪ callers of interface-changed rules.
+	dirty := make(map[int32]bool, len(edited))
+	for _, rid := range edited {
+		if ix.g.Rule(rid) != nil {
+			dirty[rid] = true
+		}
+	}
+	if len(changed) > 0 {
+		for rid, ro := range ix.perRule {
+			if dirty[rid] {
+				continue
+			}
+			for callee := range ro.calls {
+				if changed[callee] {
+					dirty[rid] = true
+					break
+				}
+			}
+		}
+	}
+	// Phase D: rescan dirty rules in anti-SL order (callees first), which
+	// keeps the equal-label greedy alignment close to Algorithm 4's.
+	order := ix.topoAntiSL()
+	for _, rid := range order {
+		if dirty[rid] {
+			ix.rescanGenerators(rid)
+		}
+	}
+	// Phase E: recompute usage and fix up the weight every rule's
+	// generators contribute with.
+	ix.refreshUsage(order)
+}
+
+// dropContributions removes rule rid's generator contributions from the
+// global counts and the equal-label sets.
+func (ix *occIndex) dropContributions(rid int32) {
+	ro := ix.perRule[rid]
+	if ro == nil {
+		return
+	}
+	for d, gens := range ro.gens {
+		ix.addCount(d, -ro.usageApplied*float64(len(gens)))
+		if d.EqualLabels() {
+			for _, gnode := range gens {
+				delete(ix.genSet[d], gnode)
+			}
+		}
+	}
+	ro.gens = make(map[digram.Digram][]*xmltree.Node)
+}
+
+func (ix *occIndex) addCount(d digram.Digram, delta float64) {
+	if delta == 0 {
+		return
+	}
+	c := ix.counts[d] + delta
+	if c > usageCap {
+		c = usageCap
+	}
+	if c <= 1e-9 {
+		delete(ix.counts, d)
+		c = 0
+	} else {
+		ix.counts[d] = c
+	}
+	ix.queue.Update(d, c)
+}
+
+// rebuildLocal re-derives the structural caches of one rule.
+func (ix *occIndex) rebuildLocal(rid int32) {
+	r := ix.g.Rule(rid)
+	ro := ix.perRule[rid]
+	if ro == nil {
+		ro = &ruleOccs{gens: make(map[digram.Digram][]*xmltree.Node)}
+		ix.perRule[rid] = ro
+	}
+	ro.calls = make(map[int32]int)
+	ro.paramParents = make([]parentRef, r.Rank)
+	ro.nodes = 0
+	r.RHS.WalkParent(func(n, p *xmltree.Node, i int) bool {
+		ro.nodes++
+		switch n.Label.Kind {
+		case xmltree.Nonterminal:
+			ro.calls[n.Label.ID]++
+		case xmltree.Parameter:
+			ro.paramParents[n.Label.ID-1] = parentRef{node: p, idx: i}
+		}
+		return true
+	})
+}
+
+// computeIface resolves the rule's root chain and parameter parents to
+// terminal labels (memoized per refresh).
+func (ix *occIndex) computeIface(rid int32) *iface {
+	r := ix.g.Rule(rid)
+	fi := &iface{params: make([]resolved, r.Rank)}
+	fi.root = ix.resolveRoot(rid).label
+	for i := 1; i <= r.Rank; i++ {
+		fi.params[i-1] = *ix.resolveParamParent(rid, i)
+	}
+	return fi
+}
+
+// resolveRoot implements TREECHILD's rule-root chain: the terminal node a
+// nonterminal generator's tree child resolves to (Algorithm 2).
+func (ix *occIndex) resolveRoot(rid int32) *resolved {
+	if r, ok := ix.rootMemo[rid]; ok {
+		return r
+	}
+	root := ix.g.Rule(rid).RHS
+	var res *resolved
+	if root.Label.Kind == xmltree.Terminal {
+		res = &resolved{node: root, label: root.Label.ID}
+	} else {
+		res = ix.resolveRoot(root.Label.ID)
+	}
+	ix.rootMemo[rid] = res
+	return res
+}
+
+// resolveParamParent implements TREEPARENT's upward chain (Algorithm 3):
+// the terminal node directly above parameter y_i of rule rid in the
+// derived tree, and the 1-based child index of that edge.
+func (ix *occIndex) resolveParamParent(rid int32, i int) *resolved {
+	memo := ix.paramMemo[rid]
+	if memo == nil {
+		memo = make([]*resolved, ix.g.Rule(rid).Rank)
+		ix.paramMemo[rid] = memo
+	}
+	if memo[i-1] != nil {
+		return memo[i-1]
+	}
+	pr := ix.perRule[rid].paramParents[i-1]
+	var res *resolved
+	if pr.node.Label.Kind == xmltree.Terminal {
+		res = &resolved{node: pr.node, label: pr.node.Label.ID, idx: pr.idx + 1}
+	} else {
+		// y_i is the (pr.idx+1)-th argument of a nonterminal call: the
+		// real parent sits above that callee's parameter.
+		res = ix.resolveParamParent(pr.node.Label.ID, pr.idx+1)
+	}
+	memo[i-1] = res
+	return res
+}
+
+// resolveChildOf resolves the tree child of a generator node (Alg. 2).
+func (ix *occIndex) resolveChildOf(n *xmltree.Node) *resolved {
+	if n.Label.Kind == xmltree.Terminal {
+		return &resolved{node: n, label: n.Label.ID}
+	}
+	return ix.resolveRoot(n.Label.ID)
+}
+
+// resolveParentOf resolves the tree parent of a node at child index i
+// (0-based) under p (Alg. 3).
+func (ix *occIndex) resolveParentOf(p *xmltree.Node, i int) *resolved {
+	if p.Label.Kind == xmltree.Terminal {
+		return &resolved{node: p, label: p.Label.ID, idx: i + 1}
+	}
+	return ix.resolveParamParent(p.Label.ID, i+1)
+}
+
+// rescanGenerators re-derives rule rid's occurrence generators
+// (Algorithm 4's inner loop, lines 3–12) and updates global counts.
+func (ix *occIndex) rescanGenerators(rid int32) {
+	ix.dropContributions(rid)
+	r := ix.g.Rule(rid)
+	ro := ix.perRule[rid]
+	u := ro.usageApplied
+	r.RHS.WalkParent(func(n, p *xmltree.Node, i int) bool {
+		if p == nil || n.Label.Kind == xmltree.Parameter {
+			return true
+		}
+		child := ix.resolveChildOf(n)
+		parent := ix.resolveParentOf(p, i)
+		d := digram.Digram{A: parent.label, I: parent.idx, B: child.label}
+		if d.Rank(ix.g.Syms) > ix.maxRank {
+			return true
+		}
+		if d.EqualLabels() {
+			// Equal-label digrams: never across a rule root (nonterminal
+			// generator), and never overlapping a stored occurrence.
+			if n.Label.Kind == xmltree.Nonterminal {
+				return true
+			}
+			if ix.genSet[d][parent.node] {
+				return true
+			}
+			set := ix.genSet[d]
+			if set == nil {
+				set = make(map[*xmltree.Node]bool)
+				ix.genSet[d] = set
+			}
+			set[n] = true
+		}
+		ro.gens[d] = append(ro.gens[d], n)
+		ix.addCount(d, u)
+		return true
+	})
+}
+
+// topoAntiSL orders live rules callee-before-caller using the cached call
+// multisets (cheaper than re-walking every RHS).
+func (ix *occIndex) topoAntiSL() []int32 {
+	ids := ix.g.RuleIDs()
+	state := make(map[int32]uint8, len(ids))
+	out := make([]int32, 0, len(ids))
+	var visit func(id int32)
+	visit = func(id int32) {
+		if state[id] != 0 {
+			return
+		}
+		state[id] = 1
+		callees := make([]int32, 0, len(ix.perRule[id].calls))
+		for c := range ix.perRule[id].calls {
+			callees = append(callees, c)
+		}
+		sort.Slice(callees, func(i, j int) bool { return callees[i] < callees[j] })
+		for _, c := range callees {
+			visit(c)
+		}
+		state[id] = 2
+		out = append(out, id)
+	}
+	for _, id := range ids {
+		visit(id)
+	}
+	return out
+}
+
+// refreshUsage recomputes usage_G for all rules from the call multisets
+// and adjusts every affected digram count by the usage delta.
+func (ix *occIndex) refreshUsage(antiSL []int32) {
+	newUsage := make(map[int32]float64, len(antiSL))
+	for _, id := range antiSL {
+		newUsage[id] = 0
+	}
+	newUsage[ix.g.Start] = 1
+	// SL order: reverse of anti-SL.
+	for i := len(antiSL) - 1; i >= 0; i-- {
+		rid := antiSL[i]
+		u := newUsage[rid]
+		if u == 0 {
+			continue
+		}
+		for callee, cnt := range ix.perRule[rid].calls {
+			nu := newUsage[callee] + u*float64(cnt)
+			if nu > usageCap {
+				nu = usageCap
+			}
+			newUsage[callee] = nu
+		}
+	}
+	for _, rid := range antiSL {
+		ro := ix.perRule[rid]
+		delta := newUsage[rid] - ro.usageApplied
+		if delta != 0 {
+			for d, gens := range ro.gens {
+				ix.addCount(d, delta*float64(len(gens)))
+			}
+			ro.usageApplied = newUsage[rid]
+		}
+	}
+	ix.usage = newUsage
+}

@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/digram"
+	"repro/internal/grammar"
+	"repro/internal/xmltree"
+)
+
+// flagSet is the paper's version key F ⊆ {r, y1..yk}: which nodes of a
+// rule body must be isolated (made terminally available) before the body
+// is inlined at a call site — r for the root (tree-child resolution) and
+// y_i for the parent of parameter i (tree-parent resolution).
+type flagSet struct {
+	r  bool
+	ys []int // sorted, 1-based parameter indices
+}
+
+func (f *flagSet) addY(i int) {
+	pos := sort.SearchInts(f.ys, i)
+	if pos < len(f.ys) && f.ys[pos] == i {
+		return
+	}
+	f.ys = append(f.ys, 0)
+	copy(f.ys[pos+1:], f.ys[pos:])
+	f.ys[pos] = i
+}
+
+func (f *flagSet) key() string {
+	var b strings.Builder
+	if f.r {
+		b.WriteByte('r')
+	}
+	for _, y := range f.ys {
+		fmt.Fprintf(&b, ",y%d", y)
+	}
+	return b.String()
+}
+
+// versionKey identifies a rule version in the ReplacementDAG RDα.
+type versionKey struct {
+	rule int32
+	fs   string
+}
+
+// replacer executes one digram-replacement round over the grammar:
+// Algorithm 5 (non-optimized, plain DependencyDAG inlining) or
+// Algorithms 6–8 (optimized, ReplacementDAG with fragment export).
+type replacer struct {
+	g         *grammar.Grammar
+	ix        *occIndex
+	d         digram.Digram
+	x         int32 // generated terminal standing for the new nonterminal X
+	optimized bool
+
+	// refs0 snapshots |ref_G(Q)| at round start. Algorithm 8's export
+	// condition must see the pre-round counts: a rule referenced from
+	// several sites keeps (or shares) its fragments via export rules even
+	// when every one of those sites inlines a version during this round —
+	// evaluating against live counts would let the last inline copy the
+	// full body and double the grammar level by level.
+	refs0 map[int32]int
+	// born marks export rules created during this round. They are always
+	// referenced from at least one surviving body, so inlining one of
+	// their fragments without export would duplicate it — they get the
+	// export treatment unconditionally (refs0 cannot know about them).
+	born     map[int32]bool
+	versions map[versionKey]*xmltree.Node // processed version bodies (templates)
+	edited   map[int32]bool               // rules whose bodies changed or were created
+	replaced int
+}
+
+func newReplacer(g *grammar.Grammar, ix *occIndex, d digram.Digram, x int32, optimized bool) *replacer {
+	return &replacer{
+		g:         g,
+		ix:        ix,
+		d:         d,
+		x:         x,
+		optimized: optimized,
+		refs0:     g.RefCounts(),
+		born:      make(map[int32]bool),
+		versions:  make(map[versionKey]*xmltree.Node),
+		edited:    make(map[int32]bool),
+	}
+}
+
+// run replaces every tracked occurrence of the digram. It returns the set
+// of edited/created rules and the rules deleted because they became
+// unreachable (paper: "If afterwards |ref_G(Q)| = 0, we delete rule Q").
+func (r *replacer) run() (edited []int32, deleted []int32) {
+	withGens := r.ix.rulesWithGenerators(r.d)
+	// Process bottom-up: callees before callers (Algorithm 5 line 2 /
+	// Algorithm 6 line 2).
+	pos := make(map[int32]int)
+	for i, id := range r.ix.topoAntiSL() {
+		pos[id] = i
+	}
+	sort.Slice(withGens, func(i, j int) bool { return pos[withGens[i]] < pos[withGens[j]] })
+	for _, rid := range withGens {
+		r.processRule(rid)
+	}
+	before := r.g.RuleIDs()
+	r.g.GarbageCollect()
+	live := make(map[int32]bool)
+	for _, id := range r.g.RuleIDs() {
+		live[id] = true
+	}
+	for _, id := range before {
+		if !live[id] {
+			deleted = append(deleted, id)
+		}
+	}
+	for id := range r.edited {
+		if live[id] {
+			edited = append(edited, id)
+		}
+	}
+	sort.Slice(edited, func(i, j int) bool { return edited[i] < edited[j] })
+	sort.Slice(deleted, func(i, j int) bool { return deleted[i] < deleted[j] })
+	return edited, deleted
+}
+
+// processRule isolates every occurrence of the digram generated in rule
+// rid and replaces the now-explicit occurrences by the generated terminal.
+func (r *replacer) processRule(rid int32) {
+	rule := r.g.Rule(rid)
+	if rule == nil {
+		return
+	}
+	gens := r.ix.generators(rid, r.d)
+	if len(gens) == 0 {
+		return
+	}
+	ed := newEditor(r.g, rule)
+
+	// RDα construction for this rule (Section IV-E): accumulate flags per
+	// nonterminal node — r on generator call nodes, y_i on call nodes that
+	// are parents of generators.
+	flags := make(map[*xmltree.Node]*flagSet)
+	getFlags := func(n *xmltree.Node) *flagSet {
+		f := flags[n]
+		if f == nil {
+			f = &flagSet{}
+			flags[n] = f
+		}
+		return f
+	}
+	for _, gnode := range gens {
+		if gnode.Label.Kind == xmltree.Nonterminal {
+			getFlags(gnode).r = true
+		}
+		p, i := ed.parent(gnode)
+		if p != nil && p.Label.Kind == xmltree.Nonterminal {
+			getFlags(p).addY(i + 1)
+		}
+	}
+
+	// Inline the demanded version at every flagged node (preorder of the
+	// pre-inline body, for determinism), recording what replaced each
+	// inlined call so generator positions can be re-anchored.
+	spliced := make(map[*xmltree.Node]*xmltree.Node)
+	if len(flags) > 0 {
+		var order []*xmltree.Node
+		rule.RHS.Walk(func(n *xmltree.Node) bool {
+			if _, ok := flags[n]; ok {
+				order = append(order, n)
+			}
+			return true
+		})
+		for _, call := range order {
+			spliced[call] = r.inlineVersionAt(ed, call, flags[call])
+		}
+	}
+
+	// Residual chains: with the optimized versions the flagged inlines
+	// already isolated everything; in non-optimized mode (plain bodies)
+	// the chains may need several inlining steps (Algorithm 5).
+	for _, gnode := range gens {
+		anchor := gnode
+		if s, ok := spliced[gnode]; ok {
+			anchor = s
+		}
+		for anchor.Label.Kind == xmltree.Nonterminal {
+			anchor = r.inlineVersionAt(ed, anchor, &flagSet{r: true})
+		}
+		for {
+			p, i := ed.parent(anchor)
+			if p == nil || p.Label.Kind != xmltree.Nonterminal {
+				break
+			}
+			r.inlineVersionAt(ed, p, &flagSet{ys: []int{i + 1}})
+		}
+	}
+
+	r.replaced += replaceDigramScan(rule, r.d.A, r.d.I, r.d.B, r.x)
+	r.edited[rid] = true
+}
+
+// inlineVersionAt inlines the processed version (optimized mode) or the
+// plain current body (non-optimized mode) of the callee at the call node,
+// maintains the approximate reference counts, and returns the subtree
+// that took the call's place.
+func (r *replacer) inlineVersionAt(ed *editor, call *xmltree.Node, fs *flagSet) *xmltree.Node {
+	callee := call.Label.ID
+	var body *xmltree.Node
+	if r.optimized {
+		body = r.version(callee, fs)
+	} else {
+		body = r.g.Rule(callee).RHS
+	}
+	return ed.inlineCall(call, body)
+}
+
+// version returns (building and memoizing on demand) the processed
+// version body of rule rid for flag set fs: a tree with val equal to the
+// rule's val in which the root (if r ∈ F) and the parent of each flagged
+// parameter are terminal, and — if the rule keeps other references — all
+// fragments not needed for the isolation exported into fresh rules
+// (Algorithms 7–8). The returned tree is a template; inlineCall copies it.
+func (r *replacer) version(rid int32, fs *flagSet) *xmltree.Node {
+	key := versionKey{rule: rid, fs: fs.key()}
+	if v, ok := r.versions[key]; ok {
+		return v
+	}
+	rule := r.g.Rule(rid)
+	scratch := &grammar.Rule{ID: rid, Rank: rule.Rank, RHS: rule.RHS.Copy()}
+	ed := newEditor(r.g, scratch)
+
+	paramNode := make([]*xmltree.Node, rule.Rank)
+	scratch.RHS.Walk(func(n *xmltree.Node) bool {
+		if n.Label.Kind == xmltree.Parameter {
+			paramNode[n.Label.ID-1] = n
+		}
+		return true
+	})
+
+	// Flag propagation into the version copy (Section IV-E): the root
+	// gets r, the parent of each flagged parameter gets the matching y;
+	// a single node can accumulate several flags.
+	vflags := make(map[*xmltree.Node]*flagSet)
+	getFlags := func(n *xmltree.Node) *flagSet {
+		f := vflags[n]
+		if f == nil {
+			f = &flagSet{}
+			vflags[n] = f
+		}
+		return f
+	}
+	if fs.r && scratch.RHS.Label.Kind == xmltree.Nonterminal {
+		getFlags(scratch.RHS).r = true
+	}
+	for _, y := range fs.ys {
+		p, i := ed.parent(paramNode[y-1])
+		if p != nil && p.Label.Kind == xmltree.Nonterminal {
+			getFlags(p).addY(i + 1)
+		}
+	}
+	if len(vflags) > 0 {
+		var order []*xmltree.Node
+		scratch.RHS.Walk(func(n *xmltree.Node) bool {
+			if _, ok := vflags[n]; ok {
+				order = append(order, n)
+			}
+			return true
+		})
+		for _, call := range order {
+			r.inlineTemplateAt(ed, call, vflags[call])
+		}
+	}
+
+	// Residual chains plus marking of the isolated nodes (Algorithm 7
+	// lines 6–13).
+	var marks []*xmltree.Node
+	if fs.r {
+		for scratch.RHS.Label.Kind == xmltree.Nonterminal {
+			r.inlineTemplateAt(ed, scratch.RHS, &flagSet{r: true})
+		}
+		marks = append(marks, scratch.RHS)
+	}
+	for _, y := range fs.ys {
+		for {
+			p, i := ed.parent(paramNode[y-1])
+			if p.Label.Kind != xmltree.Nonterminal {
+				marks = append(marks, p)
+				break
+			}
+			r.inlineTemplateAt(ed, p, &flagSet{ys: []int{i + 1}})
+		}
+	}
+
+	body := scratch.RHS
+	if r.optimized && (r.refs0[rid] > 1 || r.born[rid]) && len(marks) > 0 {
+		body = r.exportFragments(body, marks)
+	}
+	r.versions[key] = body
+	return body
+}
+
+// inlineTemplateAt inlines a sub-version (or plain body) into a version
+// template under construction. Unlike inlineVersionAt this does NOT touch
+// the reference counts: templates are not part of the grammar — their
+// calls are accounted for when the finished template is inlined at a real
+// call site.
+func (r *replacer) inlineTemplateAt(ed *editor, call *xmltree.Node, fs *flagSet) *xmltree.Node {
+	var body *xmltree.Node
+	if r.optimized {
+		body = r.version(call.Label.ID, fs)
+	} else {
+		body = r.g.Rule(call.Label.ID).RHS
+	}
+	return ed.inlineCall(call, body)
+}
+
+// exportFragments implements Algorithm 8: every maximal connected
+// fragment of ≥ 2 unmarked, non-parameter nodes is exported into a fresh
+// rule and replaced by a call to it. Returns the (possibly new) body root.
+func (r *replacer) exportFragments(body *xmltree.Node, marks []*xmltree.Node) *xmltree.Node {
+	marked := make(map[*xmltree.Node]bool, len(marks))
+	for _, m := range marks {
+		marked[m] = true
+	}
+	fragmentable := func(n *xmltree.Node) bool {
+		return !marked[n] && n.Label.Kind != xmltree.Parameter
+	}
+	var process func(n *xmltree.Node, parentFrag bool) *xmltree.Node
+	process = func(n *xmltree.Node, parentFrag bool) *xmltree.Node {
+		if fragmentable(n) && !parentFrag && fragmentSize(n, fragmentable) >= 2 {
+			call := r.exportOne(n, fragmentable)
+			// The call's arguments are the fragment's holes (marked or
+			// parameter subtrees); fragments nested below them are
+			// exported independently.
+			for i, a := range call.Children {
+				call.Children[i] = process(a, false)
+			}
+			return call
+		}
+		for i, c := range n.Children {
+			n.Children[i] = process(c, fragmentable(n))
+		}
+		return n
+	}
+	return process(body, false)
+}
+
+// fragmentSize counts the connected fragmentable nodes reachable downward
+// from n (n included).
+func fragmentSize(n *xmltree.Node, fragmentable func(*xmltree.Node) bool) int {
+	s := 1
+	for _, c := range n.Children {
+		if fragmentable(c) {
+			s += fragmentSize(c, fragmentable)
+		}
+	}
+	return s
+}
+
+// exportOne exports the fragment rooted at n into a fresh rule U → t_U
+// and returns the call U(t1..tk) replacing it. The fragment's holes —
+// subtrees rooted at marked or parameter nodes — become U's parameters in
+// preorder; the actual hole subtrees become the call's arguments.
+func (r *replacer) exportOne(n *xmltree.Node, fragmentable func(*xmltree.Node) bool) *xmltree.Node {
+	var args []*xmltree.Node
+	var build func(v *xmltree.Node) *xmltree.Node
+	build = func(v *xmltree.Node) *xmltree.Node {
+		if !fragmentable(v) {
+			args = append(args, v)
+			return xmltree.New(xmltree.Param(len(args)))
+		}
+		cp := xmltree.New(v.Label)
+		if len(v.Children) > 0 {
+			cp.Children = make([]*xmltree.Node, len(v.Children))
+			for i, c := range v.Children {
+				cp.Children[i] = build(c)
+			}
+		}
+		return cp
+	}
+	tu := build(n)
+	u := r.g.NewRule(len(args), tu)
+	r.edited[u.ID] = true
+	r.born[u.ID] = true
+	return xmltree.New(xmltree.Nonterm(u.ID), args...)
+}

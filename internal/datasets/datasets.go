@@ -1,0 +1,336 @@
+// Package datasets generates the synthetic stand-ins for the paper's six
+// evaluation corpora (Table III) and the Gn grammar family of Fig. 3.
+//
+// The paper evaluates on structure-only versions of well-known XML files.
+// Those files cannot be shipped, so each generator reproduces the axes
+// that drive every experiment: edge count, depth, label-alphabet size and
+// — decisive for RePair — the regularity profile. EXI-Weblog,
+// EXI-Telecomp and NCBI are perfectly regular record lists (they compress
+// exponentially, ratio < 0.1 %); Medline is records with optional and
+// repeated fields (low single-digit ratio); XMark is a moderately diverse
+// auction-site schema (ratio around 10 %); Treebank is deep, skewed and
+// irregular (ratio around 20 %). See DESIGN.md §2 for the substitution
+// rationale.
+package datasets
+
+import (
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// Corpus describes one synthetic corpus together with the paper's
+// reference numbers for Table III.
+type Corpus struct {
+	Name     string
+	Short    string // the paper's two-letter tag (EW, XM, ET, TB, MD, NC)
+	Moderate bool   // true for the moderately compressing files of Fig. 4
+
+	PaperEdges    int     // Table III #edges
+	PaperDepth    int     // Table III dp
+	PaperCEdges   int     // Table III c-edges (GrammarRePair result)
+	PaperRatioPct float64 // Table III ratio (%)
+
+	// DefaultEdges is the laptop-friendly default size; Generate(scale)
+	// aims at DefaultEdges·scale edges.
+	DefaultEdges int
+
+	gen func(targetEdges int, rng *rand.Rand) *xmltree.Unranked
+}
+
+// Generate builds the corpus at the given scale (1.0 = DefaultEdges) with
+// a deterministic seed.
+func (c Corpus) Generate(scale float64, seed int64) *xmltree.Unranked {
+	target := int(float64(c.DefaultEdges) * scale)
+	if target < 16 {
+		target = 16
+	}
+	return c.gen(target, rand.New(rand.NewSource(seed)))
+}
+
+// Corpora returns the six corpora in the paper's Table III order.
+func Corpora() []Corpus {
+	return []Corpus{
+		{
+			Name: "EXI-Weblog", Short: "EW", Moderate: false,
+			PaperEdges: 93434, PaperDepth: 2, PaperCEdges: 42, PaperRatioPct: 0.04,
+			DefaultEdges: 93434, gen: genWeblog,
+		},
+		{
+			Name: "XMark", Short: "XM", Moderate: true,
+			PaperEdges: 167864, PaperDepth: 11, PaperCEdges: 22105, PaperRatioPct: 13.17,
+			DefaultEdges: 100000, gen: genXMark,
+		},
+		{
+			Name: "EXI-Telecomp", Short: "ET", Moderate: false,
+			PaperEdges: 177633, PaperDepth: 6, PaperCEdges: 107, PaperRatioPct: 0.06,
+			DefaultEdges: 177633, gen: genTelecomp,
+		},
+		{
+			Name: "Treebank", Short: "TB", Moderate: true,
+			PaperEdges: 2437665, PaperDepth: 35, PaperCEdges: 503830, PaperRatioPct: 20.67,
+			DefaultEdges: 120000, gen: genTreebank,
+		},
+		{
+			Name: "Medline", Short: "MD", Moderate: true,
+			PaperEdges: 2866079, PaperDepth: 6, PaperCEdges: 118067, PaperRatioPct: 4.12,
+			DefaultEdges: 150000, gen: genMedline,
+		},
+		{
+			Name: "NCBI", Short: "NC", Moderate: false,
+			PaperEdges: 3642224, PaperDepth: 3, PaperCEdges: 59, PaperRatioPct: 0.01,
+			DefaultEdges: 400000, gen: genNCBI,
+		},
+	}
+}
+
+// ByShort returns the corpus with the given two-letter tag.
+func ByShort(short string) (Corpus, bool) {
+	for _, c := range Corpora() {
+		if c.Short == short {
+			return c, true
+		}
+	}
+	return Corpus{}, false
+}
+
+func el(label string, children ...*xmltree.Unranked) *xmltree.Unranked {
+	return xmltree.NewUnranked(label, children...)
+}
+
+// genWeblog: depth 2, perfectly regular web-server log records.
+// Each record contributes 7 edges.
+func genWeblog(target int, _ *rand.Rand) *xmltree.Unranked {
+	root := el("log")
+	for root.Edges() < target {
+		root.Children = append(root.Children, el("request",
+			el("host"), el("ident"), el("authuser"),
+			el("time"), el("line"), el("status")))
+	}
+	return root
+}
+
+// genTelecomp: depth 6, perfectly regular measurement records with a
+// fixed nested structure (18 edges per record).
+func genTelecomp(target int, _ *rand.Rand) *xmltree.Unranked {
+	record := func() *xmltree.Unranked {
+		return el("measurement",
+			el("header", el("id"), el("timestamp", el("date"), el("time"))),
+			el("source", el("network", el("cell", el("lac"), el("ci")))),
+			el("values",
+				el("value", el("unit"), el("quantity")),
+				el("value", el("unit"), el("quantity")),
+				el("value", el("unit"), el("quantity"))))
+	}
+	root := el("telecomp")
+	for root.Edges() < target {
+		root.Children = append(root.Children, record())
+	}
+	return root
+}
+
+// genNCBI: depth 3, extremely regular SNP records (12 edges each).
+func genNCBI(target int, _ *rand.Rand) *xmltree.Unranked {
+	record := func() *xmltree.Unranked {
+		return el("snp",
+			el("id"), el("chromosome"), el("position"),
+			el("alleles", el("ref"), el("alt")),
+			el("frequency", el("population"), el("value")),
+			el("validation"), el("build"), el("type"))
+	}
+	root := el("snps")
+	for root.Edges() < target {
+		root.Children = append(root.Children, record())
+	}
+	return root
+}
+
+// genMedline: depth 6, citation records with optional and repeated
+// fields — highly repetitive overall but with per-record variation, which
+// keeps the ratio in the low single digits.
+func genMedline(target int, rng *rand.Rand) *xmltree.Unranked {
+	author := func() *xmltree.Unranked {
+		a := el("author", el("lastname"), el("forename"), el("initials"))
+		if rng.Intn(100) < 8 {
+			a.Children = append(a.Children, el("affiliation"))
+		}
+		return a
+	}
+	mesh := func() *xmltree.Unranked {
+		m := el("meshheading", el("descriptorname"))
+		if rng.Intn(100) < 25 {
+			m.Children = append(m.Children, el("qualifiername"))
+		}
+		return m
+	}
+	citation := func() *xmltree.Unranked {
+		c := el("medlinecitation", el("pmid"),
+			el("datecreated", el("year"), el("month"), el("day")))
+		art := el("article",
+			el("journal",
+				el("issn"),
+				el("journalissue", el("volume"), el("issue"),
+					el("pubdate", el("year"), el("month")))),
+			el("articletitle"),
+			el("pagination", el("medlinepgn")))
+		if rng.Intn(100) < 60 {
+			art.Children = append(art.Children, el("abstract", el("abstracttext")))
+		}
+		al := el("authorlist")
+		for a := 1 + rng.Intn(4); a > 0; a-- {
+			al.Children = append(al.Children, author())
+		}
+		art.Children = append(art.Children, al)
+		c.Children = append(c.Children, art)
+		ml := el("meshheadinglist")
+		for m := rng.Intn(7); m > 0; m-- {
+			ml.Children = append(ml.Children, mesh())
+		}
+		if len(ml.Children) > 0 {
+			c.Children = append(c.Children, ml)
+		}
+		return c
+	}
+	root := el("medline")
+	for root.Edges() < target {
+		root.Children = append(root.Children, citation())
+	}
+	return root
+}
+
+// genXMark: depth ~11, the auction-site schema of the XMark benchmark
+// with randomized repetition counts and optional parts — moderately
+// diverse, compressing to roughly a tenth of its edges.
+func genXMark(target int, rng *rand.Rand) *xmltree.Unranked {
+	var text func(depth int) *xmltree.Unranked
+	text = func(depth int) *xmltree.Unranked {
+		t := el("text")
+		if depth > 0 && rng.Intn(100) < 30 {
+			pl := el("parlist")
+			for i := 1 + rng.Intn(2); i > 0; i-- {
+				pl.Children = append(pl.Children, el("listitem", text(depth-1)))
+			}
+			t.Children = append(t.Children, pl)
+		} else {
+			for i := 1 + rng.Intn(3); i > 0; i-- {
+				t.Children = append(t.Children, el("keyword"))
+			}
+		}
+		return t
+	}
+	item := func() *xmltree.Unranked {
+		it := el("item", el("location"), el("quantity"), el("name"),
+			el("payment"), el("description", text(2)), el("shipping"))
+		for i := 1 + rng.Intn(3); i > 0; i-- {
+			it.Children = append(it.Children, el("incategory"))
+		}
+		if rng.Intn(100) < 60 {
+			mb := el("mailbox")
+			for m := rng.Intn(3); m > 0; m-- {
+				mb.Children = append(mb.Children,
+					el("mail", el("from"), el("to"), el("date"), text(1)))
+			}
+			it.Children = append(it.Children, mb)
+		}
+		return it
+	}
+	person := func() *xmltree.Unranked {
+		p := el("person", el("name"), el("emailaddress"))
+		if rng.Intn(100) < 50 {
+			p.Children = append(p.Children, el("phone"))
+		}
+		if rng.Intn(100) < 60 {
+			p.Children = append(p.Children, el("address",
+				el("street"), el("city"), el("country"), el("zipcode")))
+		}
+		if rng.Intn(100) < 40 {
+			w := el("watches")
+			for i := 1 + rng.Intn(4); i > 0; i-- {
+				w.Children = append(w.Children, el("watch"))
+			}
+			p.Children = append(p.Children, w)
+		}
+		return p
+	}
+	openAuction := func() *xmltree.Unranked {
+		oa := el("open_auction", el("initial"), el("reserve"))
+		for b := 1 + rng.Intn(5); b > 0; b-- {
+			oa.Children = append(oa.Children,
+				el("bidder", el("date"), el("time"), el("increase")))
+		}
+		oa.Children = append(oa.Children, el("current"), el("itemref"), el("seller"),
+			el("annotation", el("description", text(1))))
+		return oa
+	}
+	closedAuction := func() *xmltree.Unranked {
+		return el("closed_auction", el("seller"), el("buyer"), el("itemref"),
+			el("price"), el("date"), el("quantity"), el("type"),
+			el("annotation", el("description", text(1))))
+	}
+
+	regions := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	root := el("site")
+	regs := el("regions")
+	for _, r := range regions {
+		regs.Children = append(regs.Children, el(r))
+	}
+	cats := el("categories")
+	people := el("people")
+	open := el("open_auctions")
+	closed := el("closed_auctions")
+	root.Children = append(root.Children, regs, cats, people, open, closed)
+
+	for root.Edges() < target {
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			reg := regs.Children[rng.Intn(len(regs.Children))]
+			reg.Children = append(reg.Children, item())
+		case 3:
+			cats.Children = append(cats.Children,
+				el("category", el("name"), el("description", text(1))))
+		case 4, 5:
+			people.Children = append(people.Children, person())
+		case 6, 7:
+			open.Children = append(open.Children, openAuction())
+		default:
+			closed.Children = append(closed.Children, closedAuction())
+		}
+	}
+	return root
+}
+
+// treebankProductions is a small probabilistic CFG modeled on Penn
+// Treebank parse structure. Derivation trees repeat sub-productions
+// heavily (as real parse corpora do) but combine them irregularly, which
+// is what keeps real Treebank at a ~20 % ratio — by far the hardest of
+// the paper's corpora.
+var treebankProductions = map[string][][]string{
+	"S":    {{"NP", "VP"}, {"NP", "VP"}, {"NP", "VP", "PP"}, {"S", "CC", "S"}, {"SBAR", "NP", "VP"}},
+	"NP":   {{"DT", "NN"}, {"DT", "NN"}, {"PRP"}, {"DT", "JJ", "NN"}, {"NP", "PP"}, {"NNP"}, {"NP", "SBAR"}},
+	"VP":   {{"VB", "NP"}, {"VB", "NP"}, {"VBD", "NP"}, {"VBD", "NP", "PP"}, {"MD", "VB", "NP"}, {"VBZ", "ADJP"}},
+	"PP":   {{"IN", "NP"}, {"IN", "NP"}, {"TO", "NP"}},
+	"SBAR": {{"IN", "S"}, {"WHNP", "S"}},
+	"ADJP": {{"JJ"}, {"RB", "JJ"}},
+}
+
+// genTreebank: deep, irregular parse trees from a skewed PCFG.
+func genTreebank(target int, rng *rand.Rand) *xmltree.Unranked {
+	var derive func(tag string, depth int) *xmltree.Unranked
+	derive = func(tag string, depth int) *xmltree.Unranked {
+		n := el(tag)
+		prods, ok := treebankProductions[tag]
+		if !ok || depth <= 0 {
+			return n // part-of-speech leaf
+		}
+		prod := prods[rng.Intn(len(prods))]
+		for _, sym := range prod {
+			n.Children = append(n.Children, derive(sym, depth-1))
+		}
+		return n
+	}
+	root := el("treebank")
+	for root.Edges() < target {
+		root.Children = append(root.Children, derive("S", 24))
+	}
+	return root
+}

@@ -1,0 +1,168 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/treerepair"
+	"repro/internal/xmltree"
+)
+
+func TestCorporaMetadata(t *testing.T) {
+	cs := Corpora()
+	if len(cs) != 6 {
+		t.Fatalf("want 6 corpora, got %d", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if seen[c.Short] {
+			t.Fatalf("duplicate short tag %s", c.Short)
+		}
+		seen[c.Short] = true
+		if c.PaperEdges <= 0 || c.DefaultEdges <= 0 {
+			t.Fatalf("%s: missing sizes", c.Name)
+		}
+	}
+	if _, ok := ByShort("XM"); !ok {
+		t.Fatal("ByShort(XM) failed")
+	}
+	if _, ok := ByShort("ZZ"); ok {
+		t.Fatal("ByShort(ZZ) should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, c := range Corpora() {
+		a := c.Generate(0.02, 1)
+		b := c.Generate(0.02, 1)
+		if a.Edges() != b.Edges() {
+			t.Fatalf("%s: generation not deterministic (%d vs %d)", c.Name, a.Edges(), b.Edges())
+		}
+	}
+}
+
+func TestGenerateTargetsEdgeCount(t *testing.T) {
+	for _, c := range Corpora() {
+		u := c.Generate(0.05, 7)
+		target := int(float64(c.DefaultEdges) * 0.05)
+		if u.Edges() < target || u.Edges() > target+target/2+200 {
+			t.Fatalf("%s: edges %d far from target %d", c.Name, u.Edges(), target)
+		}
+	}
+}
+
+func TestDepthRegimes(t *testing.T) {
+	// Depth must land in the same regime as Table III: shallow for the
+	// record lists, deep for Treebank.
+	depths := map[string][2]int{
+		"EW": {2, 2}, "ET": {4, 8}, "NC": {2, 4},
+		"MD": {5, 8}, "XM": {6, 14}, "TB": {20, 60},
+	}
+	for _, c := range Corpora() {
+		u := c.Generate(0.03, 3)
+		d := u.Depth()
+		want := depths[c.Short]
+		if d < want[0] || d > want[1] {
+			t.Fatalf("%s: depth %d outside regime [%d,%d]", c.Name, d, want[0], want[1])
+		}
+	}
+}
+
+// TestCompressionRegimes is the calibration check for the Table III
+// reproduction: each corpus must compress in the same regime the paper
+// reports — exponentially for EW/ET/NC, low single digits for MD, around
+// a tenth for XM, around a fifth for TB.
+func TestCompressionRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compression calibration is slow")
+	}
+	bands := map[string][2]float64{
+		"EW": {0, 0.5}, "ET": {0, 0.5}, "NC": {0, 0.5},
+		"MD": {0.8, 9}, "XM": {5, 19}, "TB": {12, 35},
+	}
+	for _, c := range Corpora() {
+		u := c.Generate(0.15, 11)
+		doc := u.Binary()
+		g, _ := treerepair.Compress(doc, treerepair.Options{})
+		ratio := 100 * float64(g.Size()) / float64(u.Edges())
+		b := bands[c.Short]
+		if ratio < b[0] || ratio > b[1] {
+			t.Errorf("%s: ratio %.3f%% outside band [%.1f, %.1f] (|G|=%d, edges=%d)",
+				c.Name, ratio, b[0], b[1], g.Size(), u.Edges())
+		}
+	}
+}
+
+func TestGnGeneratesCorrectString(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		g := Gn(n)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Gn(%d) invalid: %v", n, err)
+		}
+		tree, err := g.Expand(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := &xmltree.Document{Syms: g.Syms, Root: tree}
+		u, err := doc.ToUnranked()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(u.Children)) != GnStringLength(n) {
+			t.Fatalf("Gn(%d): %d children, want %d", n, len(u.Children), GnStringLength(n))
+		}
+		// Shape a (ba)^k b.
+		if u.Children[0].Label != "a" || u.Children[len(u.Children)-1].Label != "b" {
+			t.Fatalf("Gn(%d): wrong endpoints", n)
+		}
+		for i := 1; i < len(u.Children)-1; i++ {
+			want := "b"
+			if i%2 == 0 {
+				want = "a"
+			}
+			if u.Children[i].Label != want {
+				t.Fatalf("Gn(%d): position %d is %s, want %s", n, i, u.Children[i].Label, want)
+			}
+		}
+	}
+}
+
+func TestGnSizeLinear(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		g := Gn(n)
+		if got, want := g.Size(), 12+2*n; got != want {
+			t.Fatalf("|Gn(%d)| = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestGnRecompression checks the Fig. 3 property: the optimized
+// GrammarRePair recompresses Gn to a grammar of comparable (linear in n)
+// size with bounded blow-up, and val is preserved.
+func TestGnRecompression(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		g := Gn(n)
+		want, err := g.Expand(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, st := core.Compress(g, core.Options{})
+		if err := out.Validate(); err != nil {
+			t.Fatalf("Gn(%d): %v", n, err)
+		}
+		got, err := out.Expand(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmltree.Equal(got, want) {
+			t.Fatalf("Gn(%d): val changed", n)
+		}
+		if out.Size() > 4*g.Size() {
+			t.Fatalf("Gn(%d): recompressed size %d vs input %d", n, out.Size(), g.Size())
+		}
+		blowup := float64(st.MaxIntermediate) / float64(out.Size())
+		if blowup > 6 {
+			t.Fatalf("Gn(%d): optimized blow-up %.1f too large", n, blowup)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package datasets
+
+import (
+	"repro/internal/grammar"
+	"repro/internal/xmltree"
+)
+
+// Gn builds the paper's exponential string-grammar family from the
+// Fig. 3 experiment, encoded as an SLCF tree grammar. The string grammar
+//
+//	S   → a A_n A_n b
+//	A_i → A_{i-1} A_{i-1}     (1 ≤ i ≤ n)
+//	A_0 → b a
+//
+// produces a(ba)^(2^(n+1))b. Following the paper's hint ("consider one
+// additional root symbol, under which these grammars generate long
+// children lists"), the string becomes the child list of a root element f
+// in the binary encoding: string symbols are rank-2 terminals chained via
+// next-sibling, and every string nonterminal becomes a rank-1 nonterminal
+// that takes the remainder of the sibling chain as its parameter.
+//
+// GrammarRePair must recompress this to the (ab)-aligned grammar of
+// essentially the same size; without the Algorithm 8 optimization the
+// intermediate grammar blows up with the size of the *string* (Fig. 3).
+func Gn(n int) *grammar.Grammar {
+	st := xmltree.NewSymbolTable()
+	f := st.InternElement("f")
+	a := st.InternElement("a")
+	b := st.InternElement("b")
+	g := grammar.New(st)
+
+	// A_0(y1) → b(⊥, a(⊥, y1))  — the string "ba" prepended to the chain.
+	prev := g.NewRule(1, xmltree.New(xmltree.Term(b),
+		xmltree.NewBottom(),
+		xmltree.New(xmltree.Term(a), xmltree.NewBottom(), xmltree.New(xmltree.Param(1)))))
+	for i := 1; i <= n; i++ {
+		prev = g.NewRule(1, xmltree.New(xmltree.Nonterm(prev.ID),
+			xmltree.New(xmltree.Nonterm(prev.ID), xmltree.New(xmltree.Param(1)))))
+	}
+	// S → f(a(⊥, A_n(A_n(b(⊥,⊥)))), ⊥)
+	g.StartRule().RHS = xmltree.New(xmltree.Term(f),
+		xmltree.New(xmltree.Term(a),
+			xmltree.NewBottom(),
+			xmltree.New(xmltree.Nonterm(prev.ID),
+				xmltree.New(xmltree.Nonterm(prev.ID),
+					xmltree.New(xmltree.Term(b), xmltree.NewBottom(), xmltree.NewBottom())))),
+		xmltree.NewBottom())
+	return g
+}
+
+// GnStringLength returns the length of the string Gn generates:
+// 2·2^(n+1) + 2 symbols (a, (ba)^(2^(n+1)), b).
+func GnStringLength(n int) int64 {
+	return 2<<(uint(n)+1) + 2
+}

@@ -1,0 +1,66 @@
+package digram
+
+import "container/heap"
+
+// Queue is a max-priority queue of digram frequencies with lazy
+// invalidation: every frequency change pushes a fresh entry, and stale
+// entries (whose recorded count no longer matches the live count supplied
+// at pop time) are discarded. This is the standard trick for RePair-style
+// compressors whose counts change by small deltas on every replacement.
+//
+// Frequencies are float64 because GrammarRePair weights generators by rule
+// usage counts, which grow exponentially on highly compressible grammars.
+// Ties are broken by lexicographic digram order so compression runs are
+// deterministic.
+type Queue struct {
+	h entryHeap
+}
+
+type entry struct {
+	count float64
+	d     Digram
+}
+
+type entryHeap []entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count > h[j].count
+	}
+	return h[i].d.Less(h[j].d)
+}
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)   { *h = append(*h, x.(entry)) }
+func (h *entryHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Update records a new frequency for d. Call it after every change,
+// including decreases; older entries become stale automatically.
+func (q *Queue) Update(d Digram, count float64) {
+	heap.Push(&q.h, entry{count: count, d: d})
+}
+
+// PopBest returns the digram with the highest live frequency ≥ 2.
+// live reports the current frequency of a digram (0 if gone). Entries
+// whose recorded count differs from the live count are discarded.
+// Returns ok=false when no digram with live frequency ≥ 2 remains.
+func (q *Queue) PopBest(live func(Digram) float64) (Digram, float64, bool) {
+	for q.h.Len() > 0 {
+		e := heap.Pop(&q.h).(entry)
+		cur := live(e.d)
+		if cur != e.count {
+			continue // stale
+		}
+		if cur < 2 {
+			continue
+		}
+		return e.d, cur, true
+	}
+	return Digram{}, 0, false
+}
+
+// Len returns the number of (possibly stale) queued entries.
+func (q *Queue) Len() int { return q.h.Len() }
+
+// Reset empties the queue.
+func (q *Queue) Reset() { q.h = q.h[:0] }

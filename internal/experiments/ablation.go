@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/treerepair"
+)
+
+// AblationRow records the effect of the two design choices DESIGN.md
+// calls out, on one corpus: the k_in parameter limit (digram rank cap)
+// and the Algorithm 8 fragment-export optimization.
+type AblationRow struct {
+	Name string
+
+	// Final grammar size under different k_in values (TreeRePair).
+	SizeKin2, SizeKin4, SizeKin8 int
+
+	// GrammarRePair recompression of the TreeRePair grammar with and
+	// without the optimization: max intermediate size and runtime.
+	OptMax int
+	OptDur time.Duration
+	NonMax int
+	NonDur time.Duration
+}
+
+// Ablation sweeps k_in ∈ {2,4,8} over TreeRePair and toggles the
+// fragment-export optimization of GrammarRePair on every corpus.
+// Expectations: k_in = 4 (the paper's default) is on the sweet spot —
+// k_in = 2 forbids the rank-3 element+element digrams of the binary
+// encoding and hurts badly; k_in = 8 buys little; and the optimization
+// bounds the intermediate grammar especially on the exponentially
+// compressing corpora.
+func Ablation(cfg Config) []AblationRow {
+	cfg.printf("Ablation — k_in sweep and optimization toggle\n")
+	cfg.printf("%-13s %9s %9s %9s | %9s %10s | %9s %10s\n",
+		"dataset", "kin=2", "kin=4", "kin=8", "opt max", "opt time", "non max", "non time")
+	var rows []AblationRow
+	for _, c := range datasets.Corpora() {
+		u := c.Generate(cfg.Scale, cfg.Seed)
+		doc := u.Binary()
+		g2, _ := treerepair.Compress(doc, treerepair.Options{MaxRank: 2})
+		g4, _ := treerepair.Compress(doc, treerepair.Options{MaxRank: 4})
+		g8, _ := treerepair.Compress(doc, treerepair.Options{MaxRank: 8})
+
+		t0 := time.Now()
+		_, stOpt := core.Compress(g4, core.Options{})
+		dOpt := time.Since(t0)
+		t1 := time.Now()
+		_, stNon := core.Compress(g4, core.Options{NoOptimize: true})
+		dNon := time.Since(t1)
+
+		row := AblationRow{
+			Name:     c.Name,
+			SizeKin2: g2.Size(), SizeKin4: g4.Size(), SizeKin8: g8.Size(),
+			OptMax: stOpt.MaxIntermediate, OptDur: dOpt,
+			NonMax: stNon.MaxIntermediate, NonDur: dNon,
+		}
+		rows = append(rows, row)
+		cfg.printf("%-13s %9d %9d %9d | %9d %10s | %9d %10s\n",
+			row.Name, row.SizeKin2, row.SizeKin4, row.SizeKin8,
+			row.OptMax, row.OptDur.Round(time.Millisecond),
+			row.NonMax, row.NonDur.Round(time.Millisecond))
+	}
+	return rows
+}

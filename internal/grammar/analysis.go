@@ -1,0 +1,198 @@
+package grammar
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xmltree"
+)
+
+// RefCounts returns, for every live rule ID, the number of occurrences of
+// its nonterminal on right-hand sides (the paper's |ref_G(Q)|).
+func (g *Grammar) RefCounts() map[int32]int {
+	refs := make(map[int32]int, len(g.rules))
+	for _, id := range g.order {
+		refs[id] += 0
+		g.rules[id].RHS.Walk(func(v *xmltree.Node) bool {
+			if v.Label.Kind == xmltree.Nonterminal {
+				refs[v.Label.ID]++
+			}
+			return true
+		})
+	}
+	return refs
+}
+
+// Usage returns usage_G(Q) for every rule: the number of times Q is used
+// to generate val_G(S). usage(S) = 1 and usage(Q) = Σ_{(R,n)∈ref(Q)}
+// usage(R), computed in SL order (callers before callees). Usage counts
+// can be astronomically large for exponentially compressing grammars, so
+// they are computed in float64 and saturate at +Inf; digram-frequency
+// comparisons only need ordering, for which this is sufficient.
+func (g *Grammar) Usage() (map[int32]float64, error) {
+	sl, err := g.SLOrder()
+	if err != nil {
+		return nil, err
+	}
+	usage := make(map[int32]float64, len(g.rules))
+	for _, id := range sl {
+		usage[id] += 0
+	}
+	usage[g.Start] = 1
+	for _, id := range sl {
+		u := usage[id]
+		if u == 0 {
+			continue // unreachable rule
+		}
+		g.rules[id].RHS.Walk(func(v *xmltree.Node) bool {
+			if v.Label.Kind == xmltree.Nonterminal {
+				usage[v.Label.ID] += u
+				if math.IsInf(usage[v.Label.ID], 1) {
+					usage[v.Label.ID] = math.Inf(1)
+				}
+			}
+			return true
+		})
+	}
+	return usage, nil
+}
+
+// GarbageCollect deletes every rule unreachable from the start rule and
+// returns the number of rules removed. Updates that delete subtrees can
+// strand rules; experiments call this after each update batch.
+func (g *Grammar) GarbageCollect() int {
+	reach := make(map[int32]bool, len(g.rules))
+	var mark func(id int32)
+	mark = func(id int32) {
+		if reach[id] {
+			return
+		}
+		reach[id] = true
+		if r := g.rules[id]; r != nil {
+			r.RHS.Walk(func(v *xmltree.Node) bool {
+				if v.Label.Kind == xmltree.Nonterminal {
+					mark(v.Label.ID)
+				}
+				return true
+			})
+		}
+	}
+	mark(g.Start)
+	removed := 0
+	for _, id := range g.RuleIDs() {
+		if !reach[id] {
+			g.DeleteRule(id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// SizeVectors holds, for one rule A of rank k, the paper's
+// size(A,0..k): the number of nodes of val(A) that appear before y1 in
+// preorder, between y1 and y2, ..., after yk (parameter nodes themselves
+// are not counted, matching the paper's example). Total is the node count
+// of val(A) with parameters excluded.
+type SizeVectors struct {
+	Seg   []int64 // length rank+1
+	Total int64   // Σ Seg
+}
+
+// ValSizes computes size vectors for every rule in one bottom-up pass
+// (anti-SL order), as required by path isolation (Section III-A). Counts
+// saturate at math.MaxInt64 to stay safe on exponentially compressing
+// grammars.
+func (g *Grammar) ValSizes() (map[int32]*SizeVectors, error) {
+	anti, err := g.AntiSLOrder()
+	if err != nil {
+		return nil, err
+	}
+	sizes := make(map[int32]*SizeVectors, len(g.rules))
+	for _, id := range anti {
+		r := g.rules[id]
+		sv := &SizeVectors{Seg: make([]int64, r.Rank+1)}
+		seg := 0
+		var walk func(n *xmltree.Node) error
+		walk = func(n *xmltree.Node) error {
+			switch n.Label.Kind {
+			case xmltree.Parameter:
+				seg = int(n.Label.ID)
+				return nil
+			case xmltree.Terminal:
+				sv.Seg[seg] = satAdd(sv.Seg[seg], 1)
+				for _, c := range n.Children {
+					if err := walk(c); err != nil {
+						return err
+					}
+				}
+				return nil
+			case xmltree.Nonterminal:
+				callee := sizes[n.Label.ID]
+				if callee == nil {
+					return fmt.Errorf("grammar: ValSizes: rule N%d not yet computed", n.Label.ID)
+				}
+				sv.Seg[seg] = satAdd(sv.Seg[seg], callee.Seg[0])
+				for i, c := range n.Children {
+					if err := walk(c); err != nil {
+						return err
+					}
+					sv.Seg[seg] = satAdd(sv.Seg[seg], callee.Seg[i+1])
+				}
+				return nil
+			}
+			return fmt.Errorf("grammar: ValSizes: bad symbol kind")
+		}
+		if err := walk(r.RHS); err != nil {
+			return nil, err
+		}
+		for _, s := range sv.Seg {
+			sv.Total = satAdd(sv.Total, s)
+		}
+		sizes[id] = sv
+	}
+	return sizes, nil
+}
+
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if s < a {
+		return math.MaxInt64
+	}
+	return s
+}
+
+// ValNodeCount returns the node count of val_G(S) (excluding nothing;
+// the start rule has no parameters so this is the full tree size),
+// computed without expansion.
+func (g *Grammar) ValNodeCount() (int64, error) {
+	sizes, err := g.ValSizes()
+	if err != nil {
+		return 0, err
+	}
+	return sizes[g.Start].Total, nil
+}
+
+// SubtreeValSize returns the node count of val(t) for a subtree t of a
+// right-hand side, given precomputed rule size vectors. Parameter nodes
+// count as 1 placeholder node (they stand for externally supplied trees;
+// path isolation only uses this on the start rule, which has none).
+func SubtreeValSize(t *xmltree.Node, sizes map[int32]*SizeVectors) int64 {
+	switch t.Label.Kind {
+	case xmltree.Parameter:
+		return 1
+	case xmltree.Terminal:
+		var s int64 = 1
+		for _, c := range t.Children {
+			s = satAdd(s, SubtreeValSize(c, sizes))
+		}
+		return s
+	case xmltree.Nonterminal:
+		sv := sizes[t.Label.ID]
+		s := sv.Total
+		for _, c := range t.Children {
+			s = satAdd(s, SubtreeValSize(c, sizes))
+		}
+		return s
+	}
+	return 0
+}

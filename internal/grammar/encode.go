@@ -1,0 +1,212 @@
+package grammar
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/xmltree"
+)
+
+// The on-disk grammar format: a compact varint encoding so compressed
+// documents can be persisted and shipped at grammar size. Layout:
+//
+//	magic "SLTG" | version 1
+//	symbol table: count, then (name, rank) per terminal (⊥ implied)
+//	start rule ID
+//	rules: count, then per rule: ID, rank, body preorder stream
+//
+// Body nodes are encoded in preorder as (tag, id): tag 0 = terminal,
+// 1 = nonterminal, 2 = parameter; child counts are implied by ranks.
+const magic = "SLTG"
+
+// Encode writes the grammar in the binary format.
+func Encode(w io.Writer, g *Grammar) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	writeUvarint(bw, 1) // version
+	// Symbol table (skip ⊥, which every table has implicitly).
+	writeUvarint(bw, uint64(g.Syms.Len()-1))
+	for id := int32(1); id < int32(g.Syms.Len()); id++ {
+		writeString(bw, g.Syms.Name(id))
+		writeUvarint(bw, uint64(g.Syms.Rank(id)))
+	}
+	writeUvarint(bw, uint64(g.Start))
+	ids := g.RuleIDs()
+	writeUvarint(bw, uint64(len(ids)))
+	for _, id := range ids {
+		r := g.Rule(id)
+		writeUvarint(bw, uint64(r.ID))
+		writeUvarint(bw, uint64(r.Rank))
+		writeUvarint(bw, uint64(r.RHS.Size()))
+		var err error
+		r.RHS.Walk(func(n *xmltree.Node) bool {
+			switch n.Label.Kind {
+			case xmltree.Terminal:
+				writeUvarint(bw, 0)
+			case xmltree.Nonterminal:
+				writeUvarint(bw, 1)
+			case xmltree.Parameter:
+				writeUvarint(bw, 2)
+			}
+			writeUvarint(bw, uint64(n.Label.ID))
+			if n.Label.Kind == xmltree.Nonterminal {
+				writeUvarint(bw, uint64(len(n.Children)))
+			}
+			return err == nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a grammar written by Encode and validates it.
+func Decode(r io.Reader) (*Grammar, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("grammar: decode: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("grammar: decode: bad magic %q", head)
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil || ver != 1 {
+		return nil, fmt.Errorf("grammar: decode: unsupported version %d (%v)", ver, err)
+	}
+	st := xmltree.NewSymbolTable()
+	nsyms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nsyms; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		rank, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		st.Intern(name, int(rank))
+	}
+	start, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	nrules, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	g := &Grammar{Syms: st, Start: int32(start), rules: make(map[int32]*Rule)}
+	for i := uint64(0); i < nrules; i++ {
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		rank, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		left := int(size)
+		rhs, err := readNode(br, st, &left)
+		if err != nil {
+			return nil, fmt.Errorf("grammar: decode rule %d: %w", id, err)
+		}
+		if left != 0 {
+			return nil, fmt.Errorf("grammar: decode rule %d: size mismatch", id)
+		}
+		rid := int32(id)
+		g.rules[rid] = &Rule{ID: rid, Rank: int(rank), RHS: rhs}
+		g.order = append(g.order, rid)
+		if rid >= g.nextNT {
+			g.nextNT = rid + 1
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("grammar: decode: %w", err)
+	}
+	return g, nil
+}
+
+func readNode(br *bufio.Reader, st *xmltree.SymbolTable, left *int) (*xmltree.Node, error) {
+	if *left <= 0 {
+		return nil, fmt.Errorf("truncated body")
+	}
+	*left--
+	tag, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	id, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	var n *xmltree.Node
+	var kids int
+	switch tag {
+	case 0:
+		if id >= uint64(st.Len()) {
+			return nil, fmt.Errorf("unknown terminal %d", id)
+		}
+		n = xmltree.New(xmltree.Term(int32(id)))
+		kids = st.Rank(int32(id))
+	case 1:
+		n = xmltree.New(xmltree.Nonterm(int32(id)))
+		k, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		kids = int(k)
+	case 2:
+		n = xmltree.New(xmltree.Param(int(id)))
+	default:
+		return nil, fmt.Errorf("bad node tag %d", tag)
+	}
+	if kids > 0 {
+		n.Children = make([]*xmltree.Node, kids)
+		for i := 0; i < kids; i++ {
+			c, err := readNode(br, st, left)
+			if err != nil {
+				return nil, err
+			}
+			n.Children[i] = c
+		}
+	}
+	return n, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("grammar: decode: string too long (%d)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,88 @@
+package grammar
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g, _, _ := paperGrammar(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Start != g.Start || back.NumRules() != g.NumRules() {
+		t.Fatal("structure mismatch")
+	}
+	a, _ := g.Expand(0)
+	b, _ := back.Expand(0)
+	if !xmltree.Equal(a, b) {
+		t.Fatal("val changed by serialization")
+	}
+	if back.Syms.Len() != g.Syms.Len() {
+		t.Fatal("symbol table mismatch")
+	}
+	// The decoded grammar stays usable: add a rule without ID collision.
+	r := back.NewRule(0, xmltree.NewBottom())
+	if back.Rule(r.ID) == nil || g.Rule(r.ID) != nil && r.ID < g.nextNT {
+		t.Fatal("fresh rule ID collides")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	g, _, _ := paperGrammar(t)
+	var b1, b2 bytes.Buffer
+	if err := Encode(&b1, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b2, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"XXXX",
+		"SLTG\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01", // absurd version
+	}
+	for i, src := range cases {
+		if _, err := Decode(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d must fail", i)
+		}
+	}
+	// Valid header, truncated rest.
+	g, _, _ := paperGrammar(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{6, buf.Len() / 2, buf.Len() - 1} {
+		if _, err := Decode(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d must fail", cut)
+		}
+	}
+}
+
+func TestEncodeCompactness(t *testing.T) {
+	// The serialized form must be within a small factor of |G| bytes —
+	// that is the point of persisting grammars instead of documents.
+	g, _, _ := paperGrammar(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 16*g.NodeCount()+256 {
+		t.Fatalf("encoding too large: %d bytes for %d nodes", buf.Len(), g.NodeCount())
+	}
+}

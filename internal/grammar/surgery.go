@@ -1,0 +1,114 @@
+package grammar
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// InlineEverywhere replaces every call of rule id on any right-hand side by
+// a fresh instantiation of its body and deletes the rule. The start rule
+// cannot be inlined away.
+func (g *Grammar) InlineEverywhere(id int32) error {
+	if id == g.Start {
+		return fmt.Errorf("grammar: cannot inline start rule")
+	}
+	target := g.rules[id]
+	if target == nil {
+		return fmt.Errorf("grammar: no rule N%d", id)
+	}
+	for _, rid := range g.order {
+		if rid == id {
+			continue
+		}
+		host := g.rules[rid]
+		g.inlineCallsIn(host, target)
+	}
+	g.DeleteRule(id)
+	return nil
+}
+
+// inlineCallsIn replaces every call of target inside host's RHS.
+func (g *Grammar) inlineCallsIn(host *Rule, target *Rule) {
+	var rec func(n *xmltree.Node) *xmltree.Node
+	rec = func(n *xmltree.Node) *xmltree.Node {
+		// Process children first so nested calls inside arguments are
+		// rewritten before the argument subtrees get spliced into a body.
+		for i, c := range n.Children {
+			n.Children[i] = rec(c)
+		}
+		if n.Label.Kind == xmltree.Nonterminal && n.Label.ID == target.ID {
+			return SubstituteParams(target.RHS.Copy(), n.Children)
+		}
+		return n
+	}
+	host.RHS = rec(host.RHS)
+}
+
+// Sav returns the paper's productiveness measure of rule R:
+//
+//	sav_G(R) = |ref_G(R)| · (size(t_R) − rank(R)) − size(t_R)
+//
+// with size(t_R) the edge count of the right-hand side. A rule with
+// sav < 0 is unproductive.
+func Sav(refs int, edges int, rank int) int {
+	return refs*(edges-rank) - edges
+}
+
+// Prune implements the pruning phase (Algorithm 1 line 7 / Section IV-D):
+// first every rule with exactly one reference is inlined away, then rules
+// are analyzed in anti-SL order and every rule with sav < 0 is inlined
+// everywhere. The two passes repeat until no rule changes, matching
+// TreeRePair's greedy strategy. Unreachable rules are collected as well.
+// Returns the number of rules removed.
+func (g *Grammar) Prune() int {
+	removed := 0
+	for {
+		changed := false
+		refs := g.RefCounts()
+		// Pass 1: |refs| == 1 rules are never worth keeping.
+		for _, id := range g.RuleIDs() {
+			if id == g.Start {
+				continue
+			}
+			if refs[id] == 1 {
+				if err := g.InlineEverywhere(id); err == nil {
+					removed++
+					changed = true
+					refs = g.RefCounts()
+				}
+			} else if refs[id] == 0 {
+				g.DeleteRule(id)
+				removed++
+				changed = true
+			}
+		}
+		// Pass 2: unproductive rules in anti-SL order.
+		anti, err := g.AntiSLOrder()
+		if err != nil {
+			// A broken grammar is a programming error upstream; pruning
+			// must not mask it.
+			panic(err)
+		}
+		refs = g.RefCounts()
+		for _, id := range anti {
+			if id == g.Start {
+				continue
+			}
+			r := g.rules[id]
+			if r == nil {
+				continue
+			}
+			if Sav(refs[id], r.RHS.Edges(), r.Rank) < 0 {
+				if err := g.InlineEverywhere(id); err == nil {
+					removed++
+					changed = true
+					refs = g.RefCounts()
+				}
+			}
+		}
+		if !changed {
+			return removed
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package grammar
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// chainGrammar builds S → f(A(⊥), ⊥), A(y) → g(B(y), ⊥), B(y) → h(y, ⊥)
+// over rank-2 terminals (binary-tree style).
+func chainGrammar(t *testing.T) (*Grammar, int32, int32) {
+	t.Helper()
+	st := xmltree.NewSymbolTable()
+	f := st.InternElement("f")
+	gg := st.InternElement("g")
+	h := st.InternElement("h")
+	g := New(st)
+	B := g.NewRule(1, xmltree.New(xmltree.Term(h), xmltree.New(xmltree.Param(1)), xmltree.NewBottom()))
+	A := g.NewRule(1, xmltree.New(xmltree.Term(gg),
+		xmltree.New(xmltree.Nonterm(B.ID), xmltree.New(xmltree.Param(1))), xmltree.NewBottom()))
+	g.StartRule().RHS = xmltree.New(xmltree.Term(f),
+		xmltree.New(xmltree.Nonterm(A.ID), xmltree.NewBottom()), xmltree.NewBottom())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g, A.ID, B.ID
+}
+
+func TestInlineEverywhere(t *testing.T) {
+	g, A, B := chainGrammar(t)
+	want, _ := g.Expand(0)
+	if err := g.InlineEverywhere(B); err != nil {
+		t.Fatal(err)
+	}
+	if g.Rule(B) != nil {
+		t.Fatal("B must be deleted")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid after inline: %v\n%s", err, g)
+	}
+	got, _ := g.Expand(0)
+	if !xmltree.Equal(got, want) {
+		t.Fatal("val changed")
+	}
+	// A's body must now contain h directly.
+	if g.Rule(A).RHS.CountLabel(xmltree.Term(g.Syms.Intern("h", 2))) != 1 {
+		t.Fatalf("h not inlined into A: %s", g.Rule(A).RHS.Format(g.Syms))
+	}
+}
+
+func TestInlineEverywhereMultipleSites(t *testing.T) {
+	st := xmltree.NewSymbolTable()
+	f := st.InternElement("f")
+	a := st.Intern("a", 0)
+	g := New(st)
+	A := g.NewRule(0, xmltree.New(xmltree.Term(a)))
+	g.StartRule().RHS = xmltree.New(xmltree.Term(f),
+		xmltree.New(xmltree.Nonterm(A.ID)), xmltree.New(xmltree.Nonterm(A.ID)))
+	if err := g.InlineEverywhere(A.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.StartRule().RHS.Format(g.Syms); got != "f(a,a)" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestInlineEverywhereNestedCalls(t *testing.T) {
+	// A rule called with arguments that themselves call the same rule:
+	// B(y) appears as B(B(⊥)) — inlining must rewrite inner calls first.
+	st := xmltree.NewSymbolTable()
+	f := st.InternElement("f")
+	h := st.Intern("h", 1)
+	g := New(st)
+	B := g.NewRule(1, xmltree.New(xmltree.Term(h), xmltree.New(xmltree.Param(1))))
+	g.StartRule().RHS = xmltree.New(xmltree.Term(f),
+		xmltree.New(xmltree.Nonterm(B.ID),
+			xmltree.New(xmltree.Nonterm(B.ID), xmltree.NewBottom())),
+		xmltree.NewBottom())
+	want, _ := g.Expand(0)
+	if err := g.InlineEverywhere(B.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := g.Expand(0)
+	if !xmltree.Equal(got, want) {
+		t.Fatalf("val changed: %s vs %s", got.Format(st), want.Format(st))
+	}
+}
+
+func TestInlineEverywhereErrors(t *testing.T) {
+	g, _, _ := chainGrammar(t)
+	if err := g.InlineEverywhere(g.Start); err == nil {
+		t.Fatal("inlining the start rule must fail")
+	}
+	if err := g.InlineEverywhere(999); err == nil {
+		t.Fatal("inlining a missing rule must fail")
+	}
+}
+
+func TestSav(t *testing.T) {
+	// sav(R) = refs·(size − rank) − size. The paper's measure: a rank-1
+	// rule with 3 edges referenced 4 times saves 4·2−3 = 5.
+	if got := Sav(4, 3, 1); got != 5 {
+		t.Fatalf("Sav = %d, want 5", got)
+	}
+	// A rule referenced once is never productive: 1·(s−r)−s = −r ≤ 0.
+	if got := Sav(1, 5, 2); got != -2 {
+		t.Fatalf("Sav = %d, want -2", got)
+	}
+}
+
+func TestPruneRemovesSingleRefRules(t *testing.T) {
+	g, A, B := chainGrammar(t)
+	want, _ := g.Expand(0)
+	removed := g.Prune()
+	if removed != 2 {
+		t.Fatalf("removed %d rules, want 2 (A and B each have one ref)", removed)
+	}
+	if g.Rule(A) != nil || g.Rule(B) != nil {
+		t.Fatal("single-ref rules must be inlined away")
+	}
+	got, _ := g.Expand(0)
+	if !xmltree.Equal(got, want) {
+		t.Fatal("val changed by pruning")
+	}
+}
+
+func TestPruneKeepsProductiveRules(t *testing.T) {
+	// A rank-0 rule with a large body and many references must survive.
+	st := xmltree.NewSymbolTable()
+	f := st.InternElement("f")
+	a := st.Intern("a", 1)
+	z := st.Intern("z", 0)
+	g := New(st)
+	body := xmltree.New(xmltree.Term(z))
+	for i := 0; i < 5; i++ {
+		body = xmltree.New(xmltree.Term(a), body)
+	}
+	A := g.NewRule(0, body) // 5 edges, rank 0
+	g.StartRule().RHS = xmltree.New(xmltree.Term(f),
+		xmltree.New(xmltree.Nonterm(A.ID)), xmltree.New(xmltree.Nonterm(A.ID)))
+	sizeBefore := g.Size()
+	if n := g.Prune(); n != 0 {
+		t.Fatalf("pruned %d rules from an optimal grammar", n)
+	}
+	if g.Size() != sizeBefore {
+		t.Fatal("prune changed an optimal grammar")
+	}
+}
+
+func TestPruneRemovesUnproductiveRules(t *testing.T) {
+	// A rank-1 rule with a 2-edge body called twice: sav = 2·(2−1)−2 = 0,
+	// kept. With a 1-edge body... use refs=2, edges=3, rank=2:
+	// sav = 2·1−3 = −1 → inlined away.
+	st := xmltree.NewSymbolTable()
+	f := st.InternElement("f")
+	a := st.Intern("a", 2)
+	z := st.Intern("z", 0)
+	g := New(st)
+	A := g.NewRule(2, xmltree.New(xmltree.Term(a),
+		xmltree.New(xmltree.Param(1)), xmltree.New(xmltree.Param(2))))
+	zn := func() *xmltree.Node { return xmltree.New(xmltree.Term(z)) }
+	g.StartRule().RHS = xmltree.New(xmltree.Term(f),
+		xmltree.New(xmltree.Nonterm(A.ID), zn(), zn()),
+		xmltree.New(xmltree.Nonterm(A.ID), zn(), zn()))
+	want, _ := g.Expand(0)
+	if g.Prune() != 1 {
+		t.Fatal("unproductive rule must be pruned")
+	}
+	if g.Rule(A.ID) != nil {
+		t.Fatal("A must be gone")
+	}
+	got, _ := g.Expand(0)
+	if !xmltree.Equal(got, want) {
+		t.Fatal("val changed")
+	}
+}
+
+func TestPruneDropsUnreachable(t *testing.T) {
+	g, _, _ := chainGrammar(t)
+	g.NewRule(0, xmltree.NewBottom()) // refs = 0
+	before := g.NumRules()
+	if g.Prune() == 0 {
+		t.Fatal("unreachable rule must be removed")
+	}
+	if g.NumRules() >= before {
+		t.Fatal("rule count must drop")
+	}
+}

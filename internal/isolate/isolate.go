@@ -1,0 +1,134 @@
+// Package isolate implements path isolation (Section III-A): making the
+// node at a given preorder position of val_G(S) terminally available in
+// the start rule's right-hand side by unfolding the (unique) derivation
+// path to it, using the precomputed size vectors size(A, 0..k).
+//
+// Lemma 1 guarantees |iso(G,u)| ≤ 2·|G| because every production is
+// applied at most once.
+package isolate
+
+import (
+	"fmt"
+
+	"repro/internal/grammar"
+	"repro/internal/xmltree"
+)
+
+// Position locates an isolated node inside the start rule's right-hand
+// side: the node itself, its parent (nil if it is the RHS root), and its
+// child index within the parent.
+type Position struct {
+	Node   *xmltree.Node
+	Parent *xmltree.Node
+	Index  int
+}
+
+// Replace splices a new subtree into the isolated position and returns it.
+func (p Position) Replace(g *grammar.Grammar, sub *xmltree.Node) *xmltree.Node {
+	if p.Parent == nil {
+		g.StartRule().RHS = sub
+	} else {
+		p.Parent.Children[p.Index] = sub
+	}
+	return sub
+}
+
+// Isolate unfolds the grammar along the derivation path to the node with
+// the given preorder index (0-based) of val_G(S), mutating only the start
+// rule, and returns the now-explicit terminal node. Size vectors may be
+// passed in when the caller already computed them (they are valid as long
+// as no rule other than the start rule changed); pass nil to compute.
+func Isolate(g *grammar.Grammar, preorder int64, sizes map[int32]*grammar.SizeVectors) (Position, error) {
+	if sizes == nil {
+		var err error
+		sizes, err = g.ValSizes()
+		if err != nil {
+			return Position{}, err
+		}
+	}
+	total := sizes[g.Start].Total
+	if preorder < 0 || preorder >= total {
+		return Position{}, fmt.Errorf("isolate: preorder %d out of range [0,%d)", preorder, total)
+	}
+	s := g.StartRule()
+	var parent *xmltree.Node
+	idx := 0
+	node := s.RHS
+	rem := preorder
+	for {
+		switch node.Label.Kind {
+		case xmltree.Terminal:
+			if rem == 0 {
+				return Position{Node: node, Parent: parent, Index: idx}, nil
+			}
+			rem--
+			descended := false
+			for i, c := range node.Children {
+				sz := grammar.SubtreeValSize(c, sizes)
+				if rem < sz {
+					parent, idx, node = node, i, c
+					descended = true
+					break
+				}
+				rem -= sz
+			}
+			if !descended {
+				return Position{}, fmt.Errorf("isolate: internal navigation error (rem=%d)", rem)
+			}
+		case xmltree.Nonterminal:
+			sv := sizes[node.Label.ID]
+			// val(node) in preorder: Seg[0] body nodes, val(arg1), Seg[1],
+			// val(arg2), ..., val(argk), Seg[k]. If the target falls in a
+			// body segment we must unfold the rule; if it falls inside an
+			// argument we descend without unfolding.
+			off := int64(0)
+			inBody := rem < sv.Seg[0]
+			if !inBody {
+				off = sv.Seg[0]
+				descended := false
+				for i, c := range node.Children {
+					sz := grammar.SubtreeValSize(c, sizes)
+					if rem < off+sz {
+						rem -= off
+						parent, idx, node = node, i, c
+						descended = true
+						break
+					}
+					off += sz
+					if rem < off+sv.Seg[i+1] {
+						inBody = true
+						break
+					}
+					off += sv.Seg[i+1]
+				}
+				if descended {
+					continue
+				}
+				if !inBody {
+					return Position{}, fmt.Errorf("isolate: internal navigation error in call (rem=%d)", rem)
+				}
+			}
+			// Unfold: inlining does not change val(node) or its preorder,
+			// so rem stays put and navigation continues at the body.
+			node = g.InlineAt(s, parent, idx)
+			if parent == nil {
+				// Root inline replaced the RHS.
+				node = s.RHS
+			}
+		default:
+			return Position{}, fmt.Errorf("isolate: parameter on derivation path")
+		}
+	}
+}
+
+// NonBottomCount returns the number of non-⊥ nodes of val_G(S), i.e. the
+// number of element nodes of the encoded document.
+func NonBottomCount(g *grammar.Grammar) (int64, error) {
+	total, err := g.ValNodeCount()
+	if err != nil {
+		return 0, err
+	}
+	// In a binary XML encoding with n elements there are n+1 ⊥ leaves:
+	// total = 2n+1.
+	return (total - 1) / 2, nil
+}

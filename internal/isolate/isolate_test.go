@@ -1,0 +1,192 @@
+package isolate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grammar"
+	"repro/internal/treerepair"
+	"repro/internal/xmltree"
+)
+
+func randomUnranked(rng *rand.Rand, n int, labels []string) *xmltree.Unranked {
+	root := &xmltree.Unranked{Label: labels[rng.Intn(len(labels))]}
+	nodes := []*xmltree.Unranked{root}
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(len(nodes))]
+		c := &xmltree.Unranked{Label: labels[rng.Intn(len(labels))]}
+		p.Children = append(p.Children, c)
+		nodes = append(nodes, c)
+	}
+	return root
+}
+
+// TestIsolateFindsCorrectNode compresses random documents and checks that
+// isolating every preorder position yields the same label the plain tree
+// has there, and that val is unchanged by the isolation.
+func TestIsolateFindsCorrectNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 15; trial++ {
+		u := randomUnranked(rng, 5+rng.Intn(60), []string{"a", "b", "c"})
+		doc := u.Binary()
+		total := int64(doc.Root.Size())
+		for p := int64(0); p < total; p += 1 + int64(rng.Intn(7)) {
+			g, _ := treerepair.Compress(doc, treerepair.Options{})
+			pos, err := Isolate(g, p, nil)
+			if err != nil {
+				t.Fatalf("isolate(%d): %v", p, err)
+			}
+			wantNode := doc.Root.PreorderIndex(int(p))
+			wantName := doc.Syms.Name(wantNode.Label.ID)
+			gotName := g.Syms.Name(pos.Node.Label.ID)
+			if gotName != wantName {
+				t.Fatalf("isolate(%d): label %q, want %q", p, gotName, wantName)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("grammar invalid after isolation: %v", err)
+			}
+			got, err := g.Expand(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !xmltree.Equal(got, doc.Root) {
+				t.Fatalf("isolation changed val at p=%d", p)
+			}
+		}
+	}
+}
+
+// TestIsolateOnExponentialGrammar reproduces the Section III-A Gexp idea:
+// isolating a position deep inside an exponentially compressed list must
+// work without expanding the tree.
+func TestIsolateOnExponentialGrammar(t *testing.T) {
+	root := xmltree.NewUnranked("r")
+	for i := 0; i < 4096; i++ {
+		root.Children = append(root.Children, xmltree.NewUnranked("a"))
+	}
+	doc := root.Binary()
+	g, _ := treerepair.Compress(doc, treerepair.Options{})
+	baseSize := g.Size()
+
+	// Position 333 of the paper's example: some position deep inside.
+	pos, err := Isolate(g, 665, nil) // preorder 665 in the binary tree
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := doc.Root.PreorderIndex(665)
+	if g.Syms.Name(pos.Node.Label.ID) != doc.Syms.Name(want.Label.ID) {
+		t.Fatalf("wrong node isolated")
+	}
+	// Lemma 1: |iso(G,u)| ≤ 2|G|. The whole grammar after isolation obeys
+	// |G'| ≤ 2|G| as well since only the start rule grew.
+	if g.Size() > 2*baseSize {
+		t.Fatalf("isolation blow-up violates Lemma 1: %d > 2*%d", g.Size(), baseSize)
+	}
+}
+
+func TestIsolateLemma1ManyPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	u := randomUnranked(rng, 300, []string{"a", "b"})
+	doc := u.Binary()
+	base, _ := treerepair.Compress(doc, treerepair.Options{})
+	total := int64(doc.Root.Size())
+	for trial := 0; trial < 40; trial++ {
+		g := base.Clone()
+		p := int64(rng.Intn(int(total)))
+		if _, err := Isolate(g, p, nil); err != nil {
+			t.Fatal(err)
+		}
+		if g.Size() > 2*base.Size() {
+			t.Fatalf("Lemma 1 violated at p=%d: %d > 2*%d", p, g.Size(), base.Size())
+		}
+	}
+}
+
+func TestIsolateOutOfRange(t *testing.T) {
+	doc := xmltree.NewUnranked("r", xmltree.NewUnranked("a")).Binary()
+	g := grammar.FromDocument(doc)
+	if _, err := Isolate(g, -1, nil); err == nil {
+		t.Fatal("negative position must fail")
+	}
+	if _, err := Isolate(g, int64(doc.Root.Size()), nil); err == nil {
+		t.Fatal("position past the end must fail")
+	}
+}
+
+func TestIsolateRootPosition(t *testing.T) {
+	doc := xmltree.NewUnranked("r", xmltree.NewUnranked("a")).Binary()
+	g, _ := treerepair.Compress(doc, treerepair.Options{})
+	pos, err := Isolate(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Parent != nil {
+		t.Fatal("root position must have nil parent")
+	}
+	if g.Syms.Name(pos.Node.Label.ID) != "r" {
+		t.Fatal("root label wrong")
+	}
+}
+
+func TestNonBottomCount(t *testing.T) {
+	u := randomUnranked(rand.New(rand.NewSource(2)), 77, []string{"a"})
+	g, _ := treerepair.Compress(u.Binary(), treerepair.Options{})
+	n, err := NonBottomCount(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 77 {
+		t.Fatalf("NonBottomCount = %d, want 77", n)
+	}
+}
+
+// TestGexpPosition333 replays the paper's Section III-A Gexp example: the
+// grammar generating a^1024 (as a sibling list under a root) is unfolded
+// to make position 333 of the list terminally available. We verify the
+// isolated node is exactly the 333rd list element and the grammar stays
+// within Lemma 1's bound.
+func TestGexpPosition333(t *testing.T) {
+	root := xmltree.NewUnranked("f")
+	for i := 0; i < 1024; i++ {
+		root.Children = append(root.Children, xmltree.NewUnranked("a"))
+	}
+	doc := root.Binary()
+	g, _ := treerepair.Compress(doc, treerepair.Options{})
+	base := g.Size()
+
+	// The k-th list element (1-based) sits at binary preorder 2k-1.
+	const k = 333
+	pos, err := Isolate(g, 2*k-1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Syms.Name(pos.Node.Label.ID) != "a" {
+		t.Fatalf("isolated %q", g.Syms.Name(pos.Node.Label.ID))
+	}
+	want := doc.Root.PreorderIndex(2*k - 1)
+	if doc.Syms.Name(want.Label.ID) != "a" {
+		t.Fatal("reference position wrong")
+	}
+	if g.Size() > 2*base {
+		t.Fatalf("Lemma 1 violated: %d > 2*%d", g.Size(), base)
+	}
+	// Rename it and verify exactly element 333 changed.
+	pos.Node.Label = xmltree.Term(g.Syms.InternElement("c"))
+	tree, err := g.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := (&xmltree.Document{Syms: g.Syms, Root: tree}).ToUnranked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range un.Children {
+		want := "a"
+		if i == k-1 {
+			want = "c"
+		}
+		if c.Label != want {
+			t.Fatalf("element %d is %s, want %s", i+1, c.Label, want)
+		}
+	}
+}

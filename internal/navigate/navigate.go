@@ -1,0 +1,211 @@
+// Package navigate provides navigation and simple queries over
+// grammar-compressed trees WITHOUT decompression — the property that
+// makes SLCF grammars "ideal for in-memory XML processing" (Section I):
+// a DOM-style cursor that walks val_G(S) directly on the grammar, and
+// usage-weighted aggregate queries that run in one pass over the rules.
+package navigate
+
+import (
+	"fmt"
+
+	"repro/internal/grammar"
+	"repro/internal/xmltree"
+)
+
+// frame records one entered nonterminal call: the call node (whose
+// children are the argument subtrees) inside the enclosing rule body.
+type frame struct {
+	call *xmltree.Node
+}
+
+// crumb remembers a downward move so Parent can undo it exactly.
+type crumb struct {
+	node   *xmltree.Node
+	frames []frame // the frame stack before the move (shared backing ok: frames are append-only per path)
+}
+
+// Cursor is a read-only position in val_G(S). All moves cost time
+// proportional to the grammar's rule-nesting depth, never to the tree.
+type Cursor struct {
+	g      *grammar.Grammar
+	node   *xmltree.Node // current node, always a terminal
+	frames []frame       // active call stack, innermost last
+	trail  []crumb       // breadcrumbs for Parent
+}
+
+// NewCursor returns a cursor at the root of val_G(S).
+func NewCursor(g *grammar.Grammar) (*Cursor, error) {
+	c := &Cursor{g: g}
+	n, frames, err := c.normalize(g.StartRule().RHS, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.node = n
+	c.frames = frames
+	return c, nil
+}
+
+// normalize resolves a body position to the terminal it derives: entering
+// nonterminal calls (pushing frames) and exiting through parameters
+// (popping frames and continuing at the bound argument).
+func (c *Cursor) normalize(n *xmltree.Node, frames []frame) (*xmltree.Node, []frame, error) {
+	for {
+		switch n.Label.Kind {
+		case xmltree.Terminal:
+			return n, frames, nil
+		case xmltree.Nonterminal:
+			rule := c.g.Rule(n.Label.ID)
+			if rule == nil {
+				return nil, nil, fmt.Errorf("navigate: missing rule N%d", n.Label.ID)
+			}
+			frames = append(frames, frame{call: n})
+			n = rule.RHS
+		case xmltree.Parameter:
+			if len(frames) == 0 {
+				return nil, nil, fmt.Errorf("navigate: unbound parameter y%d", n.Label.ID)
+			}
+			top := frames[len(frames)-1]
+			frames = frames[:len(frames)-1]
+			n = top.call.Children[n.Label.ID-1]
+		default:
+			return nil, nil, fmt.Errorf("navigate: bad symbol")
+		}
+	}
+}
+
+// Label returns the current node's label name (e.g. the element name, or
+// "⊥" for an empty node).
+func (c *Cursor) Label() string { return c.g.Syms.Name(c.node.Label.ID) }
+
+// IsBottom reports whether the cursor is on a ⊥ leaf.
+func (c *Cursor) IsBottom() bool { return c.node.Label.IsBottom() }
+
+// Rank returns the number of children of the current node.
+func (c *Cursor) Rank() int { return c.g.Syms.Rank(c.node.Label.ID) }
+
+// Depth returns the current depth in val_G(S) (root = 0).
+func (c *Cursor) Depth() int { return len(c.trail) }
+
+// Child moves to the i-th child (0-based) of the current node.
+func (c *Cursor) Child(i int) error {
+	if i < 0 || i >= len(c.node.Children) {
+		return fmt.Errorf("navigate: child %d of rank-%d node", i, len(c.node.Children))
+	}
+	// Save restore-state: frames slices grow append-only along one path,
+	// so copying the slice header with an explicit clone keeps Parent
+	// exact even after pops.
+	saved := make([]frame, len(c.frames))
+	copy(saved, c.frames)
+	n, frames, err := c.normalize(c.node.Children[i], c.frames)
+	if err != nil {
+		return err
+	}
+	c.trail = append(c.trail, crumb{node: c.node, frames: saved})
+	c.node = n
+	c.frames = frames
+	return nil
+}
+
+// FirstChild moves to the first child in the binary encoding.
+func (c *Cursor) FirstChild() error { return c.Child(0) }
+
+// NextSibling moves to the next sibling in the binary encoding.
+func (c *Cursor) NextSibling() error { return c.Child(1) }
+
+// Parent moves back to the parent node. It errors at the root.
+func (c *Cursor) Parent() error {
+	if len(c.trail) == 0 {
+		return fmt.Errorf("navigate: already at the root")
+	}
+	top := c.trail[len(c.trail)-1]
+	c.trail = c.trail[:len(c.trail)-1]
+	c.node = top.node
+	c.frames = top.frames
+	return nil
+}
+
+// Walk runs a preorder traversal of val_G(S) from the cursor's current
+// position, calling visit with (label, depth) for every node, including ⊥
+// leaves. maxNodes > 0 bounds the traversal; it returns the number of
+// nodes visited. The traversal uses the cursor itself and restores its
+// position on return.
+func (c *Cursor) Walk(maxNodes int, visit func(label string, depth int) bool) (int, error) {
+	visited := 0
+	var rec func() (bool, error)
+	rec = func() (bool, error) {
+		if maxNodes > 0 && visited >= maxNodes {
+			return false, nil
+		}
+		visited++
+		if !visit(c.Label(), c.Depth()) {
+			return false, nil
+		}
+		for i := 0; i < len(c.node.Children); i++ {
+			if err := c.Child(i); err != nil {
+				return false, err
+			}
+			cont, err := rec()
+			if perr := c.Parent(); perr != nil {
+				return false, perr
+			}
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	_, err := rec()
+	return visited, err
+}
+
+// CountLabel counts the occurrences of a terminal label in val_G(S)
+// without decompressing: each node labeled l in a rule body corresponds
+// to usage(rule) nodes of the derived tree. This answers "how many
+// <item> elements does the document have" on an exponentially compressed
+// grammar in one pass over the rules.
+func CountLabel(g *grammar.Grammar, label string) (float64, error) {
+	usage, err := g.Usage()
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, id := range g.RuleIDs() {
+		u := usage[id]
+		if u == 0 {
+			continue
+		}
+		cnt := 0
+		g.Rule(id).RHS.Walk(func(n *xmltree.Node) bool {
+			if n.Label.Kind == xmltree.Terminal && !n.Label.IsBottom() &&
+				g.Syms.Name(n.Label.ID) == label {
+				cnt++
+			}
+			return true
+		})
+		total += u * float64(cnt)
+	}
+	return total, nil
+}
+
+// LabelHistogram returns the usage-weighted count of every terminal
+// label in val_G(S) (⊥ excluded) in one pass over the grammar.
+func LabelHistogram(g *grammar.Grammar) (map[string]float64, error) {
+	usage, err := g.Usage()
+	if err != nil {
+		return nil, err
+	}
+	hist := make(map[string]float64)
+	for _, id := range g.RuleIDs() {
+		u := usage[id]
+		if u == 0 {
+			continue
+		}
+		g.Rule(id).RHS.Walk(func(n *xmltree.Node) bool {
+			if n.Label.Kind == xmltree.Terminal && !n.Label.IsBottom() {
+				hist[g.Syms.Name(n.Label.ID)] += u
+			}
+			return true
+		})
+	}
+	return hist, nil
+}

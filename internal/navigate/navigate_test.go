@@ -1,0 +1,220 @@
+package navigate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/treerepair"
+	"repro/internal/xmltree"
+)
+
+func randomUnranked(rng *rand.Rand, n int, labels []string) *xmltree.Unranked {
+	root := &xmltree.Unranked{Label: labels[rng.Intn(len(labels))]}
+	nodes := []*xmltree.Unranked{root}
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(len(nodes))]
+		c := &xmltree.Unranked{Label: labels[rng.Intn(len(labels))]}
+		p.Children = append(p.Children, c)
+		nodes = append(nodes, c)
+	}
+	return root
+}
+
+// TestCursorMatchesTree drives random walks on the cursor and on the
+// plain tree in lockstep.
+func TestCursorMatchesTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		u := randomUnranked(rng, 20+rng.Intn(100), []string{"a", "b", "c"})
+		doc := u.Binary()
+		g, _ := treerepair.Compress(doc, treerepair.Options{})
+		c, err := NewCursor(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := doc.Root
+		var refStack []*xmltree.Node
+		for step := 0; step < 300; step++ {
+			if c.Label() != doc.Syms.Name(ref.Label.ID) {
+				t.Fatalf("label mismatch: %s vs %s", c.Label(), doc.Syms.Name(ref.Label.ID))
+			}
+			if c.IsBottom() != ref.Label.IsBottom() {
+				t.Fatal("IsBottom mismatch")
+			}
+			if c.Depth() != len(refStack) {
+				t.Fatalf("depth %d vs %d", c.Depth(), len(refStack))
+			}
+			// Random move.
+			switch k := rng.Intn(3); {
+			case k < 2 && len(ref.Children) > 0:
+				i := rng.Intn(len(ref.Children))
+				if err := c.Child(i); err != nil {
+					t.Fatal(err)
+				}
+				refStack = append(refStack, ref)
+				ref = ref.Children[i]
+			case len(refStack) > 0:
+				if err := c.Parent(); err != nil {
+					t.Fatal(err)
+				}
+				ref = refStack[len(refStack)-1]
+				refStack = refStack[:len(refStack)-1]
+			}
+		}
+	}
+}
+
+func TestCursorErrors(t *testing.T) {
+	u := xmltree.NewUnranked("r", xmltree.NewUnranked("a"))
+	g, _ := treerepair.Compress(u.Binary(), treerepair.Options{})
+	c, err := NewCursor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Parent(); err == nil {
+		t.Fatal("Parent at root must fail")
+	}
+	if err := c.Child(5); err == nil {
+		t.Fatal("out-of-range child must fail")
+	}
+	// ⊥ leaves have no children.
+	if err := c.FirstChild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FirstChild(); err != nil { // a's first child is ⊥
+		t.Fatal(err)
+	}
+	if !c.IsBottom() || c.Rank() != 0 {
+		t.Fatal("expected ⊥")
+	}
+	if err := c.FirstChild(); err == nil {
+		t.Fatal("child of ⊥ must fail")
+	}
+}
+
+// TestCursorOnExponentialGrammar navigates deep into a 4096-element list:
+// every move is O(grammar depth), no expansion happens.
+func TestCursorOnExponentialGrammar(t *testing.T) {
+	root := xmltree.NewUnranked("r")
+	for i := 0; i < 4096; i++ {
+		root.Children = append(root.Children, xmltree.NewUnranked("a"))
+	}
+	g, _ := treerepair.Compress(root.Binary(), treerepair.Options{})
+	c, err := NewCursor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FirstChild(); err != nil { // first 'a'
+		t.Fatal(err)
+	}
+	// Walk 1000 siblings down the chain and back up.
+	for i := 0; i < 1000; i++ {
+		if err := c.NextSibling(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Label() != "a" {
+			t.Fatalf("sibling %d: label %s", i, c.Label())
+		}
+	}
+	for i := 0; i < 1001; i++ {
+		if err := c.Parent(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Label() != "r" || c.Depth() != 0 {
+		t.Fatalf("did not return to root: %s depth %d", c.Label(), c.Depth())
+	}
+}
+
+func TestWalkVisitsWholeTree(t *testing.T) {
+	u := randomUnranked(rand.New(rand.NewSource(3)), 40, []string{"a", "b"})
+	doc := u.Binary()
+	g, _ := treerepair.Compress(doc, treerepair.Options{})
+	c, _ := NewCursor(g)
+	var labels []string
+	n, err := c.Walk(0, func(label string, depth int) bool {
+		labels = append(labels, label)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != doc.Root.Size() {
+		t.Fatalf("visited %d, want %d", n, doc.Root.Size())
+	}
+	// Preorder of the binary tree.
+	i := 0
+	ok := true
+	doc.Root.Walk(func(v *xmltree.Node) bool {
+		if labels[i] != doc.Syms.Name(v.Label.ID) {
+			ok = false
+		}
+		i++
+		return ok
+	})
+	if !ok {
+		t.Fatal("walk order differs from preorder")
+	}
+	// Cursor must be back at the root.
+	if c.Depth() != 0 || c.Label() != labels[0] {
+		t.Fatal("walk did not restore the cursor")
+	}
+}
+
+func TestWalkBudget(t *testing.T) {
+	u := randomUnranked(rand.New(rand.NewSource(4)), 60, []string{"a"})
+	g, _ := treerepair.Compress(u.Binary(), treerepair.Options{})
+	c, _ := NewCursor(g)
+	n, err := c.Walk(10, func(string, int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("budget ignored: visited %d", n)
+	}
+}
+
+func TestCountLabel(t *testing.T) {
+	root := xmltree.NewUnranked("log")
+	for i := 0; i < 100; i++ {
+		root.Children = append(root.Children, xmltree.NewUnranked("entry",
+			xmltree.NewUnranked("host"), xmltree.NewUnranked("status")))
+	}
+	g, _ := treerepair.Compress(root.Binary(), treerepair.Options{})
+	for label, want := range map[string]float64{"entry": 100, "host": 100, "log": 1, "nope": 0} {
+		got, err := CountLabel(g, label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("CountLabel(%s) = %v, want %v", label, got, want)
+		}
+	}
+}
+
+func TestLabelHistogram(t *testing.T) {
+	u := randomUnranked(rand.New(rand.NewSource(8)), 120, []string{"a", "b", "c"})
+	doc := u.Binary()
+	g, _ := treerepair.Compress(doc, treerepair.Options{})
+	hist, err := LabelHistogram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{}
+	var count func(v *xmltree.Unranked)
+	count = func(v *xmltree.Unranked) {
+		want[v.Label]++
+		for _, c := range v.Children {
+			count(c)
+		}
+	}
+	count(u)
+	for label, w := range want {
+		if hist[label] != float64(w) {
+			t.Fatalf("hist[%s] = %v, want %d", label, hist[label], w)
+		}
+	}
+	if len(hist) != len(want) {
+		t.Fatalf("histogram has %d labels, want %d", len(hist), len(want))
+	}
+}

@@ -1,0 +1,349 @@
+// Package treerepair implements the paper's baseline compressor
+// TreeRePair [3]: RePair compression of a labeled ordered ranked tree into
+// an SLCF tree grammar. Digram occurrences are maintained incrementally
+// (the Larsson–Moffat style bookkeeping the paper refers to), so the whole
+// compression runs in near-linear time.
+//
+// The udc baseline (update–decompress–compress) and Fig. 6's
+// "decompress + compress" series are built on this package.
+package treerepair
+
+import (
+	"repro/internal/digram"
+	"repro/internal/grammar"
+	"repro/internal/xmltree"
+)
+
+// Options configures the compressor.
+type Options struct {
+	// MaxRank is the paper's k_in: digrams whose replacement rule would
+	// need more than MaxRank parameters are never replaced. 0 means the
+	// default of 4.
+	MaxRank int
+}
+
+func (o Options) maxRank() int {
+	if o.MaxRank <= 0 {
+		return 4
+	}
+	return o.MaxRank
+}
+
+// Stats reports what happened during a compression run.
+type Stats struct {
+	Rounds          int   // number of digram replacements
+	InputEdges      int   // edges of the input tree
+	MaxIntermediate int   // max grammar size observed after any round
+	FinalSize       int   // grammar size after pruning
+	PrunedRules     int   // rules removed by the pruning phase
+	Sizes           []int // grammar size after each round (for Fig. 2/3)
+}
+
+// Compress runs TreeRePair on the binary document and returns the
+// resulting grammar (over a cloned symbol table; the document is not
+// modified) together with run statistics.
+func Compress(doc *xmltree.Document, opt Options) (*grammar.Grammar, *Stats) {
+	return CompressTree(doc.Syms, doc.Root, opt)
+}
+
+// CompressTree runs TreeRePair on an arbitrary ranked tree of terminals.
+func CompressTree(st *xmltree.SymbolTable, root *xmltree.Node, opt Options) (*grammar.Grammar, *Stats) {
+	e := newEngine(st.Clone(), root, opt.maxRank())
+	e.buildOccurrences()
+	for {
+		d, _, ok := e.queue.PopBest(e.liveCount)
+		if !ok {
+			break
+		}
+		e.replaceAll(d)
+		e.maybeRebuild()
+	}
+	g := e.toGrammar()
+	e.stats.PrunedRules = g.Prune()
+	e.stats.FinalSize = g.Size()
+	return g, e.stats
+}
+
+// tnode is the mutable tree node used during compression: a plain terminal
+// tree with parent links so occurrences can be replaced in O(1).
+type tnode struct {
+	label    int32
+	parent   *tnode
+	idx      int // index within parent.children
+	children []*tnode
+}
+
+// occSet is an order-preserving set of occurrence parents with O(1)
+// membership, insertion, and deletion (swap-delete keeps iteration
+// deterministic given a deterministic operation sequence).
+type occSet struct {
+	items []*tnode
+	pos   map[*tnode]int
+}
+
+func newOccSet() *occSet { return &occSet{pos: make(map[*tnode]int)} }
+
+func (s *occSet) contains(v *tnode) bool { _, ok := s.pos[v]; return ok }
+
+func (s *occSet) add(v *tnode) bool {
+	if s.contains(v) {
+		return false
+	}
+	s.pos[v] = len(s.items)
+	s.items = append(s.items, v)
+	return true
+}
+
+func (s *occSet) remove(v *tnode) bool {
+	i, ok := s.pos[v]
+	if !ok {
+		return false
+	}
+	last := len(s.items) - 1
+	s.items[i] = s.items[last]
+	s.pos[s.items[i]] = i
+	s.items = s.items[:last]
+	delete(s.pos, v)
+	return true
+}
+
+func (s *occSet) len() int { return len(s.items) }
+
+type madeRule struct {
+	term int32 // the generated terminal standing for X
+	d    digram.Digram
+}
+
+type engine struct {
+	st      *xmltree.SymbolTable
+	root    *tnode
+	maxRank int
+
+	occs  map[digram.Digram]*occSet
+	queue digram.Queue
+	rules []madeRule
+
+	nodeCount int // live nodes in the tree
+	ruleEdges int // Σ edges of created rules
+	churn     int // adds+removes since last full rebuild
+
+	stats *Stats
+}
+
+func newEngine(st *xmltree.SymbolTable, root *xmltree.Node, maxRank int) *engine {
+	e := &engine{
+		st:      st,
+		maxRank: maxRank,
+		occs:    make(map[digram.Digram]*occSet),
+		stats:   &Stats{InputEdges: root.Edges()},
+	}
+	e.root = e.convert(root, nil, 0)
+	e.nodeCount = root.Size()
+	return e
+}
+
+func (e *engine) convert(n *xmltree.Node, parent *tnode, idx int) *tnode {
+	t := &tnode{label: n.Label.ID, parent: parent, idx: idx}
+	if len(n.Children) > 0 {
+		t.children = make([]*tnode, len(n.Children))
+		for i, c := range n.Children {
+			t.children[i] = e.convert(c, t, i)
+		}
+	}
+	return t
+}
+
+func (e *engine) liveCount(d digram.Digram) float64 {
+	if s := e.occs[d]; s != nil {
+		return float64(s.len())
+	}
+	return 0
+}
+
+// tracked reports whether occurrences of d are worth tracking: only
+// digrams whose replacement rule would be appropriate (rank ≤ k_in) can
+// ever be replaced.
+func (e *engine) tracked(d digram.Digram) bool {
+	return d.Rank(e.st) <= e.maxRank
+}
+
+// tryAdd registers the occurrence whose tree parent is v for digram d,
+// enforcing the non-overlap rule for equal-label digrams: the child must
+// not already be a stored parent, and the parent must not already be a
+// stored child (i.e. v sits at child index d.I of a stored parent).
+func (e *engine) tryAdd(v *tnode, d digram.Digram) {
+	if !e.tracked(d) {
+		return
+	}
+	s := e.occs[d]
+	if s == nil {
+		s = newOccSet()
+		e.occs[d] = s
+	}
+	if d.EqualLabels() {
+		w := v.children[d.I-1]
+		if s.contains(w) {
+			return
+		}
+		if v.parent != nil && v.idx == d.I-1 && v.parent.label == d.A && s.contains(v.parent) {
+			return
+		}
+	}
+	if s.add(v) {
+		e.churn++
+		e.queue.Update(d, float64(s.len()))
+	}
+}
+
+func (e *engine) removeOcc(v *tnode, d digram.Digram) {
+	if s := e.occs[d]; s != nil && s.remove(v) {
+		e.churn++
+		e.queue.Update(d, float64(s.len()))
+	}
+}
+
+// buildOccurrences scans the whole tree in postorder (bottom-up greedy,
+// as TreeRePair does) and registers every non-overlapping occurrence.
+func (e *engine) buildOccurrences() {
+	e.occs = make(map[digram.Digram]*occSet)
+	e.queue.Reset()
+	var rec func(v *tnode)
+	rec = func(v *tnode) {
+		for _, c := range v.children {
+			rec(c)
+		}
+		for i, c := range v.children {
+			e.tryAdd(v, digram.Digram{A: v.label, I: i + 1, B: c.label})
+		}
+	}
+	rec(e.root)
+	e.churn = 0
+}
+
+// maybeRebuild re-derives all occurrence sets from scratch once enough
+// incremental churn has accumulated. Incremental adds after deletions can
+// leave equal-label chains slightly below their maximal non-overlapping
+// packing; a periodic rebuild restores exact greedy alignment at amortized
+// linear cost.
+func (e *engine) maybeRebuild() {
+	if e.churn > e.nodeCount {
+		e.buildOccurrences()
+	}
+}
+
+// replaceAll replaces every stored occurrence of d by a fresh generated
+// terminal X and performs the Section IV-C context updates around each
+// replacement site.
+func (e *engine) replaceAll(d digram.Digram) {
+	s := e.occs[d]
+	if s == nil || s.len() < 2 {
+		return
+	}
+	x := e.st.Fresh("X", d.Rank(e.st))
+	e.rules = append(e.rules, madeRule{term: x, d: d})
+	e.ruleEdges += e.st.Rank(d.A) + e.st.Rank(d.B)
+
+	snapshot := append([]*tnode(nil), s.items...)
+	for _, v := range snapshot {
+		if !s.contains(v) {
+			continue
+		}
+		e.replaceOne(v, d, x)
+	}
+	delete(e.occs, d)
+	e.stats.Rounds++
+	size := e.grammarSizeNow()
+	e.stats.Sizes = append(e.stats.Sizes, size)
+	if size > e.stats.MaxIntermediate {
+		e.stats.MaxIntermediate = size
+	}
+}
+
+func (e *engine) grammarSizeNow() int {
+	return (e.nodeCount - 1) + e.ruleEdges
+}
+
+func (e *engine) replaceOne(v *tnode, d digram.Digram, x int32) {
+	w := v.children[d.I-1]
+	// Context removals: every stored occurrence that shares a node with
+	// (v, w) is keyed by p (parent of v), by v, or by w.
+	if p := v.parent; p != nil {
+		e.removeOcc(p, digram.Digram{A: p.label, I: v.idx + 1, B: v.label})
+	}
+	for i, c := range v.children {
+		e.removeOcc(v, digram.Digram{A: v.label, I: i + 1, B: c.label})
+	}
+	for i, c := range w.children {
+		e.removeOcc(w, digram.Digram{A: w.label, I: i + 1, B: c.label})
+	}
+
+	// Structural replacement: X(v.1..v.(i-1), w.1..w.n, v.(i+1)..v.m).
+	nc := make([]*tnode, 0, len(v.children)-1+len(w.children))
+	nc = append(nc, v.children[:d.I-1]...)
+	nc = append(nc, w.children...)
+	nc = append(nc, v.children[d.I:]...)
+	xn := &tnode{label: x, parent: v.parent, idx: v.idx, children: nc}
+	for i, c := range nc {
+		c.parent = xn
+		c.idx = i
+	}
+	if v.parent == nil {
+		e.root = xn
+	} else {
+		v.parent.children[v.idx] = xn
+	}
+	e.nodeCount--
+
+	// Context additions: (p, X) and (X, c) digrams.
+	if p := xn.parent; p != nil {
+		e.tryAdd(p, digram.Digram{A: p.label, I: xn.idx + 1, B: x})
+	}
+	for i, c := range xn.children {
+		e.tryAdd(xn, digram.Digram{A: x, I: i + 1, B: c.label})
+	}
+}
+
+// toGrammar converts the compressed tree plus the generated rules into an
+// SLCF grammar: every generated terminal becomes a nonterminal whose rule
+// body is its digram pattern (with nested generated terminals converted
+// recursively).
+func (e *engine) toGrammar() *grammar.Grammar {
+	g := grammar.New(e.st)
+	ntOf := make(map[int32]int32, len(e.rules))
+	for _, mr := range e.rules {
+		rhs := e.convertPattern(mr.d.PatternRHS(e.st), ntOf)
+		r := g.NewRule(mr.d.Rank(e.st), rhs)
+		ntOf[mr.term] = r.ID
+	}
+	g.StartRule().RHS = e.convertTree(e.root, ntOf)
+	return g
+}
+
+func (e *engine) convertPattern(n *xmltree.Node, ntOf map[int32]int32) *xmltree.Node {
+	if n.Label.Kind == xmltree.Terminal {
+		if nt, ok := ntOf[n.Label.ID]; ok {
+			n.Label = xmltree.Nonterm(nt)
+		}
+	}
+	for _, c := range n.Children {
+		e.convertPattern(c, ntOf)
+	}
+	return n
+}
+
+func (e *engine) convertTree(v *tnode, ntOf map[int32]int32) *xmltree.Node {
+	var lbl xmltree.Symbol
+	if nt, ok := ntOf[v.label]; ok {
+		lbl = xmltree.Nonterm(nt)
+	} else {
+		lbl = xmltree.Term(v.label)
+	}
+	n := xmltree.New(lbl)
+	if len(v.children) > 0 {
+		n.Children = make([]*xmltree.Node, len(v.children))
+		for i, c := range v.children {
+			n.Children[i] = e.convertTree(c, ntOf)
+		}
+	}
+	return n
+}

@@ -1,0 +1,56 @@
+// Package udc implements the paper's baseline for dynamic compressed
+// trees: update–decompress–compress. Updates are applied to the grammar
+// via path isolation exactly as in package update (that part is shared),
+// but instead of recompressing the grammar directly, udc decompresses the
+// grammar to the full tree — which can be exponentially larger — and
+// compresses the tree from scratch with TreeRePair.
+package udc
+
+import (
+	"time"
+
+	"repro/internal/grammar"
+	"repro/internal/treerepair"
+	"repro/internal/xmltree"
+)
+
+// Stats reports the cost split of one udc recompression.
+type Stats struct {
+	TreeNodes      int           // size of the decompressed tree
+	DecompressTime time.Duration // time spent expanding the grammar
+	CompressTime   time.Duration // time spent running TreeRePair
+	Compress       *treerepair.Stats
+}
+
+// Recompress decompresses the grammar to its tree and compresses the tree
+// from scratch. maxNodes guards against exponential expansion (≤ 0 means
+// unguarded).
+func Recompress(g *grammar.Grammar, opt treerepair.Options, maxNodes int) (*grammar.Grammar, *Stats, error) {
+	st := &Stats{}
+	t0 := time.Now()
+	tree, err := g.Expand(maxNodes)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.DecompressTime = time.Since(t0)
+	st.TreeNodes = tree.Size()
+
+	t1 := time.Now()
+	out, cst := treerepair.CompressTree(g.Syms, tree, opt)
+	st.CompressTime = time.Since(t1)
+	st.Compress = cst
+	return out, st, nil
+}
+
+// Decompress expands the grammar to a binary document (bounded).
+func Decompress(g *grammar.Grammar, maxNodes int) (*xmltree.Document, error) {
+	return g.ExpandDocument(maxNodes)
+}
+
+// PeakSpace estimates the peak working-set size of a udc recompression in
+// node counts: the decompressed tree plus the final grammar (the paper's
+// §V-C space comparison uses exactly this notion — udc must materialize
+// the tree, GrammarRePair never does).
+func PeakSpace(st *Stats, finalGrammarNodes int) int {
+	return st.TreeNodes + finalGrammarNodes
+}

@@ -1,0 +1,81 @@
+package udc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grammar"
+	"repro/internal/treerepair"
+	"repro/internal/update"
+	"repro/internal/xmltree"
+)
+
+func randomUnranked(rng *rand.Rand, n int, labels []string) *xmltree.Unranked {
+	root := &xmltree.Unranked{Label: labels[rng.Intn(len(labels))]}
+	nodes := []*xmltree.Unranked{root}
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(len(nodes))]
+		c := &xmltree.Unranked{Label: labels[rng.Intn(len(labels))]}
+		p.Children = append(p.Children, c)
+		nodes = append(nodes, c)
+	}
+	return root
+}
+
+func TestRecompressPreservesVal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	u := randomUnranked(rng, 200, []string{"a", "b", "c"})
+	doc := u.Binary()
+	g, _ := treerepair.Compress(doc, treerepair.Options{})
+	// Degrade the grammar with a few updates, then udc-recompress.
+	ops := []update.Op{
+		{Kind: update.Rename, Pos: 1, Label: "zz"},
+		{Kind: update.Insert, Pos: 3, Frag: xmltree.NewUnranked("w")},
+	}
+	if err := update.ApplyAll(g, ops); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := g.Expand(0)
+
+	out, st, err := Recompress(g, treerepair.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := out.Expand(0)
+	if !xmltree.Equal(got, want) {
+		t.Fatal("udc recompression changed val")
+	}
+	if st.TreeNodes != want.Size() {
+		t.Fatalf("TreeNodes = %d, want %d", st.TreeNodes, want.Size())
+	}
+	if PeakSpace(st, out.NodeCount()) <= st.TreeNodes {
+		t.Fatal("peak space must include the tree")
+	}
+}
+
+func TestRecompressBudgetGuard(t *testing.T) {
+	// An exponentially compressing grammar must trip the expansion guard.
+	root := xmltree.NewUnranked("r")
+	for i := 0; i < 4096; i++ {
+		root.Children = append(root.Children, xmltree.NewUnranked("a"))
+	}
+	g, _ := treerepair.Compress(root.Binary(), treerepair.Options{})
+	_, _, err := Recompress(g, treerepair.Options{}, 100)
+	if !errors.Is(err, grammar.ErrExpandBudget) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+}
+
+func TestDecompress(t *testing.T) {
+	u := randomUnranked(rand.New(rand.NewSource(3)), 50, []string{"a", "b"})
+	doc := u.Binary()
+	g, _ := treerepair.Compress(doc, treerepair.Options{})
+	d, err := Decompress(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(d.Root, doc.Root) {
+		t.Fatal("decompress mismatch")
+	}
+}

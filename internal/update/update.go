@@ -1,0 +1,167 @@
+// Package update implements the three atomic update operations of
+// Section III / V-C on grammar-compressed binary XML trees — rename,
+// insert-before, and delete-subtree — via path isolation, plus reference
+// implementations of the same operations on plain trees (used by the
+// experiments to validate grammar updates against uncompressed ground
+// truth and to replay workloads).
+package update
+
+import (
+	"fmt"
+
+	"repro/internal/grammar"
+	"repro/internal/isolate"
+	"repro/internal/xmltree"
+)
+
+// Op is one atomic update. Pos addresses a node by its preorder index in
+// the binary tree val_G(S) at the time the operation is applied.
+type Op struct {
+	Kind  Kind
+	Pos   int64
+	Label string            // Rename: the new element label
+	Frag  *xmltree.Unranked // Insert: the fragment to insert before Pos
+}
+
+// Kind enumerates the update operations.
+type Kind uint8
+
+const (
+	// Rename relabels the node at Pos (σ ≠ ⊥ and label(u) ≠ ⊥).
+	Rename Kind = iota
+	// Insert inserts Frag as previous sibling of the node at Pos; if Pos
+	// addresses a ⊥ node this is the "insert after the last element /
+	// into an empty child list" case.
+	Insert
+	// Delete removes the subtree rooted at Pos (the element and its
+	// descendants; following siblings splice up).
+	Delete
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Rename:
+		return "rename"
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Apply performs the operation on the grammar via path isolation. Only
+// the start rule is modified (plus garbage collection after deletes).
+func Apply(g *grammar.Grammar, op Op) error {
+	pos, err := isolate.Isolate(g, op.Pos, nil)
+	if err != nil {
+		return err
+	}
+	switch op.Kind {
+	case Rename:
+		if pos.Node.Label.IsBottom() {
+			return fmt.Errorf("update: rename of ⊥ node at %d", op.Pos)
+		}
+		id := g.Syms.InternElement(op.Label)
+		pos.Node.Label = xmltree.Term(id)
+	case Insert:
+		if op.Frag == nil {
+			return fmt.Errorf("update: insert without fragment")
+		}
+		// insert(t,u,s): the fragment's right-most ⊥ becomes the subtree
+		// currently rooted at u (for u = ⊥ this degenerates to t[u/s]).
+		sub := op.Frag.BinaryInto(g.Syms, pos.Node)
+		pos.Replace(g, sub)
+	case Delete:
+		if pos.Node.Label.IsBottom() {
+			return fmt.Errorf("update: delete of ⊥ node at %d", op.Pos)
+		}
+		// t[u / u.2]: drop the element and its first-child subtree, keep
+		// the next-sibling chain.
+		pos.Replace(g, pos.Node.Children[1])
+		g.GarbageCollect()
+	default:
+		return fmt.Errorf("update: unknown op kind %v", op.Kind)
+	}
+	return nil
+}
+
+// ApplyAll applies a sequence of operations in order.
+func ApplyAll(g *grammar.Grammar, ops []Op) error {
+	for i, op := range ops {
+		if err := Apply(g, op); err != nil {
+			return fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ApplyTree performs the same operation on a plain binary tree (the
+// uncompressed reference semantics). It returns the possibly-new root.
+func ApplyTree(st *xmltree.SymbolTable, root *xmltree.Node, op Op) (*xmltree.Node, error) {
+	node, parent, idx, err := findPreorder(root, op.Pos)
+	if err != nil {
+		return nil, err
+	}
+	splice := func(sub *xmltree.Node) {
+		if parent == nil {
+			root = sub
+		} else {
+			parent.Children[idx] = sub
+		}
+	}
+	switch op.Kind {
+	case Rename:
+		if node.Label.IsBottom() {
+			return nil, fmt.Errorf("update: rename of ⊥ node at %d", op.Pos)
+		}
+		node.Label = xmltree.Term(st.InternElement(op.Label))
+	case Insert:
+		if op.Frag == nil {
+			return nil, fmt.Errorf("update: insert without fragment")
+		}
+		splice(op.Frag.BinaryInto(st, node))
+	case Delete:
+		if node.Label.IsBottom() {
+			return nil, fmt.Errorf("update: delete of ⊥ node at %d", op.Pos)
+		}
+		splice(node.Children[1])
+	default:
+		return nil, fmt.Errorf("update: unknown op kind %v", op.Kind)
+	}
+	return root, nil
+}
+
+// ApplyTreeAll applies a sequence of operations to a plain tree.
+func ApplyTreeAll(st *xmltree.SymbolTable, root *xmltree.Node, ops []Op) (*xmltree.Node, error) {
+	var err error
+	for i, op := range ops {
+		root, err = ApplyTree(st, root, op)
+		if err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	return root, nil
+}
+
+func findPreorder(root *xmltree.Node, pos int64) (node, parent *xmltree.Node, idx int, err error) {
+	var i int64
+	var rec func(n, p *xmltree.Node, ix int) bool
+	rec = func(n, p *xmltree.Node, ix int) bool {
+		if i == pos {
+			node, parent, idx = n, p, ix
+			return true
+		}
+		i++
+		for j, c := range n.Children {
+			if rec(c, n, j) {
+				return true
+			}
+		}
+		return false
+	}
+	if !rec(root, nil, -1) {
+		return nil, nil, 0, fmt.Errorf("update: preorder %d out of range", pos)
+	}
+	return node, parent, idx, nil
+}

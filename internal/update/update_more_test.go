@@ -1,0 +1,84 @@
+package update
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/treerepair"
+	"repro/internal/xmltree"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Rename: "rename", Insert: "insert", Delete: "delete", Kind(9): "Kind(9)"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}
+
+func TestApplyTreeErrors(t *testing.T) {
+	u := xmltree.NewUnranked("r", xmltree.NewUnranked("a"))
+	doc := u.Binary()
+	if _, err := ApplyTree(doc.Syms, doc.Root, Op{Kind: Rename, Pos: 99, Label: "x"}); err == nil {
+		t.Fatal("out of range must fail")
+	}
+	if _, err := ApplyTree(doc.Syms, doc.Root, Op{Kind: Rename, Pos: 2, Label: "x"}); err == nil {
+		t.Fatal("rename ⊥ must fail")
+	}
+	if _, err := ApplyTree(doc.Syms, doc.Root, Op{Kind: Delete, Pos: 2}); err == nil {
+		t.Fatal("delete ⊥ must fail")
+	}
+	if _, err := ApplyTree(doc.Syms, doc.Root, Op{Kind: Insert, Pos: 0}); err == nil {
+		t.Fatal("insert without frag must fail")
+	}
+	if _, err := ApplyTree(doc.Syms, doc.Root, Op{Kind: Kind(7), Pos: 0}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	g, _ := treerepair.Compress(doc, treerepair.Options{})
+	if err := Apply(g, Op{Kind: Kind(7), Pos: 0}); err == nil {
+		t.Fatal("unknown kind must fail on grammars too")
+	}
+}
+
+func TestApplyTreeAllErrorPosition(t *testing.T) {
+	u := xmltree.NewUnranked("r", xmltree.NewUnranked("a"))
+	doc := u.Binary()
+	ops := []Op{
+		{Kind: Rename, Pos: 1, Label: "b"},
+		{Kind: Delete, Pos: 99},
+	}
+	_, err := ApplyTreeAll(doc.Syms, doc.Root, ops)
+	if err == nil || !strings.Contains(err.Error(), "op 1") {
+		t.Fatalf("error must name the failing op: %v", err)
+	}
+}
+
+// TestDeleteRoot deletes the document root: legal on the binary tree
+// (replaced by its next-sibling ⊥) and on the grammar.
+func TestDeleteRootLeavesBottom(t *testing.T) {
+	u := xmltree.NewUnranked("r", xmltree.NewUnranked("a"))
+	doc := u.Binary()
+	root, err := ApplyTree(doc.Syms, doc.Root.Copy(), Op{Kind: Delete, Pos: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.Label.IsBottom() {
+		t.Fatalf("deleting the root must leave ⊥, got %v", root.Label)
+	}
+}
+
+// TestInsertGrowsByFragment checks element accounting after inserts.
+func TestInsertGrowsByFragment(t *testing.T) {
+	u := xmltree.NewUnranked("r", xmltree.NewUnranked("a"), xmltree.NewUnranked("b"))
+	doc := u.Binary()
+	g, _ := treerepair.Compress(doc, treerepair.Options{})
+	frag := xmltree.NewUnranked("x", xmltree.NewUnranked("y"), xmltree.NewUnranked("z"))
+	if err := Apply(g, Op{Kind: Insert, Pos: 1, Frag: frag}); err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := g.Expand(0)
+	if got, want := tree.Size(), doc.Root.Size()+2*frag.Nodes(); got != want {
+		t.Fatalf("size after insert = %d, want %d", got, want)
+	}
+}

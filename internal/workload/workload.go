@@ -1,0 +1,159 @@
+// Package workload generates the update workloads of the paper's dynamic
+// experiments (Section V-C): insert/delete sequences produced with the
+// inverse-operation seeding technique, and random-rename workloads.
+//
+// Inverse seeding ("a well-known technique for approximating realistic
+// update workloads"): starting from the final document — the corpus
+// itself — inverse operations are applied backwards until a seed document
+// is reached. Replaying the recorded forward operations transforms the
+// seed back into the corpus, so every inserted fragment is a genuine
+// piece of the document and every intermediate state is realistic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/update"
+	"repro/internal/xmltree"
+)
+
+// Sequence is a generated workload: apply Ops (in order) to the Seed
+// document and you obtain the Final document.
+type Sequence struct {
+	Seed  *xmltree.Document
+	Final *xmltree.Document
+	Ops   []update.Op
+}
+
+// maxFragmentElements caps the size of a single inserted fragment so one
+// operation cannot move a large fraction of the document.
+const maxFragmentElements = 24
+
+// Updates builds a Sequence of n operations with the given insert
+// percentage (the paper uses 90) against the final document.
+func Updates(final *xmltree.Unranked, n int, insertPct int, seed int64) (*Sequence, error) {
+	rng := rand.New(rand.NewSource(seed))
+	finalDoc := final.Binary()
+	st := finalDoc.Syms
+	cur := finalDoc.Root.Copy()
+
+	ops := make([]update.Op, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(100) < insertPct {
+			op, next, ok := invertInsert(st, cur, rng)
+			if !ok {
+				// Document too small to remove anything; fall back to a
+				// forward delete (inverted below) to grow it again.
+				op, next = invertDelete(st, cur, rng)
+			}
+			ops = append(ops, op)
+			cur = next
+		} else {
+			op, next := invertDelete(st, cur, rng)
+			ops = append(ops, op)
+			cur = next
+		}
+	}
+	// ops were recorded last-to-first.
+	for i, j := 0, len(ops)-1; i < j; i, j = i+1, j-1 {
+		ops[i], ops[j] = ops[j], ops[i]
+	}
+	return &Sequence{
+		Seed:  &xmltree.Document{Syms: st, Root: cur},
+		Final: finalDoc,
+		Ops:   ops,
+	}, nil
+}
+
+// invertInsert derives a forward INSERT operation by removing a small
+// element subtree from the current (later) state: the removed element is
+// exactly what the forward operation inserts.
+func invertInsert(st *xmltree.SymbolTable, cur *xmltree.Node, rng *rand.Rand) (update.Op, *xmltree.Node, bool) {
+	positions := elementPositions(cur)
+	if len(positions) <= 1 {
+		return update.Op{}, cur, false
+	}
+	// Try to find a small removable element (never the document root).
+	for attempt := 0; attempt < 32; attempt++ {
+		p := positions[1+rng.Intn(len(positions)-1)]
+		node := cur.PreorderIndex(int(p))
+		frag, err := xmltree.DecodeElement(st, node)
+		if err != nil || frag.Nodes() > maxFragmentElements {
+			continue
+		}
+		op := update.Op{Kind: update.Insert, Pos: p, Frag: frag}
+		next, err := update.ApplyTree(st, cur, update.Op{Kind: update.Delete, Pos: p})
+		if err != nil {
+			continue
+		}
+		return op, next, true
+	}
+	return update.Op{}, cur, false
+}
+
+// invertDelete derives a forward DELETE operation by inserting a copy of
+// a random small document fragment into the current state: the forward
+// delete removes exactly that fragment.
+func invertDelete(st *xmltree.SymbolTable, cur *xmltree.Node, rng *rand.Rand) (update.Op, *xmltree.Node) {
+	positions := elementPositions(cur)
+	var frag *xmltree.Unranked
+	for attempt := 0; ; attempt++ {
+		p := positions[rng.Intn(len(positions))]
+		node := cur.PreorderIndex(int(p))
+		f, err := xmltree.DecodeElement(st, node)
+		if err == nil && (f.Nodes() <= maxFragmentElements || attempt > 32) {
+			frag = f
+			if frag.Nodes() > maxFragmentElements {
+				frag.Children = nil // degrade to a single element
+			}
+			break
+		}
+	}
+	// Insert before a random position (possibly a ⊥, i.e. an append),
+	// but never before the document root at preorder 0.
+	p := int64(1 + rng.Intn(cur.Size()-1))
+	next, err := update.ApplyTree(st, cur, update.Op{Kind: update.Insert, Pos: p, Frag: frag})
+	if err != nil {
+		// Cannot happen: insert is defined at every node.
+		panic(fmt.Sprintf("workload: backward insert failed: %v", err))
+	}
+	return update.Op{Kind: update.Delete, Pos: p}, next
+}
+
+// elementPositions lists the preorder indices of all non-⊥ nodes.
+func elementPositions(root *xmltree.Node) []int64 {
+	var out []int64
+	var i int64
+	root.Walk(func(n *xmltree.Node) bool {
+		if !n.Label.IsBottom() {
+			out = append(out, i)
+		}
+		i++
+		return true
+	})
+	return out
+}
+
+// Renames builds the Fig. 6 workload: n renames of distinct random
+// element nodes to fresh labels not used in the document. Renames do not
+// move preorder positions, so all operations address the original tree.
+func Renames(doc *xmltree.Document, n int, seed int64) []update.Op {
+	rng := rand.New(rand.NewSource(seed))
+	positions := elementPositions(doc.Root)
+	rng.Shuffle(len(positions), func(i, j int) {
+		positions[i], positions[j] = positions[j], positions[i]
+	})
+	if n > len(positions) {
+		n = len(positions)
+	}
+	ops := make([]update.Op, n)
+	for i := 0; i < n; i++ {
+		ops[i] = update.Op{
+			Kind:  update.Rename,
+			Pos:   positions[i],
+			Label: fmt.Sprintf("fresh%d", i),
+		}
+	}
+	return ops
+}

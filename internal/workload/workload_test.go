@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/treerepair"
+	"repro/internal/update"
+	"repro/internal/xmltree"
+)
+
+func randomUnranked(rng *rand.Rand, n int, labels []string) *xmltree.Unranked {
+	root := &xmltree.Unranked{Label: labels[rng.Intn(len(labels))]}
+	nodes := []*xmltree.Unranked{root}
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(len(nodes))]
+		c := &xmltree.Unranked{Label: labels[rng.Intn(len(labels))]}
+		p.Children = append(p.Children, c)
+		nodes = append(nodes, c)
+	}
+	return root
+}
+
+// TestUpdatesReplayToFinal is the defining property of inverse seeding:
+// applying the forward ops to the seed yields the final document.
+func TestUpdatesReplayToFinal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		final := randomUnranked(rng, 60+rng.Intn(100), []string{"a", "b", "c"})
+		seq, err := Updates(final, 40, 90, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := update.ApplyTreeAll(seq.Seed.Syms, seq.Seed.Root.Copy(), seq.Ops)
+		if err != nil {
+			t.Fatalf("replay failed: %v", err)
+		}
+		if !xmltree.Equal(got, seq.Final.Root) {
+			t.Fatal("replaying the ops on the seed does not give the final document")
+		}
+	}
+}
+
+// TestUpdatesReplayOnGrammar replays the same workload through the
+// compressed grammar and checks it converges to the final document too.
+func TestUpdatesReplayOnGrammar(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	final := randomUnranked(rng, 120, []string{"a", "b", "c"})
+	seq, err := Updates(final, 60, 90, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := treerepair.Compress(seq.Seed, treerepair.Options{})
+	if err := update.ApplyAll(g, seq.Ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(got, seq.Final.Root) {
+		t.Fatal("grammar replay does not converge to the final document")
+	}
+}
+
+func TestUpdatesInsertDeleteMix(t *testing.T) {
+	final := datasets.Corpora()[0].Generate(0.02, 3) // EXI-Weblog small
+	seq, err := Updates(final, 200, 90, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, del := 0, 0
+	for _, op := range seq.Ops {
+		switch op.Kind {
+		case update.Insert:
+			ins++
+		case update.Delete:
+			del++
+		default:
+			t.Fatalf("unexpected op kind %v", op.Kind)
+		}
+	}
+	if ins+del != 200 {
+		t.Fatalf("got %d ops", ins+del)
+	}
+	if ins < 150 || del > 50 {
+		t.Fatalf("mix off: %d inserts / %d deletes (want ≈ 90/10)", ins, del)
+	}
+	// The seed must be smaller than the final document (mostly inserts).
+	if seq.Seed.Root.Size() >= seq.Final.Root.Size() {
+		t.Fatalf("seed (%d) should be smaller than final (%d)",
+			seq.Seed.Root.Size(), seq.Final.Root.Size())
+	}
+}
+
+func TestUpdatesDeterministic(t *testing.T) {
+	final := randomUnranked(rand.New(rand.NewSource(1)), 80, []string{"a", "b"})
+	s1, _ := Updates(final, 30, 90, 42)
+	s2, _ := Updates(final, 30, 90, 42)
+	if len(s1.Ops) != len(s2.Ops) {
+		t.Fatal("not deterministic")
+	}
+	for i := range s1.Ops {
+		if s1.Ops[i].Kind != s2.Ops[i].Kind || s1.Ops[i].Pos != s2.Ops[i].Pos {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+	if !xmltree.Equal(s1.Seed.Root, s2.Seed.Root) {
+		t.Fatal("seeds differ")
+	}
+}
+
+func TestRenames(t *testing.T) {
+	u := randomUnranked(rand.New(rand.NewSource(2)), 100, []string{"a", "b"})
+	doc := u.Binary()
+	ops := Renames(doc, 30, 9)
+	if len(ops) != 30 {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	seen := map[int64]bool{}
+	for _, op := range ops {
+		if op.Kind != update.Rename {
+			t.Fatal("non-rename op")
+		}
+		if seen[op.Pos] {
+			t.Fatal("duplicate rename position")
+		}
+		seen[op.Pos] = true
+		if doc.Root.PreorderIndex(int(op.Pos)).Label.IsBottom() {
+			t.Fatal("rename addresses a ⊥ node")
+		}
+	}
+	// Fresh labels: applying to the grammar must succeed and produce
+	// labels not present before.
+	g, _ := treerepair.Compress(doc, treerepair.Options{})
+	if err := update.ApplyAll(g, ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenamesCappedAtElementCount(t *testing.T) {
+	u := xmltree.NewUnranked("r", xmltree.NewUnranked("a"))
+	ops := Renames(u.Binary(), 100, 1)
+	if len(ops) != 2 {
+		t.Fatalf("got %d ops, want 2 (only 2 elements)", len(ops))
+	}
+}

@@ -1,0 +1,63 @@
+package xmltree
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDecodeElement(t *testing.T) {
+	u := NewUnranked("r",
+		NewUnranked("a", NewUnranked("x"), NewUnranked("y")),
+		NewUnranked("b"))
+	doc := u.Binary()
+	// Preorder 1 is the a element; decoding it must ignore sibling b.
+	a := doc.Root.PreorderIndex(1)
+	got, err := DecodeElement(doc.Syms, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewUnranked("a", NewUnranked("x"), NewUnranked("y"))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDecodeElementErrors(t *testing.T) {
+	u := NewUnranked("r")
+	doc := u.Binary()
+	bottom := doc.Root.Children[0]
+	if _, err := DecodeElement(doc.Syms, bottom); err == nil {
+		t.Fatal("decoding ⊥ must fail")
+	}
+}
+
+func TestToUnrankedErrors(t *testing.T) {
+	st := NewSymbolTable()
+	// ⊥ root.
+	d := &Document{Syms: st, Root: NewBottom()}
+	if _, err := d.ToUnranked(); err == nil {
+		t.Fatal("⊥ root must fail")
+	}
+	// Root with a non-⊥ next-sibling (two roots).
+	a := st.InternElement("a")
+	d = &Document{Syms: st, Root: New(Term(a), NewBottom(), New(Term(a), NewBottom(), NewBottom()))}
+	if _, err := d.ToUnranked(); err == nil {
+		t.Fatal("multi-root must fail")
+	}
+}
+
+func TestValidateBinaryErrors(t *testing.T) {
+	st := NewSymbolTable()
+	a := st.InternElement("a")
+	cases := []*Node{
+		New(Nonterm(1)),                                 // nonterminal in a document
+		New(Term(a), NewBottom()),                       // wrong arity
+		{Label: Bottom, Children: []*Node{NewBottom()}}, // ⊥ with children
+	}
+	for i, root := range cases {
+		d := &Document{Syms: st, Root: root}
+		if err := d.ValidateBinary(); err == nil {
+			t.Fatalf("case %d must fail", i)
+		}
+	}
+}

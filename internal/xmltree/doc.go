@@ -1,0 +1,166 @@
+package xmltree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Document bundles a binary-encoded XML structure tree with the symbol
+// table that resolves its labels. The tree follows the paper's convention
+// (Fig. 1): every element label has rank 2 (first-child, next-sibling) and
+// missing children are explicit ⊥ leaves. The virtual document root is the
+// first element itself; its next-sibling slot is ⊥.
+type Document struct {
+	Syms *SymbolTable
+	Root *Node
+}
+
+// Unranked is a plain unranked ordered tree, the natural shape of an XML
+// element structure. It is the interchange form between XML text, the
+// binary encoding, and the synthetic dataset generators.
+type Unranked struct {
+	Label    string
+	Children []*Unranked
+}
+
+// NewUnranked builds an unranked node.
+func NewUnranked(label string, children ...*Unranked) *Unranked {
+	return &Unranked{Label: label, Children: children}
+}
+
+// Edges returns the edge count of the unranked tree (#element nodes − 1),
+// the measure Table III calls "#edges".
+func (u *Unranked) Edges() int { return u.Nodes() - 1 }
+
+// Nodes returns the number of element nodes in the unranked tree.
+func (u *Unranked) Nodes() int {
+	if u == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range u.Children {
+		n += c.Nodes()
+	}
+	return n
+}
+
+// Depth returns the depth of the unranked tree (root = depth 0, as the
+// paper reports depth 2 for a root with record children with fields).
+func (u *Unranked) Depth() int {
+	if u == nil {
+		return -1
+	}
+	d := 0
+	for _, c := range u.Children {
+		if cd := c.Depth() + 1; cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// Binary converts the unranked tree into its binary first-child/next-sibling
+// encoding, interning labels into a fresh symbol table.
+func (u *Unranked) Binary() *Document {
+	st := NewSymbolTable()
+	root := encodeBinary(u, st, NewBottom())
+	return &Document{Syms: st, Root: root}
+}
+
+// BinaryInto converts the unranked tree using an existing symbol table and
+// returns the binary root; the next-sibling slot of the root is sibling.
+// Fragments inserted into an existing document use the document's table.
+func (u *Unranked) BinaryInto(st *SymbolTable, sibling *Node) *Node {
+	return encodeBinary(u, st, sibling)
+}
+
+func encodeBinary(u *Unranked, st *SymbolTable, sibling *Node) *Node {
+	id := st.InternElement(u.Label)
+	firstChild := NewBottom()
+	// Build the child list right-to-left so each child links to the next.
+	for i := len(u.Children) - 1; i >= 0; i-- {
+		firstChild = encodeBinary(u.Children[i], st, firstChild)
+	}
+	return New(Term(id), firstChild, sibling)
+}
+
+// ErrNotBinaryXML reports a binary tree that is not a valid encoding of an
+// XML structure (wrong ranks or a ⊥ root).
+var ErrNotBinaryXML = errors.New("xmltree: not a binary XML encoding")
+
+// ToUnranked decodes the binary document back to the unranked form.
+func (d *Document) ToUnranked() (*Unranked, error) {
+	if d.Root == nil || d.Root.Label.IsBottom() {
+		return nil, ErrNotBinaryXML
+	}
+	list, err := decodeSiblings(d.Root, d.Syms)
+	if err != nil {
+		return nil, err
+	}
+	if len(list) != 1 {
+		return nil, fmt.Errorf("%w: root has %d siblings", ErrNotBinaryXML, len(list))
+	}
+	return list[0], nil
+}
+
+func decodeSiblings(n *Node, st *SymbolTable) ([]*Unranked, error) {
+	var out []*Unranked
+	for !n.Label.IsBottom() {
+		if n.Label.Kind != Terminal || len(n.Children) != 2 {
+			return nil, fmt.Errorf("%w: node %v", ErrNotBinaryXML, n.Label)
+		}
+		kids, err := decodeSiblings(n.Children[0], st)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Unranked{Label: st.Name(n.Label.ID), Children: kids})
+		n = n.Children[1]
+	}
+	return out, nil
+}
+
+// DecodeElement decodes the single element rooted at the binary node n
+// (label and descendant structure), ignoring n's next-sibling chain.
+func DecodeElement(st *SymbolTable, n *Node) (*Unranked, error) {
+	if n.Label.IsBottom() || n.Label.Kind != Terminal {
+		return nil, ErrNotBinaryXML
+	}
+	kids, err := decodeSiblings(n.Children[0], st)
+	if err != nil {
+		return nil, err
+	}
+	return &Unranked{Label: st.Name(n.Label.ID), Children: kids}, nil
+}
+
+// BinaryEdges returns the edge count of the underlying unranked document,
+// computed on the binary tree without decoding: every non-⊥ terminal is an
+// element node.
+func (d *Document) BinaryEdges() int {
+	elems := 0
+	d.Root.Walk(func(v *Node) bool {
+		if v.Label.Kind == Terminal && !v.Label.IsBottom() {
+			elems++
+		}
+		return true
+	})
+	return elems - 1
+}
+
+// ValidateBinary checks that the tree is a well-formed binary encoding:
+// every non-⊥ terminal has exactly two children, ⊥ has none, and no
+// nonterminals or parameters occur.
+func (d *Document) ValidateBinary() error {
+	var err error
+	d.Root.Walk(func(v *Node) bool {
+		switch {
+		case v.Label.Kind != Terminal:
+			err = fmt.Errorf("%w: non-terminal %v in document", ErrNotBinaryXML, v.Label)
+		case v.Label.IsBottom() && len(v.Children) != 0:
+			err = fmt.Errorf("%w: ⊥ with children", ErrNotBinaryXML)
+		case !v.Label.IsBottom() && len(v.Children) != 2:
+			err = fmt.Errorf("%w: element with %d children", ErrNotBinaryXML, len(v.Children))
+		}
+		return err == nil
+	})
+	return err
+}

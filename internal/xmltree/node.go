@@ -1,0 +1,216 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a node of a ranked labeled ordered tree. Grammar right-hand
+// sides use the same type: labels may be terminals, nonterminals, or
+// parameters. A terminal node must have exactly rank(label) children;
+// a parameter node has none; a nonterminal node of rank k has k argument
+// subtrees.
+type Node struct {
+	Label    Symbol
+	Children []*Node
+}
+
+// New returns a node with the given label and children.
+func New(label Symbol, children ...*Node) *Node {
+	return &Node{Label: label, Children: children}
+}
+
+// NewBottom returns a fresh ⊥ leaf.
+func NewBottom() *Node { return &Node{Label: Bottom} }
+
+// Copy returns a deep copy of the subtree rooted at n.
+func (n *Node) Copy() *Node {
+	if n == nil {
+		return nil
+	}
+	cp := &Node{Label: n.Label}
+	if len(n.Children) > 0 {
+		cp.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			cp.Children[i] = c.Copy()
+		}
+	}
+	return cp
+}
+
+// CopyMapped deep-copies the subtree and records the mapping from original
+// nodes to their copies in m (which must be non-nil). Used when rule
+// versions need to re-locate digram occurrence generators inside the copy.
+func (n *Node) CopyMapped(m map[*Node]*Node) *Node {
+	if n == nil {
+		return nil
+	}
+	cp := &Node{Label: n.Label}
+	m[n] = cp
+	if len(n.Children) > 0 {
+		cp.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			cp.Children[i] = c.CopyMapped(m)
+		}
+	}
+	return cp
+}
+
+// Size returns the number of nodes in the subtree rooted at n
+// (terminals including ⊥, nonterminals, and parameters all count).
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// Edges returns Size()-1, the edge count of the subtree (the paper's size
+// measure for right-hand sides).
+func (n *Node) Edges() int {
+	if n == nil {
+		return 0
+	}
+	return n.Size() - 1
+}
+
+// Walk visits every node of the subtree in preorder. If f returns false
+// the children of the current node are skipped.
+func (n *Node) Walk(f func(*Node) bool) {
+	if n == nil {
+		return
+	}
+	if !f(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(f)
+	}
+}
+
+// WalkParent visits every node in preorder together with its parent
+// (nil for the root) and its child index within the parent.
+func (n *Node) WalkParent(f func(node, parent *Node, idx int) bool) {
+	var rec func(node, parent *Node, idx int)
+	rec = func(node, parent *Node, idx int) {
+		if !f(node, parent, idx) {
+			return
+		}
+		for i, c := range node.Children {
+			rec(c, node, i)
+		}
+	}
+	if n != nil {
+		rec(n, nil, -1)
+	}
+}
+
+// Equal reports whether the two subtrees are structurally identical.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Label != b.Label || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// PreorderIndex returns the node at the given preorder index (0-based) of
+// the subtree rooted at n, or nil if the index is out of range.
+func (n *Node) PreorderIndex(idx int) *Node {
+	var found *Node
+	i := 0
+	n.Walk(func(v *Node) bool {
+		if found != nil {
+			return false
+		}
+		if i == idx {
+			found = v
+			return false
+		}
+		i++
+		return true
+	})
+	return found
+}
+
+// CountLabel returns the number of nodes in the subtree whose label is sym.
+func (n *Node) CountLabel(sym Symbol) int {
+	c := 0
+	n.Walk(func(v *Node) bool {
+		if v.Label == sym {
+			c++
+		}
+		return true
+	})
+	return c
+}
+
+// MaxParam returns the largest parameter index appearing in the subtree
+// (0 if there are no parameters).
+func (n *Node) MaxParam() int {
+	m := 0
+	n.Walk(func(v *Node) bool {
+		if v.Label.Kind == Parameter && int(v.Label.ID) > m {
+			m = int(v.Label.ID)
+		}
+		return true
+	})
+	return m
+}
+
+// String renders the subtree in the paper's term notation, e.g.
+// "a(y1, a(⊥, y2))". Terminal names are not available without a symbol
+// table, so terminals print as t<ID> (and ⊥ as ⊥); use Format for names.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.format(&b, nil)
+	return b.String()
+}
+
+// Format renders the subtree with terminal names resolved via st.
+func (n *Node) Format(st *SymbolTable) string {
+	var b strings.Builder
+	n.format(&b, st)
+	return b.String()
+}
+
+func (n *Node) format(b *strings.Builder, st *SymbolTable) {
+	switch n.Label.Kind {
+	case Terminal:
+		if n.Label.IsBottom() {
+			b.WriteString("⊥")
+			return
+		}
+		if st != nil {
+			b.WriteString(st.Name(n.Label.ID))
+		} else {
+			fmt.Fprintf(b, "t%d", n.Label.ID)
+		}
+	case Nonterminal:
+		fmt.Fprintf(b, "N%d", n.Label.ID)
+	case Parameter:
+		fmt.Fprintf(b, "y%d", n.Label.ID)
+	}
+	if len(n.Children) == 0 {
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		c.format(b, st)
+	}
+	b.WriteByte(')')
+}

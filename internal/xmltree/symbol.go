@@ -1,0 +1,132 @@
+// Package xmltree provides the tree substrate of the reproduction:
+// ranked labeled ordered trees with formal parameters (Section II of the
+// paper), the binary first-child/next-sibling encoding of XML documents,
+// and structure-only XML parsing and serialization.
+package xmltree
+
+import "fmt"
+
+// SymKind distinguishes the three symbol classes of the formal model:
+// ranked terminals (F), ranked nonterminals (N), and formal parameters (Y).
+type SymKind uint8
+
+const (
+	// Terminal symbols carry document labels; their rank is fixed by the
+	// SymbolTable. The empty node ⊥ is the distinguished terminal BottomID.
+	Terminal SymKind = iota
+	// Nonterminal symbols name grammar rules; their rank is the number of
+	// formal parameters of the rule.
+	Nonterminal
+	// Parameter symbols y1, y2, ... have rank 0 and ID = parameter index
+	// (1-based, matching the paper's y_i notation).
+	Parameter
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case Terminal:
+		return "terminal"
+	case Nonterminal:
+		return "nonterminal"
+	case Parameter:
+		return "parameter"
+	}
+	return fmt.Sprintf("SymKind(%d)", uint8(k))
+}
+
+// Symbol identifies a terminal, nonterminal, or parameter. Symbols are
+// value types and compare with ==.
+type Symbol struct {
+	Kind SymKind
+	ID   int32
+}
+
+// BottomID is the terminal ID reserved for the empty node ⊥ that stands
+// for a non-existing first-child or next-sibling in the binary encoding.
+const BottomID int32 = 0
+
+// Bottom is the ⊥ terminal symbol.
+var Bottom = Symbol{Kind: Terminal, ID: BottomID}
+
+// Param returns the parameter symbol y_i (1-based).
+func Param(i int) Symbol { return Symbol{Kind: Parameter, ID: int32(i)} }
+
+// Term returns the terminal symbol with the given table ID.
+func Term(id int32) Symbol { return Symbol{Kind: Terminal, ID: id} }
+
+// Nonterm returns the nonterminal symbol with the given ID.
+func Nonterm(id int32) Symbol { return Symbol{Kind: Nonterminal, ID: id} }
+
+// IsBottom reports whether s is the ⊥ terminal.
+func (s Symbol) IsBottom() bool { return s.Kind == Terminal && s.ID == BottomID }
+
+// SymbolTable interns terminal names and records terminal ranks.
+// ID 0 is always ⊥ with rank 0 and name "⊥". XML element labels are
+// registered with rank 2 (first-child, next-sibling). Digram replacement
+// introduces fresh terminals with arbitrary ranks.
+type SymbolTable struct {
+	names []string
+	ranks []int
+	byKey map[string]int32
+}
+
+// NewSymbolTable returns a table containing only ⊥.
+func NewSymbolTable() *SymbolTable {
+	st := &SymbolTable{byKey: make(map[string]int32)}
+	st.names = append(st.names, "⊥")
+	st.ranks = append(st.ranks, 0)
+	st.byKey["⊥"] = BottomID
+	return st
+}
+
+// Intern returns the ID of the terminal with the given name and rank,
+// creating it if necessary. Two terminals with the same name but different
+// ranks are distinct symbols.
+func (st *SymbolTable) Intern(name string, rank int) int32 {
+	key := fmt.Sprintf("%s/%d", name, rank)
+	if id, ok := st.byKey[key]; ok {
+		return id
+	}
+	id := int32(len(st.names))
+	st.names = append(st.names, name)
+	st.ranks = append(st.ranks, rank)
+	st.byKey[key] = id
+	return id
+}
+
+// InternElement interns an XML element label (rank 2 in the binary encoding).
+func (st *SymbolTable) InternElement(name string) int32 { return st.Intern(name, 2) }
+
+// Fresh creates a new terminal that is guaranteed not to collide with any
+// existing one (used for the digram pattern nonterminal-turned-terminal X).
+func (st *SymbolTable) Fresh(prefix string, rank int) int32 {
+	id := int32(len(st.names))
+	name := fmt.Sprintf("%s%d", prefix, id)
+	st.names = append(st.names, name)
+	st.ranks = append(st.ranks, rank)
+	st.byKey[fmt.Sprintf("%s/%d", name, rank)] = id
+	return id
+}
+
+// Name returns the name of terminal id.
+func (st *SymbolTable) Name(id int32) string { return st.names[id] }
+
+// Rank returns the rank of terminal id.
+func (st *SymbolTable) Rank(id int32) int { return st.ranks[id] }
+
+// Len returns the number of interned terminals (including ⊥).
+func (st *SymbolTable) Len() int { return len(st.names) }
+
+// Clone returns a deep copy of the table. Compressors clone the table so
+// the input document's table is never mutated.
+func (st *SymbolTable) Clone() *SymbolTable {
+	cp := &SymbolTable{
+		names: append([]string(nil), st.names...),
+		ranks: append([]int(nil), st.ranks...),
+		byKey: make(map[string]int32, len(st.byKey)),
+	}
+	for k, v := range st.byKey {
+		cp.byKey[k] = v
+	}
+	return cp
+}

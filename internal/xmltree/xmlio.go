@@ -1,0 +1,75 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ParseXML reads an XML document and returns its element structure as an
+// unranked tree. All non-element content (text, attributes, comments,
+// processing instructions) is stripped, matching the paper's structure-only
+// datasets.
+func ParseXML(r io.Reader) (*Unranked, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Unranked
+	var root *Unranked
+	for {
+		tok, err := dec.Token()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Unranked{Label: t.Name.Local}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, errors.New("xmltree: multiple document roots")
+				}
+				root = n
+			} else {
+				p := stack[len(stack)-1]
+				p.Children = append(p.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, errors.New("xmltree: unbalanced end element")
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return nil, errors.New("xmltree: unexpected EOF inside element")
+	}
+	if root == nil {
+		return nil, errors.New("xmltree: no root element")
+	}
+	return root, nil
+}
+
+// WriteXML serializes the unranked tree as structure-only XML.
+func WriteXML(w io.Writer, u *Unranked) error {
+	return writeXML(w, u)
+}
+
+func writeXML(w io.Writer, u *Unranked) error {
+	if len(u.Children) == 0 {
+		_, err := fmt.Fprintf(w, "<%s/>", u.Label)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "<%s>", u.Label); err != nil {
+		return err
+	}
+	for _, c := range u.Children {
+		if err := writeXML(w, c); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "</%s>", u.Label)
+	return err
+}

@@ -1,0 +1,236 @@
+// Package sltgrammar is the public API of this reproduction of
+//
+//	Böttcher, Hartel, Jacobs, Maneth:
+//	"Incremental Updates on Compressed XML", ICDE 2016.
+//
+// It provides grammar-compressed XML document trees (straight-line
+// linear context-free tree grammars) that support the paper's three
+// atomic update operations — rename, insert-before, delete-subtree —
+// directly on the compressed representation, and two compressors:
+//
+//   - TreeRePair (the paper's baseline [3]): RePair compression of a
+//     tree into an SLCF grammar, and
+//   - GrammarRePair (the paper's contribution): RePair compression
+//     executed directly on a grammar, without decompressing, so a
+//     grammar degraded by updates can be recompressed in time and space
+//     proportional to the grammar — not the (potentially exponentially
+//     larger) tree.
+//
+// # Quick start
+//
+//	u, _ := sltgrammar.ParseXML(file)             // structure-only XML
+//	doc  := sltgrammar.Encode(u)                  // binary tree encoding
+//	g, _ := sltgrammar.Compress(doc)              // TreeRePair
+//	_ = sltgrammar.Rename(g, 7, "chapter")        // update in place
+//	g2, st := sltgrammar.Recompress(g)            // GrammarRePair
+//	fmt.Println(sltgrammar.Size(g2), st.Rounds)
+//
+// Nodes are addressed by preorder index in the binary
+// first-child/next-sibling encoding (Fig. 1 of the paper), in which each
+// element has rank 2 and missing children are explicit ⊥ leaves.
+package sltgrammar
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/grammar"
+	"repro/internal/navigate"
+	"repro/internal/treerepair"
+	"repro/internal/udc"
+	"repro/internal/update"
+	"repro/internal/xmltree"
+)
+
+// Re-exported core types. They are aliases, so values flow freely between
+// the public API and the internal packages.
+type (
+	// Unranked is a plain unranked XML element tree (labels + children).
+	Unranked = xmltree.Unranked
+	// Document is a binary-encoded XML structure tree plus its symbol
+	// table.
+	Document = xmltree.Document
+	// Grammar is a straight-line linear context-free tree grammar.
+	Grammar = grammar.Grammar
+	// Op is one atomic update operation (rename / insert / delete).
+	Op = update.Op
+	// CompressStats reports a GrammarRePair run (rounds, intermediate
+	// sizes, final size).
+	CompressStats = core.Stats
+	// TreeRePairStats reports a TreeRePair run.
+	TreeRePairStats = treerepair.Stats
+	// UDCStats reports an update-decompress-compress run.
+	UDCStats = udc.Stats
+	// Cursor is a DOM-style read-only position in the derived tree,
+	// navigating the grammar without decompression.
+	Cursor = navigate.Cursor
+)
+
+// NewCursor returns a cursor at the root of the derived tree. Every move
+// costs time proportional to the grammar's nesting depth, never to the
+// (potentially exponentially larger) tree.
+func NewCursor(g *Grammar) (*Cursor, error) { return navigate.NewCursor(g) }
+
+// CountLabel counts occurrences of an element label in the derived tree
+// without decompressing (usage-weighted one-pass query).
+func CountLabel(g *Grammar, label string) (float64, error) {
+	return navigate.CountLabel(g, label)
+}
+
+// LabelHistogram returns the occurrence count of every element label in
+// the derived tree, computed in one pass over the grammar.
+func LabelHistogram(g *Grammar) (map[string]float64, error) {
+	return navigate.LabelHistogram(g)
+}
+
+// Update-operation constructors.
+
+// RenameOp relabels the node at preorder position pos to label.
+func RenameOp(pos int64, label string) Op {
+	return Op{Kind: update.Rename, Pos: pos, Label: label}
+}
+
+// InsertOp inserts the fragment before the node at pos; inserting at a ⊥
+// node appends after the last sibling (or into an empty child list).
+func InsertOp(pos int64, frag *Unranked) Op {
+	return Op{Kind: update.Insert, Pos: pos, Frag: frag}
+}
+
+// DeleteOp deletes the subtree rooted at pos.
+func DeleteOp(pos int64) Op {
+	return Op{Kind: update.Delete, Pos: pos}
+}
+
+// ParseXML reads structure-only XML (all non-element content is
+// discarded, as in the paper's datasets).
+func ParseXML(r io.Reader) (*Unranked, error) { return xmltree.ParseXML(r) }
+
+// WriteXML serializes an unranked tree as structure-only XML.
+func WriteXML(w io.Writer, u *Unranked) error { return xmltree.WriteXML(w, u) }
+
+// NewElement builds an unranked element node.
+func NewElement(label string, children ...*Unranked) *Unranked {
+	return xmltree.NewUnranked(label, children...)
+}
+
+// Encode converts an unranked tree to its binary first-child/next-sibling
+// encoding.
+func Encode(u *Unranked) *Document { return u.Binary() }
+
+// Decode converts a binary document back to the unranked element tree.
+func Decode(d *Document) (*Unranked, error) { return d.ToUnranked() }
+
+// Options configures the compressors.
+type Options struct {
+	// MaxRank is the paper's k_in: the maximum number of parameters a
+	// digram-replacement rule may take. 0 means the default of 4.
+	MaxRank int
+	// NoOptimize disables the fragment-export optimization of
+	// GrammarRePair (Algorithm 8); used by the Fig. 3 experiment.
+	NoOptimize bool
+}
+
+// Compress runs TreeRePair on a document, producing an SLCF grammar that
+// derives exactly the document's binary tree.
+func Compress(doc *Document, opt ...Options) (*Grammar, *TreeRePairStats) {
+	o := first(opt)
+	return treerepair.Compress(doc, treerepair.Options{MaxRank: o.MaxRank})
+}
+
+// CompressTreeGR runs GrammarRePair on the document's tree (the paper's
+// "GrammarRePair applied to trees" mode).
+func CompressTreeGR(doc *Document, opt ...Options) (*Grammar, *CompressStats) {
+	o := first(opt)
+	return core.CompressDocument(doc, core.Options{MaxRank: o.MaxRank, NoOptimize: o.NoOptimize})
+}
+
+// Recompress runs GrammarRePair on a grammar — the paper's contribution:
+// the result derives the same tree but is recompressed as if from
+// scratch, without ever materializing the tree.
+func Recompress(g *Grammar, opt ...Options) (*Grammar, *CompressStats) {
+	o := first(opt)
+	return core.Compress(g, core.Options{MaxRank: o.MaxRank, NoOptimize: o.NoOptimize})
+}
+
+// UDCRecompress is the paper's baseline: decompress the grammar to its
+// tree (bounded by maxNodes if > 0) and compress the tree from scratch
+// with TreeRePair.
+func UDCRecompress(g *Grammar, maxNodes int, opt ...Options) (*Grammar, *UDCStats, error) {
+	o := first(opt)
+	return udc.Recompress(g, treerepair.Options{MaxRank: o.MaxRank}, maxNodes)
+}
+
+// Decompress expands a grammar back to a document. maxNodes > 0 bounds
+// the expansion (grammars can compress exponentially).
+func Decompress(g *Grammar, maxNodes int) (*Document, error) {
+	return udc.Decompress(g, maxNodes)
+}
+
+// Apply performs one update operation on the compressed grammar via path
+// isolation (only the start rule is modified).
+func Apply(g *Grammar, op Op) error { return update.Apply(g, op) }
+
+// ApplyAll performs a sequence of update operations.
+func ApplyAll(g *Grammar, ops []Op) error { return update.ApplyAll(g, ops) }
+
+// Rename relabels the node at preorder position pos.
+func Rename(g *Grammar, pos int64, label string) error {
+	return update.Apply(g, RenameOp(pos, label))
+}
+
+// InsertBefore inserts frag before the node at pos.
+func InsertBefore(g *Grammar, pos int64, frag *Unranked) error {
+	return update.Apply(g, InsertOp(pos, frag))
+}
+
+// DeleteSubtree deletes the subtree rooted at pos.
+func DeleteSubtree(g *Grammar, pos int64) error {
+	return update.Apply(g, DeleteOp(pos))
+}
+
+// EncodeGrammar persists a grammar in a compact binary format, so
+// compressed documents can be stored and shipped at grammar size.
+func EncodeGrammar(w io.Writer, g *Grammar) error { return grammar.Encode(w, g) }
+
+// DecodeGrammar reads a grammar written by EncodeGrammar and validates it.
+func DecodeGrammar(r io.Reader) (*Grammar, error) { return grammar.Decode(r) }
+
+// Size returns |G|, the paper's grammar size measure (summed edge count
+// of all right-hand sides).
+func Size(g *Grammar) int { return g.Size() }
+
+// TreeSize returns the node count of the tree the grammar derives,
+// computed without expansion (it may overflow into saturation for
+// exponentially compressing grammars).
+func TreeSize(g *Grammar) (int64, error) { return g.ValNodeCount() }
+
+// Elements returns the number of element nodes of the encoded document.
+func Elements(g *Grammar) (int64, error) {
+	n, err := g.ValNodeCount()
+	if err != nil {
+		return 0, err
+	}
+	return (n - 1) / 2, nil
+}
+
+// Equal reports whether two grammars derive the same tree. It expands
+// both (bounded by maxNodes if > 0), so use it on moderate documents or
+// with a budget.
+func Equal(a, b *Grammar, maxNodes int) (bool, error) {
+	ta, err := a.Expand(maxNodes)
+	if err != nil {
+		return false, err
+	}
+	tb, err := b.Expand(maxNodes)
+	if err != nil {
+		return false, err
+	}
+	return xmltree.Equal(ta, tb), nil
+}
+
+func first(opt []Options) Options {
+	if len(opt) > 0 {
+		return opt[0]
+	}
+	return Options{}
+}

@@ -1,0 +1,148 @@
+package sltgrammar_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	sltgrammar "repro"
+)
+
+const sampleXML = `<library>
+  <shelf><book><title/><author/></book><book><title/><author/></book></shelf>
+  <shelf><book><title/><author/></book></shelf>
+</library>`
+
+func TestPublicAPIPipeline(t *testing.T) {
+	u, err := sltgrammar.ParseXML(strings.NewReader(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := sltgrammar.Encode(u)
+	g, st := sltgrammar.Compress(doc)
+	if st.InputEdges != doc.Root.Edges() {
+		t.Fatal("stats wrong")
+	}
+	if err := sltgrammar.Rename(g, 0, "archive"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sltgrammar.InsertBefore(g, 1, sltgrammar.NewElement("index")); err != nil {
+		t.Fatal(err)
+	}
+	g2, cst := sltgrammar.Recompress(g)
+	if cst.FinalSize != sltgrammar.Size(g2) {
+		t.Fatal("recompress stats wrong")
+	}
+	out, err := sltgrammar.Decompress(g2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sltgrammar.Decode(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != "archive" || back.Children[0].Label != "index" {
+		t.Fatalf("updates lost: %v", back.Label)
+	}
+	var buf bytes.Buffer
+	if err := sltgrammar.WriteXML(&buf, back); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "<archive><index/>") {
+		t.Fatalf("serialization wrong: %s", buf.String())
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	u, _ := sltgrammar.ParseXML(strings.NewReader(sampleXML))
+	doc := sltgrammar.Encode(u)
+	gTR, _ := sltgrammar.Compress(doc)
+	gGR, _ := sltgrammar.CompressTreeGR(doc)
+	eq, err := sltgrammar.Equal(gTR, gGR, 0)
+	if err != nil || !eq {
+		t.Fatalf("TreeRePair and GrammarRePair must derive the same tree (eq=%v err=%v)", eq, err)
+	}
+	gU, _, err := sltgrammar.UDCRecompress(gTR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, _ := sltgrammar.Equal(gTR, gU, 0); !eq {
+		t.Fatal("udc changed the document")
+	}
+}
+
+func TestPublicAPICounts(t *testing.T) {
+	u, _ := sltgrammar.ParseXML(strings.NewReader(sampleXML))
+	g, _ := sltgrammar.Compress(sltgrammar.Encode(u))
+	n, err := sltgrammar.Elements(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != u.Nodes() {
+		t.Fatalf("Elements = %d, want %d", n, u.Nodes())
+	}
+	ts, err := sltgrammar.TreeSize(g)
+	if err != nil || ts != int64(2*u.Nodes()+1) {
+		t.Fatalf("TreeSize = %d, want %d", ts, 2*u.Nodes()+1)
+	}
+}
+
+func TestPublicAPIOps(t *testing.T) {
+	u, _ := sltgrammar.ParseXML(strings.NewReader(sampleXML))
+	g, _ := sltgrammar.Compress(sltgrammar.Encode(u))
+	ops := []sltgrammar.Op{
+		sltgrammar.RenameOp(0, "lib"),
+		sltgrammar.DeleteOp(1),
+	}
+	if err := sltgrammar.ApplyAll(g, ops); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := sltgrammar.Decompress(g, 0)
+	back, _ := sltgrammar.Decode(doc)
+	if back.Label != "lib" || len(back.Children) != 1 {
+		t.Fatalf("ops failed: %+v", back)
+	}
+}
+
+func TestPublicAPINavigation(t *testing.T) {
+	u, _ := sltgrammar.ParseXML(strings.NewReader(sampleXML))
+	g, _ := sltgrammar.Compress(sltgrammar.Encode(u))
+	c, err := sltgrammar.NewCursor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Label() != "library" {
+		t.Fatalf("root label %s", c.Label())
+	}
+	if err := c.FirstChild(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Label() != "shelf" {
+		t.Fatalf("first child %s", c.Label())
+	}
+	n, err := sltgrammar.CountLabel(g, "book")
+	if err != nil || n != 3 {
+		t.Fatalf("CountLabel(book) = %v, %v", n, err)
+	}
+	hist, err := sltgrammar.LabelHistogram(g)
+	if err != nil || hist["title"] != 3 || hist["shelf"] != 2 {
+		t.Fatalf("histogram wrong: %v %v", hist, err)
+	}
+}
+
+func TestPublicAPISerialization(t *testing.T) {
+	u, _ := sltgrammar.ParseXML(strings.NewReader(sampleXML))
+	g, _ := sltgrammar.Compress(sltgrammar.Encode(u))
+	var buf bytes.Buffer
+	if err := sltgrammar.EncodeGrammar(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sltgrammar.DecodeGrammar(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := sltgrammar.Equal(g, back, 0)
+	if err != nil || !eq {
+		t.Fatalf("serialization round trip broken (eq=%v err=%v)", eq, err)
+	}
+}
