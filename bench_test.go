@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	sltgrammar "repro"
+	"repro/internal/benchsuite"
 	"repro/internal/datasets"
 	"repro/internal/experiments"
 	"repro/internal/workload"
@@ -118,36 +119,16 @@ func BenchmarkSpace(b *testing.B) {
 // Micro-benchmarks of the core operations, per corpus regime.
 
 func BenchmarkCompressTreeRePair(b *testing.B) {
-	for _, short := range []string{"EW", "XM", "TB"} {
+	for _, short := range benchsuite.MicroShorts {
 		c, _ := datasets.ByShort(short)
-		u := c.Generate(0.08, 1)
-		doc := sltgrammar.Encode(u)
-		b.Run(c.Name, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				sltgrammar.Compress(doc)
-			}
-		})
+		b.Run(c.Name, benchsuite.CompressBench(short))
 	}
 }
 
 func BenchmarkRecompressGrammarRePair(b *testing.B) {
-	for _, short := range []string{"EW", "XM", "TB"} {
+	for _, short := range benchsuite.MicroShorts {
 		c, _ := datasets.ByShort(short)
-		u := c.Generate(0.08, 1)
-		doc := sltgrammar.Encode(u)
-		g0, _ := sltgrammar.Compress(doc)
-		ops := workload.Renames(doc, 30, 7)
-		g := g0.Clone()
-		if err := sltgrammar.ApplyAll(g, ops); err != nil {
-			b.Fatal(err)
-		}
-		b.Run(c.Name, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				sltgrammar.Recompress(g)
-			}
-		})
+		b.Run(c.Name, benchsuite.RecompressBench(short))
 	}
 }
 

@@ -8,13 +8,19 @@
 //	benchtables -table3 -fig2        # individual artifacts
 //	benchtables -fig4 -updates 2000  # dynamic experiment, shorter run
 //	benchtables -scale 0.5           # half-size corpora
+//	benchtables -json 1 -scale 0.08  # machine-readable perf record BENCH_1.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
+	"time"
 
+	"repro/internal/benchsuite"
 	"repro/internal/experiments"
 )
 
@@ -37,6 +43,8 @@ func main() {
 		renames = flag.Int("renames", 300, "number of renames for Fig. 6")
 		gnMin   = flag.Int("gnmin", 4, "smallest Gn exponent for Fig. 3")
 		gnMax   = flag.Int("gnmax", 12, "largest Gn exponent for Fig. 3")
+
+		jsonN = flag.Int("json", 0, "write BENCH_<n>.json with ns/op, B/op and allocs/op per benchmark (0 = off)")
 	)
 	flag.Parse()
 
@@ -48,6 +56,13 @@ func main() {
 	cfg.Renames = *renames
 	cfg.GnMin = *gnMin
 	cfg.GnMax = *gnMax
+
+	if *jsonN > 0 {
+		if err := writeBenchJSON(*jsonN, cfg); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	if *all {
 		if err := experiments.All(cfg); err != nil {
@@ -109,4 +124,90 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "benchtables:", err)
 	os.Exit(1)
+}
+
+// benchEntry is one benchmark measurement in the BENCH_<n>.json record.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchRecord is the machine-readable perf trajectory record. Every perf
+// PR regenerates BENCH_<pr>.json so regressions and wins diff cleanly.
+// ExperimentSeed applies to the experiment-driver benchmarks (Table3,
+// StaticCompression); the micro benchmarks use the benchsuite-pinned
+// corpus/rename seeds so they match `go test -bench` exactly.
+type benchRecord struct {
+	Date           string       `json:"date"`
+	GoVersion      string       `json:"go_version"`
+	GOOS           string       `json:"goos"`
+	GOARCH         string       `json:"goarch"`
+	Scale          float64      `json:"scale"`
+	MicroScale     float64      `json:"micro_scale"`
+	ExperimentSeed int64        `json:"experiment_seed"`
+	CorpusSeed     int64        `json:"corpus_seed"`
+	RenameSeed     int64        `json:"rename_seed"`
+	Benchmarks     []benchEntry `json:"benchmarks"`
+}
+
+// writeBenchJSON runs the benchmark suite at the configured scale via
+// testing.Benchmark and writes BENCH_<n>.json in the current directory.
+func writeBenchJSON(n int, cfg experiments.Config) error {
+	quiet := cfg
+	quiet.Out = nil
+	rec := benchRecord{
+		Date:           time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		Scale:          quiet.Scale,
+		MicroScale:     benchsuite.MicroScale,
+		ExperimentSeed: quiet.Seed,
+		CorpusSeed:     benchsuite.CorpusSeed,
+		RenameSeed:     benchsuite.RenameSeed,
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		fmt.Fprintf(os.Stderr, "benchtables: running %s...\n", name)
+		r := testing.Benchmark(fn)
+		rec.Benchmarks = append(rec.Benchmarks, benchEntry{
+			Name:        name,
+			Runs:        r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	add("Table3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			experiments.Table3(quiet)
+		}
+	})
+	add("StaticCompression", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			experiments.Static(quiet)
+		}
+	})
+	for _, short := range benchsuite.MicroShorts {
+		add("CompressTreeRePair/"+short, benchsuite.CompressBench(short))
+	}
+	for _, short := range benchsuite.MicroShorts {
+		add("RecompressGrammarRePair/"+short, benchsuite.RecompressBench(short))
+	}
+
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := fmt.Sprintf("BENCH_%d.json", n)
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchtables: wrote %s (%d benchmarks)\n", path, len(rec.Benchmarks))
+	return nil
 }

@@ -1,0 +1,84 @@
+// Package benchsuite pins the corpus setup shared by the repo's go-test
+// micro benchmarks (bench_test.go) and the machine-readable perf record
+// (`benchtables -json`). Both surfaces must measure the same documents
+// and the same degraded grammars, or BENCH_<n>.json stops being
+// comparable with `go test -bench` output across perf PRs.
+package benchsuite
+
+import (
+	"fmt"
+	"testing"
+
+	sltgrammar "repro"
+	"repro/internal/datasets"
+	"repro/internal/workload"
+)
+
+// Seeds and workload sizes of the micro benchmarks.
+const (
+	// MicroScale is the corpus scale every micro benchmark runs at,
+	// regardless of the experiment-driver scale: BENCH_<n>.json entries
+	// are only comparable across PRs (and with `go test -bench`) when
+	// they measure the same documents.
+	MicroScale = 0.08
+	// CorpusSeed generates the micro-benchmark documents.
+	CorpusSeed = 1
+	// RenameSeed drives the rename workload that degrades the grammar
+	// measured by the recompression benchmarks.
+	RenameSeed = 7
+	// RenameOps is the number of renames applied before recompression.
+	RenameOps = 30
+)
+
+// MicroShorts are the corpora the micro benchmarks run on: one
+// exponentially compressing (EW), one moderate (XM), one hard (TB).
+var MicroShorts = []string{"EW", "XM", "TB"}
+
+// doc returns the pinned micro-benchmark document for a corpus.
+func doc(short string) *sltgrammar.Document {
+	c, ok := datasets.ByShort(short)
+	if !ok {
+		panic(fmt.Sprintf("benchsuite: unknown corpus %q", short))
+	}
+	return sltgrammar.Encode(c.Generate(MicroScale, CorpusSeed))
+}
+
+// degraded returns the corpus document's TreeRePair grammar after the
+// pinned rename workload — the input the recompression benchmarks
+// measure.
+func degraded(short string) *sltgrammar.Grammar {
+	d := doc(short)
+	g0, _ := sltgrammar.Compress(d)
+	ops := workload.Renames(d, RenameOps, RenameSeed)
+	g := g0.Clone()
+	if err := sltgrammar.ApplyAll(g, ops); err != nil {
+		panic(fmt.Sprintf("benchsuite: degrading %s: %v", short, err))
+	}
+	return g
+}
+
+// CompressBench returns the micro benchmark body measuring TreeRePair on
+// the pinned corpus document (setup happens at call time, outside the
+// measured loop). Both `go test -bench` and `benchtables -json` run this
+// exact body.
+func CompressBench(short string) func(b *testing.B) {
+	d := doc(short)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sltgrammar.Compress(d)
+		}
+	}
+}
+
+// RecompressBench returns the micro benchmark body measuring
+// GrammarRePair recompression of the pinned degraded grammar.
+func RecompressBench(short string) func(b *testing.B) {
+	g := degraded(short)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sltgrammar.Recompress(g)
+		}
+	}
+}

@@ -48,11 +48,11 @@ func TestRetrieveOccsGrammar1(t *testing.T) {
 	ix := newOccIndex(g, 4)
 
 	dab := digram.Digram{A: a, I: 1, B: b}
-	if got := ix.counts[dab]; got != 2 {
+	if got := ix.live(dab); got != 2 {
 		t.Fatalf("count(a,1,b) = %v, want 2", got)
 	}
 	daa := digram.Digram{A: a, I: 2, B: a}
-	if got := ix.counts[daa]; got != 1 {
+	if got := ix.live(daa); got != 1 {
 		t.Fatalf("count(a,2,a) = %v, want 1 (overlap must be excluded)", got)
 	}
 	// Generators live in the expected rules.
@@ -107,14 +107,14 @@ func TestReplaceRoundGrammar1(t *testing.T) {
 		ix := newOccIndex(g, 4)
 		d := digram.Digram{A: a, I: 1, B: b}
 		x := g.Syms.Fresh("X", d.Rank(g.Syms))
-		r := newReplacer(g, ix, d, x, optimized)
+		r := newReplacer(g, ix, newScratch(), d, x, optimized)
 		edited, deleted := r.run()
 		ix.refresh(edited, deleted)
 
 		if err := g.Validate(); err != nil {
 			t.Fatalf("optimized=%v: invalid after replacement: %v\n%s", optimized, err, g)
 		}
-		if got := ix.counts[d]; got != 0 {
+		if got := ix.live(d); got != 0 {
 			t.Fatalf("optimized=%v: count(a,1,b) = %v after replacement", optimized, got)
 		}
 		if r.replaced != 2 {
@@ -162,7 +162,7 @@ func TestConcludingExample(t *testing.T) {
 	ix := newOccIndex(g, 4)
 	d := digram.Digram{A: a, I: 1, B: b}
 	x := g.Syms.Fresh("X", 3)
-	r := newReplacer(g, ix, d, x, true)
+	r := newReplacer(g, ix, newScratch(), d, x, true)
 	r.run()
 	if err := g.Validate(); err != nil {
 		t.Fatalf("invalid: %v\n%s", err, g)

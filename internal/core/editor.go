@@ -8,42 +8,45 @@ import (
 	"repro/internal/xmltree"
 )
 
-// editor wraps one rule body with parent/child-index maps so that
+// editor wraps one rule body with a parent/child-index map so that
 // inlining steps (which splice trees in place) stay O(size of the
-// inlined body) instead of re-walking the whole rule.
+// inlined body) instead of re-walking the whole rule. Editors are pooled
+// by the per-run scratch; loc survives between uses and is cleared on
+// reacquisition.
 type editor struct {
-	g    *grammar.Grammar
-	rule *grammar.Rule
-	par  map[*xmltree.Node]*xmltree.Node
-	idx  map[*xmltree.Node]int
+	g     *grammar.Grammar
+	rule  *grammar.Rule
+	arena *xmltree.Arena
+	loc   map[*xmltree.Node]parentRef
 }
 
-func newEditor(g *grammar.Grammar, rule *grammar.Rule) *editor {
-	ed := &editor{
-		g:    g,
-		rule: rule,
-		par:  make(map[*xmltree.Node]*xmltree.Node),
-		idx:  make(map[*xmltree.Node]int),
+func (ed *editor) reset(g *grammar.Grammar, rule *grammar.Rule, arena *xmltree.Arena) {
+	ed.g = g
+	ed.rule = rule
+	ed.arena = arena
+	if ed.loc == nil {
+		ed.loc = make(map[*xmltree.Node]parentRef)
+	} else {
+		clear(ed.loc)
 	}
 	rule.RHS.WalkParent(func(n, p *xmltree.Node, i int) bool {
-		ed.par[n] = p
-		ed.idx[n] = i
+		ed.loc[n] = parentRef{node: p, idx: i}
 		return true
 	})
-	return ed
 }
 
 // parent returns the current parent of n within the rule (nil for root)
 // and n's child index in it.
 func (ed *editor) parent(n *xmltree.Node) (*xmltree.Node, int) {
-	return ed.par[n], ed.idx[n]
+	pr := ed.loc[n]
+	return pr.node, pr.idx
 }
 
 // splice replaces the node old (which must be in the rule) by sub,
 // updating the parent maps for every node of sub except the interiors of
 // the subtrees listed in keep (whose maps are already correct because the
 // subtrees were simply relocated).
-func (ed *editor) splice(old, sub *xmltree.Node, keep map[*xmltree.Node]bool) {
+func (ed *editor) splice(old, sub *xmltree.Node, keep []*xmltree.Node) {
 	p, i := ed.parent(old)
 	if p == nil {
 		ed.rule.RHS = sub
@@ -52,10 +55,11 @@ func (ed *editor) splice(old, sub *xmltree.Node, keep map[*xmltree.Node]bool) {
 	}
 	var walk func(n, parent *xmltree.Node, idx int)
 	walk = func(n, parent *xmltree.Node, idx int) {
-		ed.par[n] = parent
-		ed.idx[n] = idx
-		if keep[n] {
-			return // relocated subtree: interior maps still valid
+		ed.loc[n] = parentRef{node: parent, idx: idx}
+		for _, k := range keep {
+			if k == n {
+				return // relocated subtree: interior maps still valid
+			}
 		}
 		for j, c := range n.Children {
 			walk(c, n, j)
@@ -69,12 +73,8 @@ func (ed *editor) splice(old, sub *xmltree.Node, keep map[*xmltree.Node]bool) {
 // The call's argument subtrees are spliced by reference.
 func (ed *editor) inlineCall(call *xmltree.Node, body *xmltree.Node) *xmltree.Node {
 	args := call.Children
-	keep := make(map[*xmltree.Node]bool, len(args))
-	for _, a := range args {
-		keep[a] = true
-	}
-	sub := grammar.SubstituteParams(body.Copy(), args)
-	ed.splice(call, sub, keep)
+	sub := grammar.SubstituteParamsIn(body.CopyIn(ed.arena), args, ed.arena)
+	ed.splice(call, sub, args)
 	return sub
 }
 
@@ -90,18 +90,20 @@ func (ed *editor) inlineRule(call *xmltree.Node) *xmltree.Node {
 // matching the paper mandates in Section III-C). Returns the number of
 // replacements. The editor's maps are NOT maintained; callers must treat
 // the editor as spent afterwards (the occurrence index rescans the rule).
-func replaceDigramScan(rule *grammar.Rule, a int32, i int, b int32, x int32) int {
+func replaceDigramScan(rule *grammar.Rule, a int32, i int, b int32, x int32, arena *xmltree.Arena) int {
 	n := 0
 	var rec func(v *xmltree.Node) *xmltree.Node
 	rec = func(v *xmltree.Node) *xmltree.Node {
 		if v.Label == xmltree.Term(a) && i-1 < len(v.Children) {
 			w := v.Children[i-1]
 			if w.Label == xmltree.Term(b) {
-				nc := make([]*xmltree.Node, 0, len(v.Children)-1+len(w.Children))
-				nc = append(nc, v.Children[:i-1]...)
-				nc = append(nc, w.Children...)
-				nc = append(nc, v.Children[i:]...)
-				v = xmltree.New(xmltree.Term(x), nc...)
+				nc := arena.Children(len(v.Children) - 1 + len(w.Children))
+				k := copy(nc, v.Children[:i-1])
+				k += copy(nc[k:], w.Children)
+				copy(nc[k:], v.Children[i:])
+				xn := arena.New(xmltree.Term(x))
+				xn.Children = nc
+				v = xn
 				n++
 			}
 		}

@@ -43,6 +43,7 @@ func Compress(in *grammar.Grammar, opt Options) (*grammar.Grammar, *Stats) {
 	g := in.Clone()
 	st := &Stats{InputSize: g.Size()}
 	ix := newOccIndex(g, opt.maxRank())
+	sc := newScratch()
 
 	type made struct {
 		term int32
@@ -60,7 +61,7 @@ func Compress(in *grammar.Grammar, opt Options) (*grammar.Grammar, *Stats) {
 		rules = append(rules, made{term: x, d: d})
 		extraEdges += g.Syms.Rank(d.A) + g.Syms.Rank(d.B)
 
-		r := newReplacer(g, ix, d, x, !opt.NoOptimize)
+		r := newReplacer(g, ix, sc, d, x, !opt.NoOptimize)
 		edited, deleted := r.run()
 		st.Replaced += r.replaced
 		ix.refresh(edited, deleted)
@@ -77,7 +78,7 @@ func Compress(in *grammar.Grammar, opt Options) (*grammar.Grammar, *Stats) {
 	// nonterminal whose rule body is its digram pattern.
 	ntOf := make(map[int32]int32, len(rules))
 	for _, m := range rules {
-		rhs := m.d.PatternRHS(g.Syms)
+		rhs := m.d.PatternRHSIn(g.Syms, sc.arena)
 		convertGenerated(rhs, ntOf)
 		nr := g.NewRule(m.d.Rank(g.Syms), rhs)
 		ntOf[m.term] = nr.ID
@@ -88,6 +89,14 @@ func Compress(in *grammar.Grammar, opt Options) (*grammar.Grammar, *Stats) {
 	g.GarbageCollect() // X rules for digrams whose uses all got re-replaced
 	st.PrunedRules = g.Prune()
 	st.FinalSize = g.Size()
+	// Detach the rule bodies from the run's scratch arena: a single live
+	// node would otherwise keep its whole allocation chunk (and every dead
+	// transient copy in it) reachable for the grammar's lifetime. The
+	// final grammar is small, so one plain-heap copy per rule bounds
+	// retention to the actual output.
+	g.Rules(func(r *grammar.Rule) {
+		r.RHS = r.RHS.Copy()
+	})
 	return g, st
 }
 

@@ -21,13 +21,15 @@ type parentRef struct {
 	idx  int
 }
 
-// ruleOccs caches everything the index knows about one rule.
+// ruleOccs caches everything the index knows about one rule. Occurrence
+// generators are flat-hashed on the packed digram key instead of living in
+// a per-rule Go map.
 type ruleOccs struct {
-	gens         map[digram.Digram][]*xmltree.Node // occurrence generators by digram
-	calls        map[int32]int                     // callee rule -> #occurrences
-	nodes        int                               // node count of the RHS
-	paramParents []parentRef                       // local parent of y1..yk
-	usageApplied float64                           // usage weight its gens contribute with
+	gens         digram.Table[[]*xmltree.Node] // occurrence generators by digram
+	calls        map[int32]int                 // callee rule -> #occurrences
+	nodes        int                           // node count of the RHS
+	paramParents []parentRef                   // local parent of y1..yk
+	usageApplied float64                       // usage weight its gens contribute with
 }
 
 // resolved is a fully resolved tree parent or tree child: the terminal
@@ -66,42 +68,53 @@ func (a *iface) equal(b *iface) bool {
 // occIndex maintains, incrementally across replacement rounds, the
 // Algorithm 4 (RETRIEVEOCCS) state: per-rule digram occurrence generators,
 // usage-weighted global frequencies, and the non-overlap bookkeeping for
-// equal-label digrams.
+// equal-label digrams. Global counts and the equal-label sets are keyed by
+// packed digram keys in open-addressed tables.
 type occIndex struct {
 	g       *grammar.Grammar
 	maxRank int
 
 	perRule map[int32]*ruleOccs
-	counts  map[digram.Digram]float64
+	counts  digram.Table[float64]
 	usage   map[int32]float64
 	queue   digram.Queue
 	// genSet holds, per equal-label digram, the set of stored generator
 	// nodes (all of which are terminal tree children); a candidate whose
 	// resolved tree parent is in this set would overlap (Alg. 4 line 11).
-	genSet map[digram.Digram]map[*xmltree.Node]bool
+	genSet digram.Table[map[*xmltree.Node]bool]
 
 	ifaces map[int32]*iface
-	// per-refresh resolution memos
+	// per-refresh resolution memos and scratch sets, reused across rounds
 	rootMemo  map[int32]*resolved
 	paramMemo map[int32][]*resolved
+	changed   map[int32]bool
+	dirty     map[int32]bool
+	topoState map[int32]uint8
+	topoBuf   []int32
 }
 
 func newOccIndex(g *grammar.Grammar, maxRank int) *occIndex {
 	ix := &occIndex{
-		g:       g,
-		maxRank: maxRank,
-		perRule: make(map[int32]*ruleOccs),
-		counts:  make(map[digram.Digram]float64),
-		usage:   make(map[int32]float64),
-		genSet:  make(map[digram.Digram]map[*xmltree.Node]bool),
-		ifaces:  make(map[int32]*iface),
+		g:         g,
+		maxRank:   maxRank,
+		perRule:   make(map[int32]*ruleOccs),
+		usage:     make(map[int32]float64),
+		ifaces:    make(map[int32]*iface),
+		rootMemo:  make(map[int32]*resolved),
+		paramMemo: make(map[int32][]*resolved),
+		changed:   make(map[int32]bool),
+		dirty:     make(map[int32]bool),
+		topoState: make(map[int32]uint8),
 	}
 	ix.refresh(g.RuleIDs(), nil)
 	return ix
 }
 
 // live reports the current frequency of d (for the priority queue).
-func (ix *occIndex) live(d digram.Digram) float64 { return ix.counts[d] }
+func (ix *occIndex) live(d digram.Digram) float64 {
+	c, _ := ix.counts.Get(d.Key())
+	return c
+}
 
 // best pops the most frequent digram with ≥ 2 occurrences.
 func (ix *occIndex) best() (digram.Digram, float64, bool) {
@@ -110,9 +123,10 @@ func (ix *occIndex) best() (digram.Digram, float64, bool) {
 
 // rulesWithGenerators returns the IDs of rules holding generators of d.
 func (ix *occIndex) rulesWithGenerators(d digram.Digram) []int32 {
+	k := d.Key()
 	var out []int32
 	for rid, ro := range ix.perRule {
-		if len(ro.gens[d]) > 0 {
+		if gens, _ := ro.gens.Get(k); len(gens) > 0 {
 			out = append(out, rid)
 		}
 	}
@@ -123,7 +137,8 @@ func (ix *occIndex) rulesWithGenerators(d digram.Digram) []int32 {
 // generators returns the generator nodes of d within rule rid.
 func (ix *occIndex) generators(rid int32, d digram.Digram) []*xmltree.Node {
 	if ro := ix.perRule[rid]; ro != nil {
-		return ro.gens[d]
+		gens, _ := ro.gens.Get(d.Key())
+		return gens
 	}
 	return nil
 }
@@ -159,9 +174,10 @@ func (ix *occIndex) refresh(edited []int32, deleted []int32) {
 	}
 	// Phase B: recompute every rule's interface with fresh memos and
 	// collect the rules whose interface changed.
-	ix.rootMemo = make(map[int32]*resolved)
-	ix.paramMemo = make(map[int32][]*resolved)
-	changed := make(map[int32]bool)
+	clear(ix.rootMemo)
+	clear(ix.paramMemo)
+	changed := ix.changed
+	clear(changed)
 	for _, rid := range ix.g.RuleIDs() {
 		ni := ix.computeIface(rid)
 		if !ni.equal(ix.ifaces[rid]) {
@@ -170,7 +186,8 @@ func (ix *occIndex) refresh(edited []int32, deleted []int32) {
 		ix.ifaces[rid] = ni
 	}
 	// Phase C: dirty = edited ∪ callers of interface-changed rules.
-	dirty := make(map[int32]bool, len(edited))
+	dirty := ix.dirty
+	clear(dirty)
 	for _, rid := range edited {
 		if ix.g.Rule(rid) != nil {
 			dirty[rid] = true
@@ -209,31 +226,37 @@ func (ix *occIndex) dropContributions(rid int32) {
 	if ro == nil {
 		return
 	}
-	for d, gens := range ro.gens {
-		ix.addCount(d, -ro.usageApplied*float64(len(gens)))
+	ro.gens.Range(func(k digram.Key, gens *[]*xmltree.Node) bool {
+		if len(*gens) == 0 {
+			return true
+		}
+		d := k.Digram()
+		ix.addCount(d, -ro.usageApplied*float64(len(*gens)))
 		if d.EqualLabels() {
-			for _, gnode := range gens {
-				delete(ix.genSet[d], gnode)
+			if set, _ := ix.genSet.Get(k); set != nil {
+				for _, gnode := range *gens {
+					delete(set, gnode)
+				}
 			}
 		}
-	}
-	ro.gens = make(map[digram.Digram][]*xmltree.Node)
+		return true
+	})
+	ro.gens.Clear()
 }
 
 func (ix *occIndex) addCount(d digram.Digram, delta float64) {
 	if delta == 0 {
 		return
 	}
-	c := ix.counts[d] + delta
+	p := ix.counts.Ref(d.Key())
+	c := *p + delta
 	if c > usageCap {
 		c = usageCap
 	}
 	if c <= 1e-9 {
-		delete(ix.counts, d)
 		c = 0
-	} else {
-		ix.counts[d] = c
 	}
+	*p = c
 	ix.queue.Update(d, c)
 }
 
@@ -242,11 +265,18 @@ func (ix *occIndex) rebuildLocal(rid int32) {
 	r := ix.g.Rule(rid)
 	ro := ix.perRule[rid]
 	if ro == nil {
-		ro = &ruleOccs{gens: make(map[digram.Digram][]*xmltree.Node)}
+		ro = &ruleOccs{}
 		ix.perRule[rid] = ro
 	}
-	ro.calls = make(map[int32]int)
-	ro.paramParents = make([]parentRef, r.Rank)
+	if ro.calls == nil {
+		ro.calls = make(map[int32]int)
+	} else {
+		clear(ro.calls)
+	}
+	ro.paramParents = ro.paramParents[:0]
+	for i := 0; i < r.Rank; i++ {
+		ro.paramParents = append(ro.paramParents, parentRef{})
+	}
 	ro.nodes = 0
 	r.RHS.WalkParent(func(n, p *xmltree.Node, i int) bool {
 		ro.nodes++
@@ -315,20 +345,22 @@ func (ix *occIndex) resolveParamParent(rid int32, i int) *resolved {
 }
 
 // resolveChildOf resolves the tree child of a generator node (Alg. 2).
-func (ix *occIndex) resolveChildOf(n *xmltree.Node) *resolved {
+// Returned by value: this runs once per scanned node, and a pointer
+// result would heap-allocate on the terminal fast path.
+func (ix *occIndex) resolveChildOf(n *xmltree.Node) resolved {
 	if n.Label.Kind == xmltree.Terminal {
-		return &resolved{node: n, label: n.Label.ID}
+		return resolved{node: n, label: n.Label.ID}
 	}
-	return ix.resolveRoot(n.Label.ID)
+	return *ix.resolveRoot(n.Label.ID)
 }
 
 // resolveParentOf resolves the tree parent of a node at child index i
 // (0-based) under p (Alg. 3).
-func (ix *occIndex) resolveParentOf(p *xmltree.Node, i int) *resolved {
+func (ix *occIndex) resolveParentOf(p *xmltree.Node, i int) resolved {
 	if p.Label.Kind == xmltree.Terminal {
-		return &resolved{node: p, label: p.Label.ID, idx: i + 1}
+		return resolved{node: p, label: p.Label.ID, idx: i + 1}
 	}
-	return ix.resolveParamParent(p.Label.ID, i+1)
+	return *ix.resolveParamParent(p.Label.ID, i+1)
 }
 
 // rescanGenerators re-derives rule rid's occurrence generators
@@ -348,34 +380,36 @@ func (ix *occIndex) rescanGenerators(rid int32) {
 		if d.Rank(ix.g.Syms) > ix.maxRank {
 			return true
 		}
+		k := d.Key()
 		if d.EqualLabels() {
 			// Equal-label digrams: never across a rule root (nonterminal
 			// generator), and never overlapping a stored occurrence.
 			if n.Label.Kind == xmltree.Nonterminal {
 				return true
 			}
-			if ix.genSet[d][parent.node] {
+			setp := ix.genSet.Ref(k)
+			if *setp == nil {
+				*setp = make(map[*xmltree.Node]bool)
+			} else if (*setp)[parent.node] {
 				return true
 			}
-			set := ix.genSet[d]
-			if set == nil {
-				set = make(map[*xmltree.Node]bool)
-				ix.genSet[d] = set
-			}
-			set[n] = true
+			(*setp)[n] = true
 		}
-		ro.gens[d] = append(ro.gens[d], n)
+		gp := ro.gens.Ref(k)
+		*gp = append(*gp, n)
 		ix.addCount(d, u)
 		return true
 	})
 }
 
 // topoAntiSL orders live rules callee-before-caller using the cached call
-// multisets (cheaper than re-walking every RHS).
+// multisets (cheaper than re-walking every RHS). The returned slice is
+// reused by the next call.
 func (ix *occIndex) topoAntiSL() []int32 {
 	ids := ix.g.RuleIDs()
-	state := make(map[int32]uint8, len(ids))
-	out := make([]int32, 0, len(ids))
+	state := ix.topoState
+	clear(state)
+	out := ix.topoBuf[:0]
 	var visit func(id int32)
 	visit = func(id int32) {
 		if state[id] != 0 {
@@ -396,13 +430,15 @@ func (ix *occIndex) topoAntiSL() []int32 {
 	for _, id := range ids {
 		visit(id)
 	}
+	ix.topoBuf = out
 	return out
 }
 
 // refreshUsage recomputes usage_G for all rules from the call multisets
 // and adjusts every affected digram count by the usage delta.
 func (ix *occIndex) refreshUsage(antiSL []int32) {
-	newUsage := make(map[int32]float64, len(antiSL))
+	newUsage := ix.usage
+	clear(newUsage)
 	for _, id := range antiSL {
 		newUsage[id] = 0
 	}
@@ -426,11 +462,13 @@ func (ix *occIndex) refreshUsage(antiSL []int32) {
 		ro := ix.perRule[rid]
 		delta := newUsage[rid] - ro.usageApplied
 		if delta != 0 {
-			for d, gens := range ro.gens {
-				ix.addCount(d, delta*float64(len(gens)))
-			}
+			ro.gens.Range(func(k digram.Key, gens *[]*xmltree.Node) bool {
+				if len(*gens) > 0 {
+					ix.addCount(k.Digram(), delta*float64(len(*gens)))
+				}
+				return true
+			})
 			ro.usageApplied = newUsage[rid]
 		}
 	}
-	ix.usage = newUsage
 }

@@ -46,12 +46,82 @@ type versionKey struct {
 	fs   string
 }
 
+// scratch owns the allocation state shared by every replacement round of
+// one compression run: the node arena the round's tree surgery allocates
+// from, the per-rule flag/splice maps (cleared, not reallocated, between
+// rules), and pools for the maps and editors that the recursive version
+// construction needs one instance of per activation.
+type scratch struct {
+	arena    *xmltree.Arena
+	flags    map[*xmltree.Node]*flagSet      // processRule flag accumulation
+	spliced  map[*xmltree.Node]*xmltree.Node // processRule inline records
+	order    []*xmltree.Node                 // processRule preorder buffer
+	flagMaps []map[*xmltree.Node]*flagSet
+	boolMaps []map[*xmltree.Node]bool
+	editors  []*editor
+}
+
+func newScratch() *scratch {
+	return &scratch{
+		arena:   &xmltree.Arena{},
+		flags:   make(map[*xmltree.Node]*flagSet),
+		spliced: make(map[*xmltree.Node]*xmltree.Node),
+	}
+}
+
+func (sc *scratch) getEditor(g *grammar.Grammar, rule *grammar.Rule) *editor {
+	var ed *editor
+	if n := len(sc.editors); n > 0 {
+		ed = sc.editors[n-1]
+		sc.editors = sc.editors[:n-1]
+	} else {
+		ed = &editor{}
+	}
+	ed.reset(g, rule, sc.arena)
+	return ed
+}
+
+func (sc *scratch) putEditor(ed *editor) {
+	ed.g = nil
+	ed.rule = nil
+	sc.editors = append(sc.editors, ed)
+}
+
+func (sc *scratch) getFlagMap() map[*xmltree.Node]*flagSet {
+	if n := len(sc.flagMaps); n > 0 {
+		m := sc.flagMaps[n-1]
+		sc.flagMaps = sc.flagMaps[:n-1]
+		return m
+	}
+	return make(map[*xmltree.Node]*flagSet)
+}
+
+func (sc *scratch) putFlagMap(m map[*xmltree.Node]*flagSet) {
+	clear(m)
+	sc.flagMaps = append(sc.flagMaps, m)
+}
+
+func (sc *scratch) getBoolMap() map[*xmltree.Node]bool {
+	if n := len(sc.boolMaps); n > 0 {
+		m := sc.boolMaps[n-1]
+		sc.boolMaps = sc.boolMaps[:n-1]
+		return m
+	}
+	return make(map[*xmltree.Node]bool)
+}
+
+func (sc *scratch) putBoolMap(m map[*xmltree.Node]bool) {
+	clear(m)
+	sc.boolMaps = append(sc.boolMaps, m)
+}
+
 // replacer executes one digram-replacement round over the grammar:
 // Algorithm 5 (non-optimized, plain DependencyDAG inlining) or
 // Algorithms 6–8 (optimized, ReplacementDAG with fragment export).
 type replacer struct {
 	g         *grammar.Grammar
 	ix        *occIndex
+	sc        *scratch
 	d         digram.Digram
 	x         int32 // generated terminal standing for the new nonterminal X
 	optimized bool
@@ -73,10 +143,11 @@ type replacer struct {
 	replaced int
 }
 
-func newReplacer(g *grammar.Grammar, ix *occIndex, d digram.Digram, x int32, optimized bool) *replacer {
+func newReplacer(g *grammar.Grammar, ix *occIndex, sc *scratch, d digram.Digram, x int32, optimized bool) *replacer {
 	return &replacer{
 		g:         g,
 		ix:        ix,
+		sc:        sc,
 		d:         d,
 		x:         x,
 		optimized: optimized,
@@ -134,12 +205,13 @@ func (r *replacer) processRule(rid int32) {
 	if len(gens) == 0 {
 		return
 	}
-	ed := newEditor(r.g, rule)
+	ed := r.sc.getEditor(r.g, rule)
 
 	// RDα construction for this rule (Section IV-E): accumulate flags per
 	// nonterminal node — r on generator call nodes, y_i on call nodes that
 	// are parents of generators.
-	flags := make(map[*xmltree.Node]*flagSet)
+	flags := r.sc.flags
+	clear(flags)
 	getFlags := func(n *xmltree.Node) *flagSet {
 		f := flags[n]
 		if f == nil {
@@ -161,15 +233,17 @@ func (r *replacer) processRule(rid int32) {
 	// Inline the demanded version at every flagged node (preorder of the
 	// pre-inline body, for determinism), recording what replaced each
 	// inlined call so generator positions can be re-anchored.
-	spliced := make(map[*xmltree.Node]*xmltree.Node)
+	spliced := r.sc.spliced
+	clear(spliced)
 	if len(flags) > 0 {
-		var order []*xmltree.Node
+		order := r.sc.order[:0]
 		rule.RHS.Walk(func(n *xmltree.Node) bool {
 			if _, ok := flags[n]; ok {
 				order = append(order, n)
 			}
 			return true
 		})
+		r.sc.order = order
 		for _, call := range order {
 			spliced[call] = r.inlineVersionAt(ed, call, flags[call])
 		}
@@ -195,8 +269,9 @@ func (r *replacer) processRule(rid int32) {
 		}
 	}
 
-	r.replaced += replaceDigramScan(rule, r.d.A, r.d.I, r.d.B, r.x)
+	r.replaced += replaceDigramScan(rule, r.d.A, r.d.I, r.d.B, r.x, r.sc.arena)
 	r.edited[rid] = true
+	r.sc.putEditor(ed)
 }
 
 // inlineVersionAt inlines the processed version (optimized mode) or the
@@ -226,11 +301,11 @@ func (r *replacer) version(rid int32, fs *flagSet) *xmltree.Node {
 		return v
 	}
 	rule := r.g.Rule(rid)
-	scratch := &grammar.Rule{ID: rid, Rank: rule.Rank, RHS: rule.RHS.Copy()}
-	ed := newEditor(r.g, scratch)
+	work := &grammar.Rule{ID: rid, Rank: rule.Rank, RHS: rule.RHS.CopyIn(r.sc.arena)}
+	ed := r.sc.getEditor(r.g, work)
 
 	paramNode := make([]*xmltree.Node, rule.Rank)
-	scratch.RHS.Walk(func(n *xmltree.Node) bool {
+	work.RHS.Walk(func(n *xmltree.Node) bool {
 		if n.Label.Kind == xmltree.Parameter {
 			paramNode[n.Label.ID-1] = n
 		}
@@ -240,7 +315,7 @@ func (r *replacer) version(rid int32, fs *flagSet) *xmltree.Node {
 	// Flag propagation into the version copy (Section IV-E): the root
 	// gets r, the parent of each flagged parameter gets the matching y;
 	// a single node can accumulate several flags.
-	vflags := make(map[*xmltree.Node]*flagSet)
+	vflags := r.sc.getFlagMap()
 	getFlags := func(n *xmltree.Node) *flagSet {
 		f := vflags[n]
 		if f == nil {
@@ -249,8 +324,8 @@ func (r *replacer) version(rid int32, fs *flagSet) *xmltree.Node {
 		}
 		return f
 	}
-	if fs.r && scratch.RHS.Label.Kind == xmltree.Nonterminal {
-		getFlags(scratch.RHS).r = true
+	if fs.r && work.RHS.Label.Kind == xmltree.Nonterminal {
+		getFlags(work.RHS).r = true
 	}
 	for _, y := range fs.ys {
 		p, i := ed.parent(paramNode[y-1])
@@ -260,7 +335,7 @@ func (r *replacer) version(rid int32, fs *flagSet) *xmltree.Node {
 	}
 	if len(vflags) > 0 {
 		var order []*xmltree.Node
-		scratch.RHS.Walk(func(n *xmltree.Node) bool {
+		work.RHS.Walk(func(n *xmltree.Node) bool {
 			if _, ok := vflags[n]; ok {
 				order = append(order, n)
 			}
@@ -270,15 +345,16 @@ func (r *replacer) version(rid int32, fs *flagSet) *xmltree.Node {
 			r.inlineTemplateAt(ed, call, vflags[call])
 		}
 	}
+	r.sc.putFlagMap(vflags)
 
 	// Residual chains plus marking of the isolated nodes (Algorithm 7
 	// lines 6–13).
 	var marks []*xmltree.Node
 	if fs.r {
-		for scratch.RHS.Label.Kind == xmltree.Nonterminal {
-			r.inlineTemplateAt(ed, scratch.RHS, &flagSet{r: true})
+		for work.RHS.Label.Kind == xmltree.Nonterminal {
+			r.inlineTemplateAt(ed, work.RHS, &flagSet{r: true})
 		}
-		marks = append(marks, scratch.RHS)
+		marks = append(marks, work.RHS)
 	}
 	for _, y := range fs.ys {
 		for {
@@ -290,8 +366,9 @@ func (r *replacer) version(rid int32, fs *flagSet) *xmltree.Node {
 			r.inlineTemplateAt(ed, p, &flagSet{ys: []int{i + 1}})
 		}
 	}
+	r.sc.putEditor(ed)
 
-	body := scratch.RHS
+	body := work.RHS
 	if r.optimized && (r.refs0[rid] > 1 || r.born[rid]) && len(marks) > 0 {
 		body = r.exportFragments(body, marks)
 	}
@@ -318,7 +395,7 @@ func (r *replacer) inlineTemplateAt(ed *editor, call *xmltree.Node, fs *flagSet)
 // fragment of ≥ 2 unmarked, non-parameter nodes is exported into a fresh
 // rule and replaced by a call to it. Returns the (possibly new) body root.
 func (r *replacer) exportFragments(body *xmltree.Node, marks []*xmltree.Node) *xmltree.Node {
-	marked := make(map[*xmltree.Node]bool, len(marks))
+	marked := r.sc.getBoolMap()
 	for _, m := range marks {
 		marked[m] = true
 	}
@@ -342,7 +419,9 @@ func (r *replacer) exportFragments(body *xmltree.Node, marks []*xmltree.Node) *x
 		}
 		return n
 	}
-	return process(body, false)
+	out := process(body, false)
+	r.sc.putBoolMap(marked)
+	return out
 }
 
 // fragmentSize counts the connected fragmentable nodes reachable downward
@@ -362,16 +441,17 @@ func fragmentSize(n *xmltree.Node, fragmentable func(*xmltree.Node) bool) int {
 // subtrees rooted at marked or parameter nodes — become U's parameters in
 // preorder; the actual hole subtrees become the call's arguments.
 func (r *replacer) exportOne(n *xmltree.Node, fragmentable func(*xmltree.Node) bool) *xmltree.Node {
+	ar := r.sc.arena
 	var args []*xmltree.Node
 	var build func(v *xmltree.Node) *xmltree.Node
 	build = func(v *xmltree.Node) *xmltree.Node {
 		if !fragmentable(v) {
 			args = append(args, v)
-			return xmltree.New(xmltree.Param(len(args)))
+			return ar.New(xmltree.Param(len(args)))
 		}
-		cp := xmltree.New(v.Label)
+		cp := ar.New(v.Label)
 		if len(v.Children) > 0 {
-			cp.Children = make([]*xmltree.Node, len(v.Children))
+			cp.Children = ar.Children(len(v.Children))
 			for i, c := range v.Children {
 				cp.Children[i] = build(c)
 			}
@@ -382,5 +462,8 @@ func (r *replacer) exportOne(n *xmltree.Node, fragmentable func(*xmltree.Node) b
 	u := r.g.NewRule(len(args), tu)
 	r.edited[u.ID] = true
 	r.born[u.ID] = true
-	return xmltree.New(xmltree.Nonterm(u.ID), args...)
+	call := ar.New(xmltree.Nonterm(u.ID))
+	call.Children = ar.Children(len(args))
+	copy(call.Children, args)
+	return call
 }

@@ -68,11 +68,11 @@ func TestGrammar2MultipleVersions(t *testing.T) {
 
 	ix := newOccIndex(g, 4)
 	d := digram.Digram{A: a, I: 1, B: b}
-	if ix.counts[d] < 4 {
-		t.Fatalf("count(a,1,b) = %v, want several occurrences", ix.counts[d])
+	if ix.live(d) < 4 {
+		t.Fatalf("count(a,1,b) = %v, want several occurrences", ix.live(d))
 	}
 	x := g.Syms.Fresh("X", 3)
-	r := newReplacer(g, ix, d, x, true)
+	r := newReplacer(g, ix, newScratch(), d, x, true)
 	r.run()
 
 	// The ReplacementDAG must have contained multiple versions of A

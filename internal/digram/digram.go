@@ -44,22 +44,28 @@ func (d Digram) Less(o Digram) bool {
 // that assemble a final grammar convert generated terminals to
 // nonterminal calls.
 func (d Digram) PatternRHS(st *xmltree.SymbolTable) *xmltree.Node {
+	return d.PatternRHSIn(st, nil)
+}
+
+// PatternRHSIn is PatternRHS with the nodes allocated from the arena
+// (nil arena = heap).
+func (d Digram) PatternRHSIn(st *xmltree.SymbolTable, ar *xmltree.Arena) *xmltree.Node {
 	m := st.Rank(d.A)
 	n := st.Rank(d.B)
-	a := xmltree.New(xmltree.Term(d.A))
-	a.Children = make([]*xmltree.Node, m)
+	a := ar.New(xmltree.Term(d.A))
+	a.Children = ar.Children(m)
 	p := 1
 	for k := 0; k < m; k++ {
 		if k == d.I-1 {
-			b := xmltree.New(xmltree.Term(d.B))
-			b.Children = make([]*xmltree.Node, n)
+			b := ar.New(xmltree.Term(d.B))
+			b.Children = ar.Children(n)
 			for j := 0; j < n; j++ {
-				b.Children[j] = xmltree.New(xmltree.Param(p))
+				b.Children[j] = ar.New(xmltree.Param(p))
 				p++
 			}
 			a.Children[k] = b
 		} else {
-			a.Children[k] = xmltree.New(xmltree.Param(p))
+			a.Children[k] = ar.New(xmltree.Param(p))
 			p++
 		}
 	}

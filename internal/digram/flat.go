@@ -1,0 +1,159 @@
+package digram
+
+// This file implements the flat hashing substrate the compressor inner
+// loops run on: a digram packed into a single machine word, and an
+// open-addressed hash table keyed by that word. Compared with a Go
+// map[Digram]V, the flat table avoids per-entry bucket allocations,
+// hashes one uint64 instead of a 3-field struct, and supports O(capacity)
+// Clear without returning memory to the GC.
+
+// Key is a Digram packed into one uint64: A in the top 24 bits, I in the
+// middle 16, B in the low 24. Because A is the most significant field and
+// B the least, numeric Key order coincides with Digram.Less lexicographic
+// order. Key 0 never encodes a real digram (I is 1-based), so 0 doubles
+// as the table's empty-slot sentinel.
+type Key uint64
+
+const (
+	keyBBits = 24
+	keyIBits = 16
+	keyIMax  = 1<<keyIBits - 1
+	keyABMax = 1<<keyBBits - 1
+)
+
+// Key packs the digram. Symbol IDs must fit in 24 bits and the child
+// index in 16; both bounds are far above anything the compressors
+// generate (one fresh symbol per replacement round), and are checked so
+// corruption cannot pass silently.
+func (d Digram) Key() Key {
+	if uint32(d.A) > keyABMax || uint32(d.B) > keyABMax || uint(d.I) > keyIMax {
+		panic("digram: key field overflow")
+	}
+	return Key(uint64(d.A)<<(keyIBits+keyBBits) | uint64(d.I)<<keyBBits | uint64(d.B))
+}
+
+// Digram unpacks the key.
+func (k Key) Digram() Digram {
+	return Digram{
+		A: int32(k >> (keyIBits + keyBBits)),
+		I: int(uint64(k) >> keyBBits & keyIMax),
+		B: int32(uint64(k) & keyABMax),
+	}
+}
+
+// hash mixes the key into a table slot distribution (splitmix64 finisher;
+// the multiplicative constants spread the packed bit fields well).
+func (k Key) hash() uint64 {
+	h := uint64(k)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Table is an open-addressed, linear-probing hash map from Key to V.
+// There is no delete: compressor bookkeeping only ever zeroes values
+// (counts that reach 0, occurrence lists that drain), so slots are
+// reused by overwriting. Clear keeps the allocated capacity.
+//
+// The zero Table is ready to use.
+type Table[V any] struct {
+	keys []Key // len is a power of two; 0 = empty slot
+	vals []V
+	n    int // occupied slots
+}
+
+const tableMinCap = 16
+
+// Len returns the number of occupied slots (including slots whose value
+// has been zeroed by the caller).
+func (t *Table[V]) Len() int { return t.n }
+
+// Get returns the value stored for k (the zero V if absent).
+func (t *Table[V]) Get(k Key) (V, bool) {
+	if t.n == 0 {
+		var zero V
+		return zero, false
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := k.hash() & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case k:
+			return t.vals[i], true
+		case 0:
+			var zero V
+			return zero, false
+		}
+	}
+}
+
+// Ref returns a pointer to the value slot for k, inserting a zero V if
+// absent. The pointer is invalidated by the next Ref or Put on the table
+// (growth may move slots); use it immediately.
+func (t *Table[V]) Ref(k Key) *V {
+	if k == 0 {
+		panic("digram: zero key")
+	}
+	if len(t.keys) == 0 || t.n >= len(t.keys)-len(t.keys)/4 {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := k.hash() & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case k:
+			return &t.vals[i]
+		case 0:
+			t.keys[i] = k
+			t.n++
+			return &t.vals[i]
+		}
+	}
+}
+
+// Put stores v for k.
+func (t *Table[V]) Put(k Key, v V) { *t.Ref(k) = v }
+
+// Range calls f for every occupied slot until f returns false. Iteration
+// order is the (deterministic for a given insertion history) slot order;
+// callers must not depend on it and must not mutate the table during
+// iteration.
+func (t *Table[V]) Range(f func(k Key, v *V) bool) {
+	for i, k := range t.keys {
+		if k != 0 {
+			if !f(k, &t.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Clear removes every entry, keeping capacity.
+func (t *Table[V]) Clear() {
+	clear(t.keys)
+	clear(t.vals)
+	t.n = 0
+}
+
+func (t *Table[V]) grow() {
+	newCap := tableMinCap
+	if len(t.keys) > 0 {
+		newCap = len(t.keys) * 2
+	}
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]Key, newCap)
+	t.vals = make([]V, newCap)
+	mask := uint64(newCap - 1)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := k.hash() & mask
+		for t.keys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		t.keys[j] = k
+		t.vals[j] = oldVals[i]
+	}
+}

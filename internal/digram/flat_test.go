@@ -1,0 +1,117 @@
+package digram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKeyRoundTrip(t *testing.T) {
+	cases := []Digram{
+		{A: 1, I: 1, B: 0},
+		{A: 0, I: 1, B: 1},
+		{A: 5, I: 3, B: 7},
+		{A: keyABMax, I: keyIMax, B: keyABMax},
+	}
+	for _, d := range cases {
+		if got := d.Key().Digram(); got != d {
+			t.Errorf("round trip %v -> %v", d, got)
+		}
+	}
+}
+
+func TestKeyOrderMatchesLess(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := Digram{A: rng.Int31n(500), I: 1 + rng.Intn(6), B: rng.Int31n(500)}
+		b := Digram{A: rng.Int31n(500), I: 1 + rng.Intn(6), B: rng.Int31n(500)}
+		if a.Less(b) != (a.Key() < b.Key()) {
+			t.Fatalf("key order mismatch: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestKeyOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Digram{A: keyABMax + 1, I: 1, B: 0}.Key()
+}
+
+func TestTableBasics(t *testing.T) {
+	var tab Table[int]
+	ref := make(map[Key]int)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		d := Digram{A: rng.Int31n(200), I: 1 + rng.Intn(4), B: rng.Int31n(200)}
+		k := d.Key()
+		*tab.Ref(k) += i
+		ref[k] += i
+	}
+	if tab.Len() != len(ref) {
+		t.Fatalf("len: got %d want %d", tab.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := tab.Get(k)
+		if !ok || got != v {
+			t.Fatalf("get %v: got (%d,%v) want %d", k.Digram(), got, ok, v)
+		}
+	}
+	if _, ok := tab.Get(Digram{A: 9999, I: 9, B: 9999}.Key()); ok {
+		t.Fatal("phantom key present")
+	}
+	seen := 0
+	tab.Range(func(k Key, v *int) bool {
+		if *v != ref[k] {
+			t.Fatalf("range %v: got %d want %d", k.Digram(), *v, ref[k])
+		}
+		seen++
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("range visited %d of %d", seen, len(ref))
+	}
+	tab.Clear()
+	if tab.Len() != 0 {
+		t.Fatal("clear left entries")
+	}
+	if _, ok := tab.Get(Digram{A: 1, I: 1, B: 1}.Key()); ok {
+		t.Fatal("entry survived clear")
+	}
+	// Capacity is retained: refilling must not grow.
+	allocs := testing.AllocsPerRun(1, func() {
+		for k := range ref {
+			tab.Put(k, 1)
+		}
+		tab.Clear()
+	})
+	if allocs != 0 {
+		t.Fatalf("refill after clear allocated %.0f times", allocs)
+	}
+}
+
+// TestTableOpsAllocFree guards the compressor inner loop: once a table is
+// warmed, lookups and in-place updates must not allocate.
+func TestTableOpsAllocFree(t *testing.T) {
+	var tab Table[float64]
+	keys := make([]Key, 0, 512)
+	for a := int32(1); a <= 32; a++ {
+		for b := int32(1); b <= 16; b++ {
+			k := Digram{A: a, I: 1, B: b}.Key()
+			tab.Put(k, 1)
+			keys = append(keys, k)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, k := range keys {
+			*tab.Ref(k)++
+			if _, ok := tab.Get(k); !ok {
+				t.Fatal("key vanished")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("table ops allocated %.1f times per run", allocs)
+	}
+}

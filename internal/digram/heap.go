@@ -1,19 +1,22 @@
 package digram
 
-import "container/heap"
-
 // Queue is a max-priority queue of digram frequencies with lazy
 // invalidation: every frequency change pushes a fresh entry, and stale
 // entries (whose recorded count no longer matches the live count supplied
 // at pop time) are discarded. This is the standard trick for RePair-style
 // compressors whose counts change by small deltas on every replacement.
 //
+// The heap is hand-rolled over a concrete entry slice rather than
+// container/heap: the interface-based API boxes every pushed and popped
+// element into an allocation, and Update/PopBest sit on the hottest
+// compressor path.
+//
 // Frequencies are float64 because GrammarRePair weights generators by rule
 // usage counts, which grow exponentially on highly compressible grammars.
 // Ties are broken by lexicographic digram order so compression runs are
 // deterministic.
 type Queue struct {
-	h entryHeap
+	h []entry
 }
 
 type entry struct {
@@ -21,23 +24,59 @@ type entry struct {
 	d     Digram
 }
 
-type entryHeap []entry
-
-func (h entryHeap) Len() int { return len(h) }
-func (h entryHeap) Less(i, j int) bool {
-	if h[i].count != h[j].count {
-		return h[i].count > h[j].count
+// less orders entries max-first by count, then by digram order.
+func (q *Queue) less(i, j int) bool {
+	if q.h[i].count != q.h[j].count {
+		return q.h[i].count > q.h[j].count
 	}
-	return h[i].d.Less(h[j].d)
+	return q.h[i].d.Less(q.h[j].d)
 }
-func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *entryHeap) Push(x any)   { *h = append(*h, x.(entry)) }
-func (h *entryHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (q *Queue) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !q.less(j, i) {
+			break
+		}
+		q.h[i], q.h[j] = q.h[j], q.h[i]
+		j = i
+	}
+}
+
+func (q *Queue) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q.less(j2, j1) {
+			j = j2
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q.h[i], q.h[j] = q.h[j], q.h[i]
+		i = j
+	}
+}
 
 // Update records a new frequency for d. Call it after every change,
 // including decreases; older entries become stale automatically.
 func (q *Queue) Update(d Digram, count float64) {
-	heap.Push(&q.h, entry{count: count, d: d})
+	q.h = append(q.h, entry{count: count, d: d})
+	q.up(len(q.h) - 1)
+}
+
+// pop removes and returns the best entry.
+func (q *Queue) pop() entry {
+	n := len(q.h) - 1
+	q.h[0], q.h[n] = q.h[n], q.h[0]
+	q.down(0, n)
+	e := q.h[n]
+	q.h = q.h[:n]
+	return e
 }
 
 // PopBest returns the digram with the highest live frequency ≥ 2.
@@ -45,8 +84,8 @@ func (q *Queue) Update(d Digram, count float64) {
 // whose recorded count differs from the live count are discarded.
 // Returns ok=false when no digram with live frequency ≥ 2 remains.
 func (q *Queue) PopBest(live func(Digram) float64) (Digram, float64, bool) {
-	for q.h.Len() > 0 {
-		e := heap.Pop(&q.h).(entry)
+	for len(q.h) > 0 {
+		e := q.pop()
 		cur := live(e.d)
 		if cur != e.count {
 			continue // stale
@@ -60,7 +99,7 @@ func (q *Queue) PopBest(live func(Digram) float64) (Digram, float64, bool) {
 }
 
 // Len returns the number of (possibly stale) queued entries.
-func (q *Queue) Len() int { return q.h.Len() }
+func (q *Queue) Len() int { return len(q.h) }
 
 // Reset empties the queue.
 func (q *Queue) Reset() { q.h = q.h[:0] }

@@ -1,0 +1,60 @@
+package navigate
+
+import (
+	"testing"
+
+	"repro/internal/treerepair"
+	"repro/internal/xmltree"
+)
+
+// TestCursorMovesAllocFree guards the navigation hot path: once the
+// cursor's internal stacks have warmed up, Child and Parent moves must
+// not allocate (no per-move frame-stack snapshots, no map creep).
+func TestCursorMovesAllocFree(t *testing.T) {
+	// A repetitive document compresses into a deeply rule-nested grammar,
+	// which is the case where per-move snapshots used to cost O(depth).
+	root := xmltree.NewUnranked("root")
+	for i := 0; i < 64; i++ {
+		root.Children = append(root.Children, xmltree.NewUnranked("entry",
+			xmltree.NewUnranked("a"), xmltree.NewUnranked("b"), xmltree.NewUnranked("c")))
+	}
+	doc := root.Binary()
+	g, _ := treerepair.Compress(doc, treerepair.Options{})
+
+	c, err := NewCursor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	descend := func() int {
+		depth := 0
+		for !c.IsBottom() {
+			if err := c.FirstChild(); err != nil {
+				t.Fatal(err)
+			}
+			depth++
+		}
+		for i := 0; i < depth; i++ {
+			if err := c.Parent(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return depth
+	}
+	if d := descend(); d < 3 {
+		t.Fatalf("fixture too shallow (depth %d)", d)
+	}
+	allocs := testing.AllocsPerRun(50, func() { descend() })
+	if allocs != 0 {
+		t.Fatalf("cursor moves allocated %.1f times per descent", allocs)
+	}
+
+	// A full bounded Walk after warm-up may allocate only its closures,
+	// independent of the number of nodes visited.
+	c.Walk(0, func(string, int) bool { return true })
+	allocs = testing.AllocsPerRun(20, func() {
+		c.Walk(0, func(string, int) bool { return true })
+	})
+	if allocs > 4 {
+		t.Fatalf("cursor Walk allocated %.1f times per traversal", allocs)
+	}
+}

@@ -18,59 +18,84 @@ type frame struct {
 	call *xmltree.Node
 }
 
-// crumb remembers a downward move so Parent can undo it exactly.
+// crumb remembers a downward move so Parent can undo it exactly. Instead
+// of snapshotting the whole frame stack (O(depth) copy and allocation per
+// move), it records how far the move popped into the pre-move stack
+// (minLen) and where the popped frames were parked on the cursor's saved
+// stack — restoring is then O(frames touched by the move).
 type crumb struct {
-	node   *xmltree.Node
-	frames []frame // the frame stack before the move (shared backing ok: frames are append-only per path)
+	node     *xmltree.Node
+	minLen   int32 // frame-stack length the move popped down to
+	savedOff int32 // offset of the popped frames in Cursor.saved
 }
 
 // Cursor is a read-only position in val_G(S). All moves cost time
-// proportional to the grammar's rule-nesting depth, never to the tree.
+// proportional to the grammar's rule-nesting depth, never to the tree,
+// and allocate nothing once the internal stacks have warmed up.
 type Cursor struct {
 	g      *grammar.Grammar
 	node   *xmltree.Node // current node, always a terminal
 	frames []frame       // active call stack, innermost last
 	trail  []crumb       // breadcrumbs for Parent
+	saved  []frame       // LIFO park of frames popped by downward moves
 }
 
 // NewCursor returns a cursor at the root of val_G(S).
 func NewCursor(g *grammar.Grammar) (*Cursor, error) {
 	c := &Cursor{g: g}
-	n, frames, err := c.normalize(g.StartRule().RHS, nil)
+	n, _, err := c.normalize(g.StartRule().RHS, 0)
 	if err != nil {
 		return nil, err
 	}
 	c.node = n
-	c.frames = frames
 	return c, nil
 }
 
 // normalize resolves a body position to the terminal it derives: entering
 // nonterminal calls (pushing frames) and exiting through parameters
-// (popping frames and continuing at the bound argument).
-func (c *Cursor) normalize(n *xmltree.Node, frames []frame) (*xmltree.Node, []frame, error) {
+// (popping frames and continuing at the bound argument). It mutates
+// c.frames in place; base is the stack length at move start, and every
+// frame popped from below the running minimum is appended to c.saved so
+// the move can be undone. Returns the terminal and the minimum stack
+// length reached.
+func (c *Cursor) normalize(n *xmltree.Node, base int) (*xmltree.Node, int, error) {
+	minLen := base
 	for {
 		switch n.Label.Kind {
 		case xmltree.Terminal:
-			return n, frames, nil
+			return n, minLen, nil
 		case xmltree.Nonterminal:
 			rule := c.g.Rule(n.Label.ID)
 			if rule == nil {
-				return nil, nil, fmt.Errorf("navigate: missing rule N%d", n.Label.ID)
+				return nil, minLen, fmt.Errorf("navigate: missing rule N%d", n.Label.ID)
 			}
-			frames = append(frames, frame{call: n})
+			c.frames = append(c.frames, frame{call: n})
 			n = rule.RHS
 		case xmltree.Parameter:
-			if len(frames) == 0 {
-				return nil, nil, fmt.Errorf("navigate: unbound parameter y%d", n.Label.ID)
+			if len(c.frames) == 0 {
+				return nil, minLen, fmt.Errorf("navigate: unbound parameter y%d", n.Label.ID)
 			}
-			top := frames[len(frames)-1]
-			frames = frames[:len(frames)-1]
+			top := c.frames[len(c.frames)-1]
+			if len(c.frames) <= minLen {
+				c.saved = append(c.saved, top)
+				minLen = len(c.frames) - 1
+			}
+			c.frames = c.frames[:len(c.frames)-1]
 			n = top.call.Children[n.Label.ID-1]
 		default:
-			return nil, nil, fmt.Errorf("navigate: bad symbol")
+			return nil, minLen, fmt.Errorf("navigate: bad symbol")
 		}
 	}
+}
+
+// restore undoes a move's frame-stack effects: it truncates to the move's
+// minimum length and replays the parked frames in reverse pop order.
+func (c *Cursor) restore(minLen, savedOff int) {
+	c.frames = c.frames[:minLen]
+	for j := len(c.saved) - 1; j >= savedOff; j-- {
+		c.frames = append(c.frames, c.saved[j])
+	}
+	c.saved = c.saved[:savedOff]
 }
 
 // Label returns the current node's label name (e.g. the element name, or
@@ -91,18 +116,19 @@ func (c *Cursor) Child(i int) error {
 	if i < 0 || i >= len(c.node.Children) {
 		return fmt.Errorf("navigate: child %d of rank-%d node", i, len(c.node.Children))
 	}
-	// Save restore-state: frames slices grow append-only along one path,
-	// so copying the slice header with an explicit clone keeps Parent
-	// exact even after pops.
-	saved := make([]frame, len(c.frames))
-	copy(saved, c.frames)
-	n, frames, err := c.normalize(c.node.Children[i], c.frames)
+	base := len(c.frames)
+	savedOff := len(c.saved)
+	n, minLen, err := c.normalize(c.node.Children[i], base)
 	if err != nil {
+		c.restore(minLen, savedOff) // leave the cursor where it was
 		return err
 	}
-	c.trail = append(c.trail, crumb{node: c.node, frames: saved})
+	c.trail = append(c.trail, crumb{
+		node:     c.node,
+		minLen:   int32(minLen),
+		savedOff: int32(savedOff),
+	})
 	c.node = n
-	c.frames = frames
 	return nil
 }
 
@@ -120,7 +146,7 @@ func (c *Cursor) Parent() error {
 	top := c.trail[len(c.trail)-1]
 	c.trail = c.trail[:len(c.trail)-1]
 	c.node = top.node
-	c.frames = top.frames
+	c.restore(int(top.minLen), int(top.savedOff))
 	return nil
 }
 

@@ -4,6 +4,12 @@
 // (the Larsson–Moffat style bookkeeping the paper refers to), so the whole
 // compression runs in near-linear time.
 //
+// The mutable working tree lives in a chunked node arena addressed by
+// int32 indices, occurrence sets are flat-hashed on packed digram keys,
+// and each node carries its occurrence-list position intrusively (one slot
+// per child edge), so the inner loop performs no per-node heap allocation
+// and no pointer-keyed map probes.
+//
 // The udc baseline (update–decompress–compress) and Fig. 6's
 // "decompress + compress" series are built on this package.
 package treerepair
@@ -64,50 +70,86 @@ func CompressTree(st *xmltree.SymbolTable, root *xmltree.Node, opt Options) (*gr
 	return g, e.stats
 }
 
-// tnode is the mutable tree node used during compression: a plain terminal
-// tree with parent links so occurrences can be replaced in O(1).
+// tnode is the mutable tree node used during compression. Nodes live in a
+// chunked arena and reference each other by int32 index; children and occ
+// are carved from a shared int32 slab. occ[i] is the node's position in
+// the occurrence list of the digram (label, i+1, label(children[i])) when
+// the node is a stored occurrence parent for child edge i, and -1
+// otherwise — the intrusive replacement for the old per-set position map.
 type tnode struct {
 	label    int32
-	parent   *tnode
-	idx      int // index within parent.children
-	children []*tnode
+	parent   int32 // arena index of the parent; -1 for the root
+	idx      int32 // index within parent's children
+	children []int32
+	occ      []int32
 }
 
-// occSet is an order-preserving set of occurrence parents with O(1)
-// membership, insertion, and deletion (swap-delete keeps iteration
-// deterministic given a deterministic operation sequence).
-type occSet struct {
-	items []*tnode
-	pos   map[*tnode]int
+const (
+	nilNode       = int32(-1)
+	nodeChunkBits = 13
+	nodeChunkSize = 1 << nodeChunkBits
+)
+
+// nodeArena allocates tnodes in fixed-size chunks. Chunk backing arrays
+// never move, so *tnode pointers obtained via at() stay valid across
+// later allocations. Freed nodes are recycled through a freelist, which
+// bounds arena growth by the input size (each replacement frees two nodes
+// and allocates one).
+type nodeArena struct {
+	chunks [][]tnode
+	free   []int32
+	n      int32 // high-water mark of allocated indices
 }
 
-func newOccSet() *occSet { return &occSet{pos: make(map[*tnode]int)} }
-
-func (s *occSet) contains(v *tnode) bool { _, ok := s.pos[v]; return ok }
-
-func (s *occSet) add(v *tnode) bool {
-	if s.contains(v) {
-		return false
+func (a *nodeArena) alloc() int32 {
+	if n := len(a.free); n > 0 {
+		id := a.free[n-1]
+		a.free = a.free[:n-1]
+		*a.at(id) = tnode{}
+		return id
 	}
-	s.pos[v] = len(s.items)
-	s.items = append(s.items, v)
-	return true
-}
-
-func (s *occSet) remove(v *tnode) bool {
-	i, ok := s.pos[v]
-	if !ok {
-		return false
+	if int(a.n)>>nodeChunkBits >= len(a.chunks) {
+		a.chunks = append(a.chunks, make([]tnode, nodeChunkSize))
 	}
-	last := len(s.items) - 1
-	s.items[i] = s.items[last]
-	s.pos[s.items[i]] = i
-	s.items = s.items[:last]
-	delete(s.pos, v)
-	return true
+	id := a.n
+	a.n++
+	return id
 }
 
-func (s *occSet) len() int { return len(s.items) }
+func (a *nodeArena) at(id int32) *tnode {
+	return &a.chunks[id>>nodeChunkBits][id&(nodeChunkSize-1)]
+}
+
+// release recycles a node. The caller must have removed every occurrence
+// reference to it first; stale indices held elsewhere (e.g. a replacement
+// snapshot) are harmless because the recycled node's label can never match
+// the digram being replaced.
+func (a *nodeArena) release(id int32) { a.free = append(a.free, id) }
+
+// i32Slab hands out []int32 scratch carved from chunked buffers. Slices
+// are never reclaimed individually; superseded ones simply leak into their
+// chunk, which the replacement freelist keeps bounded.
+type i32Slab struct {
+	cur []int32
+}
+
+const i32ChunkSize = 1 << 14
+
+func (s *i32Slab) alloc(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	if len(s.cur) < n {
+		size := i32ChunkSize
+		if n > size {
+			size = n
+		}
+		s.cur = make([]int32, size)
+	}
+	out := s.cur[:n:n]
+	s.cur = s.cur[n:]
+	return out
+}
 
 type madeRule struct {
 	term int32 // the generated terminal standing for X
@@ -116,12 +158,15 @@ type madeRule struct {
 
 type engine struct {
 	st      *xmltree.SymbolTable
-	root    *tnode
+	arena   nodeArena
+	slab    i32Slab
+	root    int32
 	maxRank int
 
-	occs  map[digram.Digram]*occSet
+	occs  digram.Table[[]int32] // packed digram key -> stored parent indices
 	queue digram.Queue
 	rules []madeRule
+	snap  []int32 // reusable replacement snapshot
 
 	nodeCount int // live nodes in the tree
 	ruleEdges int // Σ edges of created rules
@@ -134,30 +179,34 @@ func newEngine(st *xmltree.SymbolTable, root *xmltree.Node, maxRank int) *engine
 	e := &engine{
 		st:      st,
 		maxRank: maxRank,
-		occs:    make(map[digram.Digram]*occSet),
 		stats:   &Stats{InputEdges: root.Edges()},
 	}
-	e.root = e.convert(root, nil, 0)
+	e.root = e.convert(root, nilNode, 0)
 	e.nodeCount = root.Size()
 	return e
 }
 
-func (e *engine) convert(n *xmltree.Node, parent *tnode, idx int) *tnode {
-	t := &tnode{label: n.Label.ID, parent: parent, idx: idx}
+func (e *engine) convert(n *xmltree.Node, parent, idx int32) int32 {
+	id := e.arena.alloc()
+	t := e.arena.at(id)
+	t.label = n.Label.ID
+	t.parent = parent
+	t.idx = idx
 	if len(n.Children) > 0 {
-		t.children = make([]*tnode, len(n.Children))
+		t.children = e.slab.alloc(len(n.Children))
+		t.occ = e.slab.alloc(len(n.Children))
 		for i, c := range n.Children {
-			t.children[i] = e.convert(c, t, i)
+			t.occ[i] = -1
+			// t stays valid: arena chunks never move.
+			t.children[i] = e.convert(c, id, int32(i))
 		}
 	}
-	return t
+	return id
 }
 
 func (e *engine) liveCount(d digram.Digram) float64 {
-	if s := e.occs[d]; s != nil {
-		return float64(s.len())
-	}
-	return 0
+	s, _ := e.occs.Get(d.Key())
+	return float64(len(s))
 }
 
 // tracked reports whether occurrences of d are worth tracking: only
@@ -167,53 +216,84 @@ func (e *engine) tracked(d digram.Digram) bool {
 	return d.Rank(e.st) <= e.maxRank
 }
 
-// tryAdd registers the occurrence whose tree parent is v for digram d,
+// stored reports whether v is currently a stored occurrence parent for
+// digram d. The label checks make the answer exact even when v's index
+// was recycled or v sits in a different digram's list at the same child
+// edge.
+func (e *engine) stored(v *tnode, d digram.Digram) bool {
+	i := d.I - 1
+	return v.label == d.A && i < len(v.children) &&
+		v.occ[i] >= 0 && e.arena.at(v.children[i]).label == d.B
+}
+
+// tryAdd registers the occurrence whose tree parent is vid for digram d,
 // enforcing the non-overlap rule for equal-label digrams: the child must
 // not already be a stored parent, and the parent must not already be a
 // stored child (i.e. v sits at child index d.I of a stored parent).
-func (e *engine) tryAdd(v *tnode, d digram.Digram) {
+func (e *engine) tryAdd(vid int32, d digram.Digram) {
 	if !e.tracked(d) {
 		return
 	}
-	s := e.occs[d]
-	if s == nil {
-		s = newOccSet()
-		e.occs[d] = s
-	}
+	v := e.arena.at(vid)
 	if d.EqualLabels() {
-		w := v.children[d.I-1]
-		if s.contains(w) {
+		w := e.arena.at(v.children[d.I-1])
+		if e.stored(w, d) {
 			return
 		}
-		if v.parent != nil && v.idx == d.I-1 && v.parent.label == d.A && s.contains(v.parent) {
-			return
+		if v.parent != nilNode && int(v.idx) == d.I-1 {
+			if p := e.arena.at(v.parent); p.label == d.A && e.stored(p, d) {
+				return
+			}
 		}
 	}
-	if s.add(v) {
-		e.churn++
-		e.queue.Update(d, float64(s.len()))
+	if v.occ[d.I-1] >= 0 {
+		return // already stored
 	}
+	lst := e.occs.Ref(d.Key())
+	v.occ[d.I-1] = int32(len(*lst))
+	*lst = append(*lst, vid)
+	e.churn++
+	e.queue.Update(d, float64(len(*lst)))
 }
 
-func (e *engine) removeOcc(v *tnode, d digram.Digram) {
-	if s := e.occs[d]; s != nil && s.remove(v) {
-		e.churn++
-		e.queue.Update(d, float64(s.len()))
+func (e *engine) removeOcc(vid int32, d digram.Digram) {
+	v := e.arena.at(vid)
+	i := d.I - 1
+	if i >= len(v.occ) || v.occ[i] < 0 {
+		return
 	}
+	// Callers construct d from the node's current labels, so occ[i] ≥ 0
+	// means v sits in exactly d's occurrence list.
+	lst := e.occs.Ref(d.Key())
+	pos := v.occ[i]
+	last := len(*lst) - 1
+	moved := (*lst)[last]
+	(*lst)[pos] = moved
+	e.arena.at(moved).occ[i] = pos
+	*lst = (*lst)[:last]
+	v.occ[i] = -1
+	e.churn++
+	e.queue.Update(d, float64(last))
 }
 
 // buildOccurrences scans the whole tree in postorder (bottom-up greedy,
 // as TreeRePair does) and registers every non-overlapping occurrence.
+// Intrusive positions are wiped preorder (parents before their subtrees)
+// so the postorder re-registration never sees stale state.
 func (e *engine) buildOccurrences() {
-	e.occs = make(map[digram.Digram]*occSet)
+	e.occs.Clear()
 	e.queue.Reset()
-	var rec func(v *tnode)
-	rec = func(v *tnode) {
+	var rec func(vid int32)
+	rec = func(vid int32) {
+		v := e.arena.at(vid)
+		for i := range v.occ {
+			v.occ[i] = -1
+		}
 		for _, c := range v.children {
 			rec(c)
 		}
 		for i, c := range v.children {
-			e.tryAdd(v, digram.Digram{A: v.label, I: i + 1, B: c.label})
+			e.tryAdd(vid, digram.Digram{A: v.label, I: i + 1, B: e.arena.at(c).label})
 		}
 	}
 	rec(e.root)
@@ -235,22 +315,21 @@ func (e *engine) maybeRebuild() {
 // terminal X and performs the Section IV-C context updates around each
 // replacement site.
 func (e *engine) replaceAll(d digram.Digram) {
-	s := e.occs[d]
-	if s == nil || s.len() < 2 {
+	s, _ := e.occs.Get(d.Key())
+	if len(s) < 2 {
 		return
 	}
 	x := e.st.Fresh("X", d.Rank(e.st))
 	e.rules = append(e.rules, madeRule{term: x, d: d})
 	e.ruleEdges += e.st.Rank(d.A) + e.st.Rank(d.B)
 
-	snapshot := append([]*tnode(nil), s.items...)
-	for _, v := range snapshot {
-		if !s.contains(v) {
+	e.snap = append(e.snap[:0], s...)
+	for _, vid := range e.snap {
+		if !e.stored(e.arena.at(vid), d) {
 			continue
 		}
-		e.replaceOne(v, d, x)
+		e.replaceOne(vid, d, x)
 	}
-	delete(e.occs, d)
 	e.stats.Rounds++
 	size := e.grammarSizeNow()
 	e.stats.Sizes = append(e.stats.Sizes, size)
@@ -263,43 +342,62 @@ func (e *engine) grammarSizeNow() int {
 	return (e.nodeCount - 1) + e.ruleEdges
 }
 
-func (e *engine) replaceOne(v *tnode, d digram.Digram, x int32) {
-	w := v.children[d.I-1]
+func (e *engine) replaceOne(vid int32, d digram.Digram, x int32) {
+	v := e.arena.at(vid)
+	wid := v.children[d.I-1]
+	w := e.arena.at(wid)
 	// Context removals: every stored occurrence that shares a node with
 	// (v, w) is keyed by p (parent of v), by v, or by w.
-	if p := v.parent; p != nil {
-		e.removeOcc(p, digram.Digram{A: p.label, I: v.idx + 1, B: v.label})
+	if v.parent != nilNode {
+		p := e.arena.at(v.parent)
+		e.removeOcc(v.parent, digram.Digram{A: p.label, I: int(v.idx) + 1, B: v.label})
 	}
 	for i, c := range v.children {
-		e.removeOcc(v, digram.Digram{A: v.label, I: i + 1, B: c.label})
+		e.removeOcc(vid, digram.Digram{A: v.label, I: i + 1, B: e.arena.at(c).label})
 	}
 	for i, c := range w.children {
-		e.removeOcc(w, digram.Digram{A: w.label, I: i + 1, B: c.label})
+		e.removeOcc(wid, digram.Digram{A: w.label, I: i + 1, B: e.arena.at(c).label})
 	}
 
 	// Structural replacement: X(v.1..v.(i-1), w.1..w.n, v.(i+1)..v.m).
-	nc := make([]*tnode, 0, len(v.children)-1+len(w.children))
-	nc = append(nc, v.children[:d.I-1]...)
-	nc = append(nc, w.children...)
-	nc = append(nc, v.children[d.I:]...)
-	xn := &tnode{label: x, parent: v.parent, idx: v.idx, children: nc}
+	n := len(v.children) - 1 + len(w.children)
+	nc := e.slab.alloc(n)
+	occ := e.slab.alloc(n)
+	k := copy(nc, v.children[:d.I-1])
+	k += copy(nc[k:], w.children)
+	copy(nc[k:], v.children[d.I:])
+	parent, idx := v.parent, v.idx
+	// v and w are fully detached (no occurrence references remain); let the
+	// arena recycle them. v/w must not be touched below this point.
+	e.arena.release(vid)
+	e.arena.release(wid)
+	xid := e.arena.alloc()
+	xn := e.arena.at(xid)
+	xn.label = x
+	xn.parent = parent
+	xn.idx = idx
+	xn.children = nc
+	xn.occ = occ
 	for i, c := range nc {
-		c.parent = xn
-		c.idx = i
+		occ[i] = -1
+		cn := e.arena.at(c)
+		cn.parent = xid
+		cn.idx = int32(i)
 	}
-	if v.parent == nil {
-		e.root = xn
+	if parent == nilNode {
+		e.root = xid
 	} else {
-		v.parent.children[v.idx] = xn
+		e.arena.at(parent).children[idx] = xid
 	}
 	e.nodeCount--
 
 	// Context additions: (p, X) and (X, c) digrams.
-	if p := xn.parent; p != nil {
-		e.tryAdd(p, digram.Digram{A: p.label, I: xn.idx + 1, B: x})
+	if parent != nilNode {
+		p := e.arena.at(parent)
+		e.tryAdd(parent, digram.Digram{A: p.label, I: int(idx) + 1, B: x})
 	}
-	for i, c := range xn.children {
-		e.tryAdd(xn, digram.Digram{A: x, I: i + 1, B: c.label})
+	for i, c := range nc {
+		e.tryAdd(xid, digram.Digram{A: x, I: i + 1, B: e.arena.at(c).label})
 	}
 }
 
@@ -331,7 +429,8 @@ func (e *engine) convertPattern(n *xmltree.Node, ntOf map[int32]int32) *xmltree.
 	return n
 }
 
-func (e *engine) convertTree(v *tnode, ntOf map[int32]int32) *xmltree.Node {
+func (e *engine) convertTree(vid int32, ntOf map[int32]int32) *xmltree.Node {
+	v := e.arena.at(vid)
 	var lbl xmltree.Symbol
 	if nt, ok := ntOf[v.label]; ok {
 		lbl = xmltree.Nonterm(nt)

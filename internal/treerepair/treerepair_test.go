@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/digram"
 	"repro/internal/grammar"
 	"repro/internal/xmltree"
 )
@@ -205,23 +206,54 @@ func TestPropertyCompressedNotLarger(t *testing.T) {
 	}
 }
 
-func TestOccSet(t *testing.T) {
-	s := newOccSet()
-	a, b, c := &tnode{}, &tnode{}, &tnode{}
-	if !s.add(a) || !s.add(b) {
-		t.Fatal("adds should succeed")
+// TestIntrusiveOccBookkeeping checks add/remove/stored behaviour of the
+// intrusive occurrence positions (the replacement for the old occSet
+// position map) on a(b, b, a(b, b, b)): digram (a,1,b) occurs twice
+// (parents: root and the inner a).
+func TestIntrusiveOccBookkeeping(t *testing.T) {
+	st := xmltree.NewSymbolTable()
+	a := st.Intern("a", 3)
+	b := st.Intern("b", 0)
+	tree := xmltree.New(xmltree.Term(a),
+		xmltree.New(xmltree.Term(b)),
+		xmltree.New(xmltree.Term(b)),
+		xmltree.New(xmltree.Term(a),
+			xmltree.New(xmltree.Term(b)),
+			xmltree.New(xmltree.Term(b)),
+			xmltree.New(xmltree.Term(b))))
+	e := newEngine(st.Clone(), tree, 4)
+	e.buildOccurrences()
+
+	d := digram.Digram{A: a, I: 1, B: b}
+	if got := e.liveCount(d); got != 2 {
+		t.Fatalf("liveCount(%v) = %v, want 2", d, got)
 	}
-	if s.add(a) {
-		t.Fatal("duplicate add must fail")
+	root := e.arena.at(e.root)
+	if !e.stored(root, d) {
+		t.Fatal("root must be a stored parent of (a,1,b)")
 	}
-	if !s.contains(a) || s.contains(c) {
-		t.Fatal("contains wrong")
+	inner := root.children[2]
+	if !e.stored(e.arena.at(inner), d) {
+		t.Fatal("inner a must be a stored parent of (a,1,b)")
 	}
-	if !s.remove(a) || s.remove(a) {
-		t.Fatal("remove semantics wrong")
+	// Double-add must be a no-op.
+	churn := e.churn
+	e.tryAdd(e.root, d)
+	if e.churn != churn || e.liveCount(d) != 2 {
+		t.Fatal("duplicate add must not change state")
 	}
-	if s.len() != 1 || !s.contains(b) {
-		t.Fatal("state after remove wrong")
+	// Remove root's occurrence; the swapped-in survivor keeps a correct
+	// intrusive position.
+	e.removeOcc(e.root, d)
+	if e.stored(root, d) {
+		t.Fatal("root still stored after remove")
+	}
+	if e.liveCount(d) != 1 || !e.stored(e.arena.at(inner), d) {
+		t.Fatal("survivor lost after swap-delete")
+	}
+	e.removeOcc(e.root, d) // second remove is a no-op
+	if e.liveCount(d) != 1 {
+		t.Fatal("double remove changed state")
 	}
 }
 

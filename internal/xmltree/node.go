@@ -24,37 +24,12 @@ func New(label Symbol, children ...*Node) *Node {
 func NewBottom() *Node { return &Node{Label: Bottom} }
 
 // Copy returns a deep copy of the subtree rooted at n.
-func (n *Node) Copy() *Node {
-	if n == nil {
-		return nil
-	}
-	cp := &Node{Label: n.Label}
-	if len(n.Children) > 0 {
-		cp.Children = make([]*Node, len(n.Children))
-		for i, c := range n.Children {
-			cp.Children[i] = c.Copy()
-		}
-	}
-	return cp
-}
+func (n *Node) Copy() *Node { return n.CopyIn(nil) }
 
 // CopyMapped deep-copies the subtree and records the mapping from original
 // nodes to their copies in m (which must be non-nil). Used when rule
 // versions need to re-locate digram occurrence generators inside the copy.
-func (n *Node) CopyMapped(m map[*Node]*Node) *Node {
-	if n == nil {
-		return nil
-	}
-	cp := &Node{Label: n.Label}
-	m[n] = cp
-	if len(n.Children) > 0 {
-		cp.Children = make([]*Node, len(n.Children))
-		for i, c := range n.Children {
-			cp.Children[i] = c.CopyMapped(m)
-		}
-	}
-	return cp
-}
+func (n *Node) CopyMapped(m map[*Node]*Node) *Node { return n.CopyMappedIn(m, nil) }
 
 // Size returns the number of nodes in the subtree rooted at n
 // (terminals including ⊥, nonterminals, and parameters all count).

@@ -1,0 +1,136 @@
+// Parity harness: pins the exact grammars (and run statistics) that
+// TreeRePair and GrammarRePair produce on the test corpora. Performance
+// refactors of the compressor substrate must not change a single byte of
+// output; this test fails loudly if they do.
+//
+// Regenerate the golden file after an *intentional* algorithmic change:
+//
+//	go test -run TestCompressionParity -update-parity
+package sltgrammar_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	sltgrammar "repro"
+	"repro/internal/datasets"
+	"repro/internal/workload"
+)
+
+var updateParity = flag.Bool("update-parity", false, "rewrite testdata/parity.json from the current implementation")
+
+const (
+	parityFile  = "testdata/parity.json"
+	parityScale = 0.05
+	paritySeed  = 20160516
+)
+
+// paritySnap records one compression run: a hash of the deterministic
+// grammar rendering plus the full statistics struct (flattened to JSON).
+type paritySnap struct {
+	GrammarSHA string          `json:"grammar_sha256"`
+	Size       int             `json:"size"`
+	Rules      int             `json:"rules"`
+	Stats      json.RawMessage `json:"stats"`
+}
+
+func snapOf(g *sltgrammar.Grammar, stats any) paritySnap {
+	sum := sha256.Sum256([]byte(g.String()))
+	raw, err := json.Marshal(stats)
+	if err != nil {
+		panic(err)
+	}
+	return paritySnap{
+		GrammarSHA: hex.EncodeToString(sum[:]),
+		Size:       g.Size(),
+		Rules:      g.NumRules(),
+		Stats:      raw,
+	}
+}
+
+// collectParity runs every pinned compression scenario and returns the
+// snapshots keyed by scenario name.
+func collectParity() map[string]paritySnap {
+	out := make(map[string]paritySnap)
+	for _, c := range datasets.Corpora() {
+		u := c.Generate(parityScale, paritySeed)
+		doc := sltgrammar.Encode(u)
+
+		// TreeRePair on the document.
+		gTR, stTR := sltgrammar.Compress(doc)
+		out[c.Short+"/treerepair"] = snapOf(gTR, stTR)
+
+		// GrammarRePair applied to the tree.
+		gGR, stGR := sltgrammar.CompressTreeGR(doc)
+		out[c.Short+"/grammarrepair-tree"] = snapOf(gGR, stGR)
+
+		// GrammarRePair recompressing an update-degraded grammar, in both
+		// optimized and non-optimized replacement modes.
+		ops := workload.Renames(doc, 40, 7)
+		base := gTR.Clone()
+		if err := sltgrammar.ApplyAll(base, ops); err != nil {
+			panic(fmt.Sprintf("%s: applying renames: %v", c.Short, err))
+		}
+		gRe, stRe := sltgrammar.Recompress(base.Clone())
+		out[c.Short+"/recompress-opt"] = snapOf(gRe, stRe)
+		gReN, stReN := sltgrammar.Recompress(base.Clone(), sltgrammar.Options{NoOptimize: true})
+		out[c.Short+"/recompress-noopt"] = snapOf(gReN, stReN)
+	}
+	return out
+}
+
+func TestCompressionParity(t *testing.T) {
+	got := collectParity()
+	if *updateParity {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(parityFile, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d scenarios)", parityFile, len(got))
+		return
+	}
+	raw, err := os.ReadFile(parityFile)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-parity first): %v", err)
+	}
+	var want map[string]paritySnap
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Errorf("scenario count changed: got %d, want %d", len(got), len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("%s: scenario missing", name)
+			continue
+		}
+		if g.GrammarSHA != w.GrammarSHA || g.Size != w.Size || g.Rules != w.Rules {
+			t.Errorf("%s: grammar diverged: got (sha=%s size=%d rules=%d), want (sha=%s size=%d rules=%d)",
+				name, g.GrammarSHA[:12], g.Size, g.Rules, w.GrammarSHA[:12], w.Size, w.Rules)
+		}
+		var gs, ws map[string]any
+		if err := json.Unmarshal(g.Stats, &gs); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(w.Stats, &ws); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gs, ws) {
+			t.Errorf("%s: stats diverged:\n got %v\nwant %v", name, gs, ws)
+		}
+	}
+}
