@@ -132,6 +132,26 @@ func BenchmarkRecompressGrammarRePair(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreUpdateStream measures the Store update path (cached size
+// vectors, one GC per batch) against BenchmarkPerOpUpdateStream on the
+// identical pinned workload; the ratio is the update-serving speedup
+// recorded in BENCH_<n>.json.
+func BenchmarkStoreUpdateStream(b *testing.B) {
+	for _, short := range benchsuite.MicroShorts {
+		c, _ := datasets.ByShort(short)
+		b.Run(c.Name, benchsuite.StoreUpdateStreamBench(short))
+	}
+}
+
+// BenchmarkPerOpUpdateStream is the baseline: a fresh ValSizes pass per
+// operation and a garbage collection after every delete.
+func BenchmarkPerOpUpdateStream(b *testing.B) {
+	for _, short := range benchsuite.MicroShorts {
+		c, _ := datasets.ByShort(short)
+		b.Run(c.Name, benchsuite.PerOpUpdateStreamBench(short))
+	}
+}
+
 func BenchmarkUpdateRename(b *testing.B) {
 	c, _ := datasets.ByShort("XM")
 	u := c.Generate(0.08, 1)

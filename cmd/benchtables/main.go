@@ -199,6 +199,12 @@ func writeBenchJSON(n int, cfg experiments.Config) error {
 	for _, short := range benchsuite.MicroShorts {
 		add("RecompressGrammarRePair/"+short, benchsuite.RecompressBench(short))
 	}
+	for _, short := range benchsuite.MicroShorts {
+		add("StoreUpdateStream/"+short, benchsuite.StoreUpdateStreamBench(short))
+	}
+	for _, short := range benchsuite.MicroShorts {
+		add("PerOpUpdateStream/"+short, benchsuite.PerOpUpdateStreamBench(short))
+	}
 
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

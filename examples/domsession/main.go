@@ -2,12 +2,13 @@
 // the conclusion): a browser-style DOM that changes frequently while
 // staying grammar-compressed in memory.
 //
-// A long editing session runs against an XMark-like document: every
-// operation executes on the compressed grammar via path isolation, and
-// every 100 operations GrammarRePair recompresses the grammar in place.
-// The session prints how the compressed size tracks the
-// recompress-from-scratch reference — the Fig. 4 experiment as an
-// application loop.
+// A long editing session runs against an XMark-like document through a
+// sltgrammar.Store: every operation executes on the compressed grammar
+// via path isolation with the Store's cached size vectors, and the
+// Store's self-tuning policy decides when GrammarRePair recompresses the
+// grammar in place — no hand-rolled "every N ops" loop. The session
+// prints how the compressed size tracks the recompress-from-scratch
+// reference — the Fig. 4 experiment as an application loop.
 package main
 
 import (
@@ -34,30 +35,34 @@ func main() {
 	g, _ := sltgrammar.Compress(seq.Seed)
 	fmt.Printf("initial DOM grammar: %d edges (document has %d)\n\n",
 		sltgrammar.Size(g), seq.Seed.Root.Edges())
-	fmt.Printf("%8s %12s %12s %10s\n", "ops", "|G| live", "|G| scratch", "overhead")
 
+	// The Store owns grammar maintenance: recompress when the grammar
+	// grows 1.3× past its last compressed size.
+	st := sltgrammar.NewStore(g, sltgrammar.StoreConfig{Ratio: 1.3})
+
+	fmt.Printf("%8s %12s %12s %10s %9s\n", "ops", "|G| live", "|G| scratch", "overhead", "recomps")
 	for done := 0; done < len(seq.Ops); {
 		end := min(done+100, len(seq.Ops))
-		if err := sltgrammar.ApplyAll(g, seq.Ops[done:end]); err != nil {
+		if err := st.ApplyAll(seq.Ops[done:end]); err != nil {
 			log.Fatal(err)
 		}
 		done = end
 
-		// Keep the DOM compressed: recompress the grammar directly.
-		g, _ = sltgrammar.Recompress(g)
-
 		// Reference: what compressing the current DOM from scratch gives.
-		scratch, _, err := sltgrammar.UDCRecompress(g, 0)
+		snap := st.Snapshot()
+		scratch, _, err := sltgrammar.UDCRecompress(snap, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%8d %12d %12d %9.4f\n",
-			done, sltgrammar.Size(g), sltgrammar.Size(scratch),
-			float64(sltgrammar.Size(g))/float64(sltgrammar.Size(scratch)))
+		stats := st.Stats()
+		fmt.Printf("%8d %12d %12d %9.4f %9d\n",
+			done, stats.Size, sltgrammar.Size(scratch),
+			float64(stats.Size)/float64(sltgrammar.Size(scratch)),
+			stats.Recompressions)
 	}
 
 	// The session must have converged to the target document.
-	final, err := sltgrammar.Decompress(g, 0)
+	final, err := sltgrammar.Decompress(st.Snapshot(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,6 +71,11 @@ func main() {
 	if back.Nodes() != page.Nodes() {
 		log.Fatal("session diverged from the target document")
 	}
+	stats := st.Stats()
+	fmt.Printf("store: %d ops in %d batches, %d recompressions, "+
+		"size-vector cache %d hits / %d misses, peak |G| %d\n",
+		stats.Ops, stats.Batches, stats.Recompressions,
+		stats.SizeCacheHits, stats.SizeCacheMisses, stats.PeakSize)
 }
 
 func min(a, b int) int {

@@ -5,8 +5,10 @@
 // Appending to a grammar-compressed list breaks its exponential
 // structure a little on every insert (path isolation), so without
 // recompression the grammar degrades by orders of magnitude — the Fig. 5
-// "naive" curve. Recompressing with GrammarRePair after every batch keeps
-// the log at O(log n) edges, and never materializes the log as a tree.
+// "naive" curve. A sltgrammar.Store with its self-tuning recompression
+// policy keeps the log at O(log n) edges without any hand-rolled
+// "recompress every batch" loop, and never materializes the log as a
+// tree.
 package main
 
 import (
@@ -24,38 +26,44 @@ func main() {
 	}
 	g, _ := sltgrammar.Compress(sltgrammar.Encode(root))
 	fmt.Printf("initial log: %d records, grammar %d edges\n\n", 64, sltgrammar.Size(g))
-	fmt.Printf("%10s %12s %14s %12s\n", "records", "naive |G|", "recompressed", "log elements")
+	fmt.Printf("%10s %12s %14s %12s\n", "records", "naive |G|", "store |G|", "log elements")
 
-	naive := g.Clone()
+	// Two stores over the same log: one with recompression disabled (the
+	// Fig. 5 naive curve), one whose policy keeps it compressed.
+	naive := sltgrammar.NewStore(g.Clone(), sltgrammar.StoreConfig{Ratio: -1})
+	tuned := sltgrammar.NewStore(g, sltgrammar.StoreConfig{Ratio: 1.5})
+
 	records := 64
 	for batch := 0; batch < 8; batch++ {
 		// Append 64 records: insert at the end of the sibling chain. The
 		// append position is the final ⊥ of the root's child list, i.e.
-		// the last node in preorder.
+		// the last node in preorder (O(1) off the store's cached sizes).
 		for i := 0; i < 64; i++ {
-			n, err := sltgrammar.TreeSize(naive)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := sltgrammar.Apply(naive, sltgrammar.InsertOp(n-1, record())); err != nil {
-				log.Fatal(err)
-			}
-			n2, _ := sltgrammar.TreeSize(g)
-			if err := sltgrammar.Apply(g, sltgrammar.InsertOp(n2-1, record())); err != nil {
-				log.Fatal(err)
+			for _, st := range []*sltgrammar.Store{naive, tuned} {
+				n, err := st.TreeSize()
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := st.Apply(sltgrammar.InsertOp(n-1, record())); err != nil {
+					log.Fatal(err)
+				}
 			}
 			records++
 		}
-		// Keep one copy naive, recompress the other.
-		g, _ = sltgrammar.Recompress(g)
-		elems, _ := sltgrammar.Elements(g)
+		elems, err := tuned.Elements()
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%10d %12d %14d %12d\n",
-			records, sltgrammar.Size(naive), sltgrammar.Size(g), elems)
+			records, naive.Size(), tuned.Size(), elems)
 	}
 
-	fmt.Printf("\nnaive grammar is %.1fx larger than the recompressed one\n",
-		float64(sltgrammar.Size(naive))/float64(sltgrammar.Size(g)))
-	ok, err := sltgrammar.Equal(naive, g, 0)
+	fmt.Printf("\nnaive grammar is %.1fx larger than the self-tuned store's\n",
+		float64(naive.Size())/float64(tuned.Size()))
+	ts := tuned.Stats()
+	fmt.Printf("store: %d recompressions over %d ops, cache %d hits / %d misses\n",
+		ts.Recompressions, ts.Ops, ts.SizeCacheHits, ts.SizeCacheMisses)
+	ok, err := sltgrammar.Equal(naive.Snapshot(), tuned.Snapshot(), 0)
 	if err != nil || !ok {
 		log.Fatal("the two logs diverged")
 	}

@@ -11,6 +11,7 @@ import (
 
 	sltgrammar "repro"
 	"repro/internal/datasets"
+	"repro/internal/update"
 	"repro/internal/workload"
 )
 
@@ -28,6 +29,15 @@ const (
 	RenameSeed = 7
 	// RenameOps is the number of renames applied before recompression.
 	RenameOps = 30
+	// UpdateStreamOps is the length of the inverse-seeded workload the
+	// update-stream benchmarks replay (90 % inserts, the paper's mix).
+	UpdateStreamOps = 200
+	// UpdateStreamSeed drives that workload.
+	UpdateStreamSeed = 11
+	// UpdateStreamBatch is the ingestion granularity of the Store track:
+	// a serving engine sees the stream as a sequence of small batches,
+	// which is what lets the recompression policy act mid-stream.
+	UpdateStreamBatch = 20
 )
 
 // MicroShorts are the corpora the micro benchmarks run on: one
@@ -79,6 +89,75 @@ func RecompressBench(short string) func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sltgrammar.Recompress(g)
+		}
+	}
+}
+
+// updateStream returns the pinned update-stream input: the corpus
+// document's seed grammar and the inverse-seeded operation sequence that
+// replays it back to the corpus.
+func updateStream(short string) (*sltgrammar.Grammar, []sltgrammar.Op) {
+	c, ok := datasets.ByShort(short)
+	if !ok {
+		panic(fmt.Sprintf("benchsuite: unknown corpus %q", short))
+	}
+	u := c.Generate(MicroScale, CorpusSeed)
+	seq, err := workload.Updates(u, UpdateStreamOps, 90, UpdateStreamSeed)
+	if err != nil {
+		panic(fmt.Sprintf("benchsuite: workload for %s: %v", short, err))
+	}
+	g, _ := sltgrammar.Compress(seq.Seed)
+	return g, seq.Ops
+}
+
+// StoreUpdateStreamBench measures ingesting the pinned workload through
+// a Store — cached size vectors, one garbage collection per batch — fed
+// in UpdateStreamBatch-sized batches like a serving engine would see
+// them. Auto-recompression is disabled so the Store does exactly the
+// same semantic work as the per-op baseline and the two numbers isolate
+// the update-path win; recompression amortizes only over much longer
+// streams than a pinned micro benchmark.
+func StoreUpdateStreamBench(short string) func(b *testing.B) {
+	g, ops := updateStream(short)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cp := g.Clone()
+			b.StartTimer()
+			// NewStore's cache warm-up (one cold ValSizes pass) is part of
+			// the engine's cost and stays inside the timed region.
+			st := sltgrammar.NewStore(cp, sltgrammar.StoreConfig{Ratio: -1})
+			for done := 0; done < len(ops); done += UpdateStreamBatch {
+				end := done + UpdateStreamBatch
+				if end > len(ops) {
+					end = len(ops)
+				}
+				if err := st.ApplyAll(ops[done:end]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// PerOpUpdateStreamBench measures the same workload through the per-op
+// update path — a fresh O(|G|) ValSizes pass per operation and a
+// garbage collection after every delete (the pre-Store behavior of
+// update.ApplyAll).
+func PerOpUpdateStreamBench(short string) func(b *testing.B) {
+	g, ops := updateStream(short)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cp := g.Clone()
+			b.StartTimer()
+			for _, op := range ops {
+				if err := update.Apply(cp, op); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	}
 }

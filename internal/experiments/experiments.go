@@ -14,6 +14,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/grammar"
+	"repro/internal/store"
 	"repro/internal/treerepair"
 	"repro/internal/udc"
 	"repro/internal/update"
@@ -242,18 +244,23 @@ type DynamicResult struct {
 
 // Dynamic reproduces the Figs. 4/5 protocol for one corpus: an
 // inverse-seeded sequence of cfg.Updates operations (90 % inserts, 10 %
-// deletes) runs against two grammars — one never recompressed (top
+// deletes) runs against two Stores — one never recompressed (top
 // plots), one recompressed by GrammarRePair every cfg.Batch updates
 // (bottom plots) — and both are compared against recompression from
-// scratch.
+// scratch. Both tracks route through store.Store, so every operation
+// uses the cached-size-vector path with one garbage collection per
+// batch; recompression stays on the paper's fixed every-cfg.Batch
+// schedule (the Stores' auto policy is disabled) to keep the protocol
+// comparable with the figures.
 func Dynamic(cfg Config, c datasets.Corpus) (*DynamicResult, error) {
 	u := c.Generate(cfg.Scale, cfg.Seed)
 	seq, err := workload.Updates(u, cfg.Updates, 90, cfg.Seed+1)
 	if err != nil {
 		return nil, err
 	}
-	gNaive, _ := treerepair.Compress(seq.Seed, treerepair.Options{})
-	gRec := gNaive.Clone()
+	g0, _ := treerepair.Compress(seq.Seed, treerepair.Options{})
+	naive := store.New(g0.Clone(), store.Config{Ratio: -1})
+	rec := store.New(g0, store.Config{Ratio: -1})
 
 	res := &DynamicResult{Name: c.Name}
 	cfg.printf("Fig. 4/5 dynamic — %s (%d updates, batch %d)\n", c.Name, len(seq.Ops), cfg.Batch)
@@ -265,25 +272,30 @@ func Dynamic(cfg Config, c datasets.Corpus) (*DynamicResult, error) {
 			end = len(seq.Ops)
 		}
 		batch := seq.Ops[done:end]
-		if err := update.ApplyAll(gNaive, batch); err != nil {
+		if err := naive.ApplyAll(batch); err != nil {
 			return nil, fmt.Errorf("naive track: %w", err)
 		}
-		if err := update.ApplyAll(gRec, batch); err != nil {
+		if err := rec.ApplyAll(batch); err != nil {
 			return nil, fmt.Errorf("recomp track: %w", err)
 		}
 		done = end
 
-		recompressed, _ := core.Compress(gRec, core.Options{})
-		gRec = recompressed
+		rec.Recompress()
 
-		scratch, _, err := udc.Recompress(gRec, treerepair.Options{}, 0)
-		if err != nil {
+		// Scoped read: udc.Recompress neither mutates nor retains its
+		// input, so no Snapshot deep copy is needed.
+		var scratch *grammar.Grammar
+		if err := rec.Query(func(g *grammar.Grammar) error {
+			s, _, err := udc.Recompress(g, treerepair.Options{}, 0)
+			scratch = s
+			return err
+		}); err != nil {
 			return nil, err
 		}
 		pt := DynamicPoint{
 			Updates:     done,
-			NaiveSize:   gNaive.Size(),
-			RecompSize:  gRec.Size(),
+			NaiveSize:   naive.Size(),
+			RecompSize:  rec.Size(),
 			ScratchSize: scratch.Size(),
 		}
 		if pt.ScratchSize > 0 {

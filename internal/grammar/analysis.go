@@ -1,11 +1,24 @@
 package grammar
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/xmltree"
 )
+
+// ErrSaturated reports that a derived-tree node count overflowed the int64
+// range and was clamped to math.MaxInt64. Grammars can compress
+// exponentially, so saturation is an expected state, not corruption —
+// callers that need an exact element count (sltgrammar.Elements,
+// isolate.NonBottomCount, Store.Stats) return this sentinel instead of a
+// bogus huge number.
+var ErrSaturated = errors.New("grammar: derived tree size saturated (exceeds int64)")
+
+// Saturated reports whether a node count hit the saturation ceiling of
+// ValSizes/ValNodeCount.
+func Saturated(n int64) bool { return n == math.MaxInt64 }
 
 // RefCounts returns, for every live rule ID, the number of occurrences of
 // its nonterminal on right-hand sides (the paper's |ref_G(Q)|).
@@ -109,48 +122,64 @@ func (g *Grammar) ValSizes() (map[int32]*SizeVectors, error) {
 	}
 	sizes := make(map[int32]*SizeVectors, len(g.rules))
 	for _, id := range anti {
-		r := g.rules[id]
-		sv := &SizeVectors{Seg: make([]int64, r.Rank+1)}
-		seg := 0
-		var walk func(n *xmltree.Node) error
-		walk = func(n *xmltree.Node) error {
-			switch n.Label.Kind {
-			case xmltree.Parameter:
-				seg = int(n.Label.ID)
-				return nil
-			case xmltree.Terminal:
-				sv.Seg[seg] = satAdd(sv.Seg[seg], 1)
-				for _, c := range n.Children {
-					if err := walk(c); err != nil {
-						return err
-					}
-				}
-				return nil
-			case xmltree.Nonterminal:
-				callee := sizes[n.Label.ID]
-				if callee == nil {
-					return fmt.Errorf("grammar: ValSizes: rule N%d not yet computed", n.Label.ID)
-				}
-				sv.Seg[seg] = satAdd(sv.Seg[seg], callee.Seg[0])
-				for i, c := range n.Children {
-					if err := walk(c); err != nil {
-						return err
-					}
-					sv.Seg[seg] = satAdd(sv.Seg[seg], callee.Seg[i+1])
-				}
-				return nil
-			}
-			return fmt.Errorf("grammar: ValSizes: bad symbol kind")
-		}
-		if err := walk(r.RHS); err != nil {
+		sv, err := g.RuleValSizes(id, sizes)
+		if err != nil {
 			return nil, err
-		}
-		for _, s := range sv.Seg {
-			sv.Total = satAdd(sv.Total, s)
 		}
 		sizes[id] = sv
 	}
 	return sizes, nil
+}
+
+// RuleValSizes computes the size vector of one rule from already-computed
+// callee vectors in sizes. It is the per-rule body of ValSizes, exposed so
+// callers that know only the start rule changed (path isolation keeps
+// every other rule intact) can refresh a cached size-vector map in
+// O(|RHS|) instead of recomputing all rules.
+func (g *Grammar) RuleValSizes(id int32, sizes map[int32]*SizeVectors) (*SizeVectors, error) {
+	r := g.rules[id]
+	if r == nil {
+		return nil, fmt.Errorf("grammar: RuleValSizes: no rule N%d", id)
+	}
+	sv := &SizeVectors{Seg: make([]int64, r.Rank+1)}
+	seg := 0
+	var walk func(n *xmltree.Node) error
+	walk = func(n *xmltree.Node) error {
+		switch n.Label.Kind {
+		case xmltree.Parameter:
+			seg = int(n.Label.ID)
+			return nil
+		case xmltree.Terminal:
+			sv.Seg[seg] = satAdd(sv.Seg[seg], 1)
+			for _, c := range n.Children {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		case xmltree.Nonterminal:
+			callee := sizes[n.Label.ID]
+			if callee == nil {
+				return fmt.Errorf("grammar: ValSizes: rule N%d not yet computed", n.Label.ID)
+			}
+			sv.Seg[seg] = satAdd(sv.Seg[seg], callee.Seg[0])
+			for i, c := range n.Children {
+				if err := walk(c); err != nil {
+					return err
+				}
+				sv.Seg[seg] = satAdd(sv.Seg[seg], callee.Seg[i+1])
+			}
+			return nil
+		}
+		return fmt.Errorf("grammar: ValSizes: bad symbol kind")
+	}
+	if err := walk(r.RHS); err != nil {
+		return nil, err
+	}
+	for _, s := range sv.Seg {
+		sv.Total = satAdd(sv.Total, s)
+	}
+	return sv, nil
 }
 
 func satAdd(a, b int64) int64 {
@@ -159,6 +188,42 @@ func satAdd(a, b int64) int64 {
 		return math.MaxInt64
 	}
 	return s
+}
+
+// SatAdd adds two non-negative node counts, saturating at math.MaxInt64
+// (the same ceiling Saturated tests for). Exported so callers composing
+// their own count arithmetic (update's delete accounting) share one
+// saturation rule.
+func SatAdd(a, b int64) int64 { return satAdd(a, b) }
+
+// SubtreeValSizeWithin computes SubtreeValSize(t) with an early abort:
+// it returns (size, true) when val(t) has at most limit nodes, and
+// (partial, false) as soon as the running count exceeds limit — without
+// walking the rest of the subtree. Path isolation uses it to prove "the
+// target position lies inside this child" after walking only enough of
+// the child to cover the target's offset, instead of measuring subtrees
+// it is about to descend into anyway.
+func SubtreeValSizeWithin(t *xmltree.Node, sizes map[int32]*SizeVectors, limit int64) (int64, bool) {
+	var acc int64
+	var walk func(n *xmltree.Node) bool
+	walk = func(n *xmltree.Node) bool {
+		if n.Label.Kind == xmltree.Nonterminal {
+			acc = satAdd(acc, sizes[n.Label.ID].Total)
+		} else {
+			acc = satAdd(acc, 1)
+		}
+		if acc > limit {
+			return false
+		}
+		for _, c := range n.Children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	ok := walk(t)
+	return acc, ok
 }
 
 // ValNodeCount returns the node count of val_G(S) (excluding nothing;

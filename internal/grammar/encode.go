@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/xmltree"
 )
@@ -27,34 +28,50 @@ func Encode(w io.Writer, g *Grammar) error {
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
-	writeUvarint(bw, 1) // version
-	// Symbol table (skip ⊥, which every table has implicitly).
-	writeUvarint(bw, uint64(g.Syms.Len()-1))
-	for id := int32(1); id < int32(g.Syms.Len()); id++ {
-		writeString(bw, g.Syms.Name(id))
-		writeUvarint(bw, uint64(g.Syms.Rank(id)))
+	if err := writeUvarint(bw, 1); err != nil { // version
+		return err
 	}
-	writeUvarint(bw, uint64(g.Start))
+	// Symbol table (skip ⊥, which every table has implicitly).
+	if err := writeUvarint(bw, uint64(g.Syms.Len()-1)); err != nil {
+		return err
+	}
+	for id := int32(1); id < int32(g.Syms.Len()); id++ {
+		if err := writeString(bw, g.Syms.Name(id)); err != nil {
+			return err
+		}
+		if err := writeUvarint(bw, uint64(g.Syms.Rank(id))); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(bw, uint64(g.Start)); err != nil {
+		return err
+	}
 	ids := g.RuleIDs()
-	writeUvarint(bw, uint64(len(ids)))
+	if err := writeUvarint(bw, uint64(len(ids))); err != nil {
+		return err
+	}
 	for _, id := range ids {
 		r := g.Rule(id)
-		writeUvarint(bw, uint64(r.ID))
-		writeUvarint(bw, uint64(r.Rank))
-		writeUvarint(bw, uint64(r.RHS.Size()))
+		for _, v := range []uint64{uint64(r.ID), uint64(r.Rank), uint64(r.RHS.Size())} {
+			if err := writeUvarint(bw, v); err != nil {
+				return err
+			}
+		}
 		var err error
 		r.RHS.Walk(func(n *xmltree.Node) bool {
 			switch n.Label.Kind {
 			case xmltree.Terminal:
-				writeUvarint(bw, 0)
+				err = writeUvarint(bw, 0)
 			case xmltree.Nonterminal:
-				writeUvarint(bw, 1)
+				err = writeUvarint(bw, 1)
 			case xmltree.Parameter:
-				writeUvarint(bw, 2)
+				err = writeUvarint(bw, 2)
 			}
-			writeUvarint(bw, uint64(n.Label.ID))
-			if n.Label.Kind == xmltree.Nonterminal {
-				writeUvarint(bw, uint64(len(n.Children)))
+			if err == nil {
+				err = writeUvarint(bw, uint64(n.Label.ID))
+			}
+			if err == nil && n.Label.Kind == xmltree.Nonterminal {
+				err = writeUvarint(bw, uint64(len(n.Children)))
 			}
 			return err == nil
 		})
@@ -93,11 +110,17 @@ func Decode(r io.Reader) (*Grammar, error) {
 		if err != nil {
 			return nil, err
 		}
+		if rank > maxSymbolRank {
+			return nil, fmt.Errorf("grammar: decode: terminal rank %d too large", rank)
+		}
 		st.Intern(name, int(rank))
 	}
 	start, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
+	}
+	if start > maxRuleID {
+		return nil, fmt.Errorf("grammar: decode: start rule ID %d out of range", start)
 	}
 	nrules, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -109,6 +132,9 @@ func Decode(r io.Reader) (*Grammar, error) {
 		if err != nil {
 			return nil, err
 		}
+		if id > maxRuleID {
+			return nil, fmt.Errorf("grammar: decode: rule ID %d out of range", id)
+		}
 		rank, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
@@ -117,8 +143,16 @@ func Decode(r io.Reader) (*Grammar, error) {
 		if err != nil {
 			return nil, err
 		}
+		if size > maxBodyNodes {
+			return nil, fmt.Errorf("grammar: decode rule %d: body size %d too large", id, size)
+		}
+		if rank > size {
+			// Every parameter is a body node, so rank can never exceed the
+			// declared body size.
+			return nil, fmt.Errorf("grammar: decode rule %d: rank %d exceeds body size %d", id, rank, size)
+		}
 		left := int(size)
-		rhs, err := readNode(br, st, &left)
+		rhs, err := readNode(br, st, &left, 0)
 		if err != nil {
 			return nil, fmt.Errorf("grammar: decode rule %d: %w", id, err)
 		}
@@ -126,6 +160,9 @@ func Decode(r io.Reader) (*Grammar, error) {
 			return nil, fmt.Errorf("grammar: decode rule %d: size mismatch", id)
 		}
 		rid := int32(id)
+		if _, dup := g.rules[rid]; dup {
+			return nil, fmt.Errorf("grammar: decode: duplicate rule N%d", rid)
+		}
 		g.rules[rid] = &Rule{ID: rid, Rank: int(rank), RHS: rhs}
 		g.order = append(g.order, rid)
 		if rid >= g.nextNT {
@@ -138,7 +175,41 @@ func Decode(r io.Reader) (*Grammar, error) {
 	return g, nil
 }
 
-func readNode(br *bufio.Reader, st *xmltree.SymbolTable, left *int) (*xmltree.Node, error) {
+// Decode hardening bounds. A decoded stream is untrusted input: every
+// count that sizes an allocation or is narrowed to a smaller integer type
+// must be validated first, or a few bytes can demand a multi-GB
+// allocation (kids, rank, size) or alias unrelated rules via int32
+// wraparound (rule IDs, start).
+const (
+	// maxSymbolRank bounds terminal ranks. Digram replacement introduces
+	// terminals of rank ≤ 2·k_in; anything near this bound is corrupt.
+	maxSymbolRank = 1 << 16
+	// maxBodyNodes bounds a single rule body's declared node count, and
+	// with it the node budget every child-count is clamped against.
+	maxBodyNodes = 1 << 30
+	// maxChildPrealloc caps the children capacity allocated before the
+	// children actually decode, so a lying child count can never demand
+	// more memory than the bytes backing it.
+	maxChildPrealloc = 1 << 10
+	// maxRuleID bounds decoded rule IDs. Encoders assign IDs
+	// sequentially (deletions leave gaps but never inflate them), and
+	// dense rule-ID-indexed structures (refCountsDense, nextNT) size by
+	// the largest ID — an unbounded ID would let ~30 bytes of input
+	// demand a multi-GB slice or overflow nextNT past int32.
+	maxRuleID = 1 << 20
+	// maxBodyDepth bounds rule-body nesting. readNode (and every
+	// recursive pass that follows: Validate, Walk, expansion) recurses
+	// per level, so without a bound a ~30 MB chain-of-single-children
+	// stream would kill the process by stack exhaustion instead of
+	// failing with an error. Real bodies are orders of magnitude
+	// shallower.
+	maxBodyDepth = 1 << 16
+)
+
+func readNode(br *bufio.Reader, st *xmltree.SymbolTable, left *int, depth int) (*xmltree.Node, error) {
+	if depth > maxBodyDepth {
+		return nil, fmt.Errorf("body nesting exceeds depth %d", maxBodyDepth)
+	}
 	if *left <= 0 {
 		return nil, fmt.Errorf("truncated body")
 	}
@@ -161,6 +232,9 @@ func readNode(br *bufio.Reader, st *xmltree.SymbolTable, left *int) (*xmltree.No
 		n = xmltree.New(xmltree.Term(int32(id)))
 		kids = st.Rank(int32(id))
 	case 1:
+		if id > math.MaxInt32 {
+			return nil, fmt.Errorf("nonterminal ID %d out of range", id)
+		}
 		n = xmltree.New(xmltree.Nonterm(int32(id)))
 		k, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -168,32 +242,47 @@ func readNode(br *bufio.Reader, st *xmltree.SymbolTable, left *int) (*xmltree.No
 		}
 		kids = int(k)
 	case 2:
+		if id == 0 || id > maxSymbolRank {
+			return nil, fmt.Errorf("parameter index %d out of range", id)
+		}
 		n = xmltree.New(xmltree.Param(int(id)))
 	default:
 		return nil, fmt.Errorf("bad node tag %d", tag)
 	}
+	if kids > *left {
+		// Each child consumes at least one node of the remaining budget.
+		return nil, fmt.Errorf("child count %d exceeds remaining body budget %d", kids, *left)
+	}
 	if kids > 0 {
-		n.Children = make([]*xmltree.Node, kids)
+		prealloc := kids
+		if prealloc > maxChildPrealloc {
+			prealloc = maxChildPrealloc
+		}
+		n.Children = make([]*xmltree.Node, 0, prealloc)
 		for i := 0; i < kids; i++ {
-			c, err := readNode(br, st, left)
+			c, err := readNode(br, st, left, depth+1)
 			if err != nil {
 				return nil, err
 			}
-			n.Children[i] = c
+			n.Children = append(n.Children, c)
 		}
 	}
 	return n, nil
 }
 
-func writeUvarint(w *bufio.Writer, v uint64) {
+func writeUvarint(w *bufio.Writer, v uint64) error {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
-	w.Write(buf[:n])
+	_, err := w.Write(buf[:n])
+	return err
 }
 
-func writeString(w *bufio.Writer, s string) {
-	writeUvarint(w, uint64(len(s)))
-	w.WriteString(s)
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
 }
 
 func readString(br *bufio.Reader) (string, error) {

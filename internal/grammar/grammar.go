@@ -150,6 +150,11 @@ var errValidate = errors.New("grammar: invalid")
 // linearity and preorder ordering, start-symbol non-occurrence,
 // straight-lineness, and that every referenced rule exists.
 func (g *Grammar) Validate() error {
+	if g.rules[g.Start] == nil {
+		// Decoded streams are untrusted: a dangling start ID must fail
+		// here, not nil-deref on first use.
+		return fmt.Errorf("%w: start rule N%d does not exist", errValidate, g.Start)
+	}
 	for _, id := range g.order {
 		r := g.rules[id]
 		if r.RHS == nil {

@@ -1,0 +1,304 @@
+package grammar
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// uv appends a uvarint to a hand-crafted malicious stream.
+func uv(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	b.Write(tmp[:n])
+}
+
+// header writes magic, version, a one-symbol table ("a"/rank 2), start 0.
+func header(b *bytes.Buffer) {
+	b.WriteString(magic)
+	uv(b, 1) // version
+	uv(b, 1) // one symbol
+	uv(b, 1)
+	b.WriteString("a")
+	uv(b, 2) // rank 2
+	uv(b, 0) // start rule ID
+}
+
+// TestDecodeHugeChildCount: a nonterminal node declaring 2^40 children
+// must fail against the remaining node budget instead of allocating a
+// multi-GB children slice.
+func TestDecodeHugeChildCount(t *testing.T) {
+	var b bytes.Buffer
+	header(&b)
+	uv(&b, 1) // one rule
+	uv(&b, 0) // rule ID
+	uv(&b, 0) // rank
+	uv(&b, 3) // body size
+	uv(&b, 1) // tag: nonterminal
+	uv(&b, 5) // callee ID
+	uv(&b, 1<<40)
+	if _, err := Decode(&b); err == nil {
+		t.Fatal("huge child count must fail")
+	}
+}
+
+// TestDecodeHugeBodySize: a rule body declaring more nodes than
+// maxBodyNodes must be rejected before any decoding work happens.
+func TestDecodeHugeBodySize(t *testing.T) {
+	var b bytes.Buffer
+	header(&b)
+	uv(&b, 1)
+	uv(&b, 0)
+	uv(&b, 0)
+	uv(&b, uint64(maxBodyNodes)+1)
+	if _, err := Decode(&b); err == nil {
+		t.Fatal("huge body size must fail")
+	}
+}
+
+// TestDecodeChildCountExceedsBudget: child counts are clamped against the
+// remaining declared body budget, so a lying count cannot outgrow the
+// stream that backs it.
+func TestDecodeChildCountExceedsBudget(t *testing.T) {
+	var b bytes.Buffer
+	header(&b)
+	uv(&b, 1)
+	uv(&b, 0)
+	uv(&b, 0)
+	uv(&b, 2) // body size 2: after the root, only 1 node remains
+	uv(&b, 1) // nonterminal
+	uv(&b, 5)
+	uv(&b, 2) // claims 2 children, budget has 1
+	if _, err := Decode(&b); err == nil {
+		t.Fatal("child count beyond budget must fail")
+	}
+}
+
+// TestDecodeIDWraparound: rule IDs and the start ID above maxRuleID
+// (they size dense rule-ID-indexed slices and nextNT), and nonterminal
+// IDs above MaxInt32 (int32 wraparound would alias rules), must all be
+// rejected before Validate ever sees them.
+func TestDecodeIDWraparound(t *testing.T) {
+	big := uint64(math.MaxInt32) + 2
+
+	var start bytes.Buffer
+	start.WriteString(magic)
+	uv(&start, 1)
+	uv(&start, 0) // empty symbol table
+	uv(&start, big)
+	if _, err := Decode(&start); err == nil {
+		t.Fatal("huge start ID must fail")
+	}
+
+	var rule bytes.Buffer
+	header(&rule)
+	uv(&rule, 1)
+	uv(&rule, big) // rule ID
+	if _, err := Decode(&rule); err == nil {
+		t.Fatal("huge rule ID must fail")
+	}
+
+	var nt bytes.Buffer
+	header(&nt)
+	uv(&nt, 1)
+	uv(&nt, 0)
+	uv(&nt, 0)
+	uv(&nt, 2)
+	uv(&nt, 1)   // nonterminal
+	uv(&nt, big) // callee ID wraps int32
+	uv(&nt, 0)
+	if _, err := Decode(&nt); err == nil {
+		t.Fatal("huge nonterminal ID must fail")
+	}
+
+	// Boundary rule IDs just under MaxInt32 would still make nextNT
+	// overflow int32 (ID MaxInt32) or size a multi-GB dense refcount
+	// slice (ID MaxInt32-100); the maxRuleID cap rejects both.
+	for _, boundary := range []uint64{math.MaxInt32, math.MaxInt32 - 100, maxRuleID + 1} {
+		var rb bytes.Buffer
+		header(&rb)
+		uv(&rb, 1)
+		uv(&rb, boundary) // rule ID
+		uv(&rb, 0)
+		uv(&rb, 1)
+		uv(&rb, 0) // terminal ⊥
+		uv(&rb, 0)
+		if _, err := Decode(&rb); err == nil {
+			t.Fatalf("boundary rule ID %d must fail", boundary)
+		}
+	}
+}
+
+// TestDecodeBadRankAndParam covers the remaining narrowing checks: symbol
+// ranks sizing terminal children, rule ranks against body size, parameter
+// indices, and duplicate rule IDs.
+func TestDecodeBadRankAndParam(t *testing.T) {
+	var sym bytes.Buffer
+	sym.WriteString(magic)
+	uv(&sym, 1)
+	uv(&sym, 1)
+	uv(&sym, 1)
+	sym.WriteString("a")
+	uv(&sym, 1<<40) // absurd terminal rank
+	if _, err := Decode(&sym); err == nil {
+		t.Fatal("huge symbol rank must fail")
+	}
+
+	var rank bytes.Buffer
+	header(&rank)
+	uv(&rank, 1)
+	uv(&rank, 0)
+	uv(&rank, 9) // rank 9 on a 1-node body
+	uv(&rank, 1)
+	if _, err := Decode(&rank); err == nil {
+		t.Fatal("rank beyond body size must fail")
+	}
+
+	var par bytes.Buffer
+	header(&par)
+	uv(&par, 1)
+	uv(&par, 0)
+	uv(&par, 0)
+	uv(&par, 1)
+	uv(&par, 2) // parameter
+	uv(&par, 0) // index 0 is invalid (1-based)
+	if _, err := Decode(&par); err == nil {
+		t.Fatal("parameter index 0 must fail")
+	}
+
+	var dup bytes.Buffer
+	header(&dup)
+	uv(&dup, 2)
+	for i := 0; i < 2; i++ { // the same rule twice
+		uv(&dup, 0) // ID 0 both times
+		uv(&dup, 0)
+		uv(&dup, 1)
+		uv(&dup, 0) // terminal ⊥
+		uv(&dup, 0)
+	}
+	if _, err := Decode(&dup); err == nil {
+		t.Fatal("duplicate rule ID must fail")
+	}
+}
+
+// TestDecodeDepthBound: a chain-of-single-children body deeper than
+// maxBodyDepth must fail with an error instead of exhausting the stack
+// (readNode and every later recursive pass recurse per level).
+func TestDecodeDepthBound(t *testing.T) {
+	depth := maxBodyDepth + 10
+	var b bytes.Buffer
+	header(&b)
+	uv(&b, 1)
+	uv(&b, 0)
+	uv(&b, 0)
+	uv(&b, uint64(depth)+1)
+	for i := 0; i < depth; i++ {
+		uv(&b, 1) // nonterminal
+		uv(&b, 1)
+		uv(&b, 1) // one child each
+	}
+	uv(&b, 0) // terminal ⊥ closing the chain
+	uv(&b, 0)
+	if _, err := Decode(&b); err == nil {
+		t.Fatal("over-deep body must fail")
+	}
+}
+
+// TestDecodeDanglingStart: a stream whose start ID names no rule must
+// fail in Decode/Validate, not nil-deref on first use of the grammar.
+func TestDecodeDanglingStart(t *testing.T) {
+	var b bytes.Buffer
+	b.WriteString(magic)
+	uv(&b, 1)
+	uv(&b, 0) // empty symbol table
+	uv(&b, 7) // start ID with no matching rule
+	uv(&b, 1) // one rule...
+	uv(&b, 0) // ...with ID 0
+	uv(&b, 0)
+	uv(&b, 1)
+	uv(&b, 0) // terminal ⊥
+	uv(&b, 0)
+	g, err := Decode(&b)
+	if err == nil {
+		// Must not panic either way; reaching ValNodeCount would.
+		if _, nerr := g.ValNodeCount(); nerr == nil {
+			t.Fatal("dangling start rule must fail to decode")
+		}
+		t.Fatal("dangling start rule must fail to decode")
+	}
+}
+
+// TestPruneRefcountsAfterDelete: a rule referenced only by an unreachable
+// rule must be recognized as dead in the same sweep — the old code read
+// stale refcounts after DeleteRule.
+func TestPruneRefcountsAfterDelete(t *testing.T) {
+	st := xmltree.NewSymbolTable()
+	f := st.InternElement("f")
+	a := st.Intern("a", 0)
+	g := New(st)
+	// C is referenced twice by the dead rule B and once by S. B itself is
+	// unreferenced. After deleting B, C's true refcount is 1 (not 3), so
+	// the same Prune sweep must inline it away.
+	C := g.NewRule(0, xmltree.New(xmltree.Term(a)))
+	g.NewRule(0, xmltree.New(xmltree.Term(f),
+		xmltree.New(xmltree.Nonterm(C.ID)), xmltree.New(xmltree.Nonterm(C.ID))))
+	g.StartRule().RHS = xmltree.New(xmltree.Term(f),
+		xmltree.New(xmltree.Nonterm(C.ID)), xmltree.NewBottom())
+	want, _ := g.Expand(0)
+
+	removed := g.Prune()
+	if removed < 2 {
+		t.Fatalf("Prune removed %d rules, want at least B and C", removed)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid after prune: %v\n%s", err, g)
+	}
+	if g.NumRules() != 1 {
+		t.Fatalf("only the start rule should survive, have %d", g.NumRules())
+	}
+	got, _ := g.Expand(0)
+	if !xmltree.Equal(got, want) {
+		t.Fatal("val changed by prune")
+	}
+}
+
+// TestPruneRefcountsStayExact cross-checks the incrementally maintained
+// dense refcounts against a fresh recount after pruning a larger grammar.
+func TestPruneRefcountsStayExact(t *testing.T) {
+	g, _, _ := paperGrammar(t)
+	g.Prune()
+	fresh := g.RefCounts()
+	dense := g.refCountsDense()
+	for id, want := range fresh {
+		if dense[id] != want {
+			t.Fatalf("rule N%d: dense %d, fresh %d", id, dense[id], want)
+		}
+	}
+}
+
+// TestRuleValSizesMatchesFull: refreshing a single rule from cached
+// callee vectors must agree with a full ValSizes pass.
+func TestRuleValSizesMatchesFull(t *testing.T) {
+	g, _, _ := paperGrammar(t)
+	sizes, err := g.ValSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range g.RuleIDs() {
+		sv, err := g.RuleValSizes(id, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sv.Total != sizes[id].Total || len(sv.Seg) != len(sizes[id].Seg) {
+			t.Fatalf("rule N%d: refreshed vector diverges", id)
+		}
+		for i := range sv.Seg {
+			if sv.Seg[i] != sizes[id].Seg[i] {
+				t.Fatalf("rule N%d seg %d: %d != %d", id, i, sv.Seg[i], sizes[id].Seg[i])
+			}
+		}
+	}
+}

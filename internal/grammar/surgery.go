@@ -55,30 +55,92 @@ func Sav(refs int, edges int, rank int) int {
 	return refs*(edges-rank) - edges
 }
 
+// refCountsDense returns |ref_G(Q)| for every rule as a slice indexed by
+// rule ID (IDs are never reused, so nextNT bounds them). The dense form
+// avoids the per-call map allocation of RefCounts and can be maintained
+// incrementally across inlines and deletes.
+func (g *Grammar) refCountsDense() []int {
+	refs := make([]int, g.nextNT)
+	for _, id := range g.order {
+		g.rules[id].RHS.Walk(func(v *xmltree.Node) bool {
+			if v.Label.Kind == xmltree.Nonterminal {
+				refs[v.Label.ID]++
+			}
+			return true
+		})
+	}
+	return refs
+}
+
+// inlineEverywhereRefs is InlineEverywhere with incremental refcount
+// maintenance: with k call sites, every nonterminal occurring n times in
+// the inlined body gains (k-1)·n references (k fresh copies minus the
+// deleted original), and the inlined rule itself drops to zero.
+func (g *Grammar) inlineEverywhereRefs(id int32, refs []int) error {
+	target := g.rules[id]
+	if target == nil {
+		return fmt.Errorf("grammar: no rule N%d", id)
+	}
+	k := refs[id]
+	rhs := target.RHS // survives the DeleteRule inside InlineEverywhere
+	if err := g.InlineEverywhere(id); err != nil {
+		// Nothing was inlined; refs must stay untouched.
+		return err
+	}
+	rhs.Walk(func(v *xmltree.Node) bool {
+		if v.Label.Kind == xmltree.Nonterminal {
+			refs[v.Label.ID] += k - 1
+		}
+		return true
+	})
+	refs[id] = 0
+	return nil
+}
+
+// deleteRuleRefs is DeleteRule with incremental refcount maintenance: the
+// deleted rule's right-hand side no longer contributes references.
+func (g *Grammar) deleteRuleRefs(id int32, refs []int) {
+	r := g.rules[id]
+	if r == nil {
+		return
+	}
+	r.RHS.Walk(func(v *xmltree.Node) bool {
+		if v.Label.Kind == xmltree.Nonterminal {
+			refs[v.Label.ID]--
+		}
+		return true
+	})
+	g.DeleteRule(id)
+}
+
 // Prune implements the pruning phase (Algorithm 1 line 7 / Section IV-D):
 // first every rule with exactly one reference is inlined away, then rules
 // are analyzed in anti-SL order and every rule with sav < 0 is inlined
 // everywhere. The two passes repeat until no rule changes, matching
 // TreeRePair's greedy strategy. Unreachable rules are collected as well.
 // Returns the number of rules removed.
+//
+// Refcounts are kept in a dense rule-ID-indexed slice maintained across
+// every inline and delete, so decisions never see stale counts (deletes
+// used to leave counts unadjusted) and the full RefCounts map is built
+// only once per Prune call.
 func (g *Grammar) Prune() int {
 	removed := 0
+	refs := g.refCountsDense()
 	for {
 		changed := false
-		refs := g.RefCounts()
 		// Pass 1: |refs| == 1 rules are never worth keeping.
 		for _, id := range g.RuleIDs() {
-			if id == g.Start {
+			if id == g.Start || g.rules[id] == nil {
 				continue
 			}
 			if refs[id] == 1 {
-				if err := g.InlineEverywhere(id); err == nil {
+				if err := g.inlineEverywhereRefs(id, refs); err == nil {
 					removed++
 					changed = true
-					refs = g.RefCounts()
 				}
 			} else if refs[id] == 0 {
-				g.DeleteRule(id)
+				g.deleteRuleRefs(id, refs)
 				removed++
 				changed = true
 			}
@@ -90,7 +152,6 @@ func (g *Grammar) Prune() int {
 			// must not mask it.
 			panic(err)
 		}
-		refs = g.RefCounts()
 		for _, id := range anti {
 			if id == g.Start {
 				continue
@@ -100,10 +161,9 @@ func (g *Grammar) Prune() int {
 				continue
 			}
 			if Sav(refs[id], r.RHS.Edges(), r.Rank) < 0 {
-				if err := g.InlineEverywhere(id); err == nil {
+				if err := g.inlineEverywhereRefs(id, refs); err == nil {
 					removed++
 					changed = true
-					refs = g.RefCounts()
 				}
 			}
 		}

@@ -33,12 +33,58 @@ func (p Position) Replace(g *grammar.Grammar, sub *xmltree.Node) *xmltree.Node {
 	return sub
 }
 
+// Memo caches val sizes of start-rule subtrees across isolations, keyed
+// by node identity. An entry is valid as long as the node's subtree (and
+// every rule it calls) is unchanged; Isolate evicts exactly the nodes on
+// its derivation path — the ancestors of the mutation the caller is
+// about to make — so off-path entries survive from operation to
+// operation and repeat isolations stop re-walking the same unchanged
+// sibling subtrees. The owner must drop the memo whenever a non-start
+// rule changes (update.Cache clears it together with the size vectors).
+type Memo map[*xmltree.Node]int64
+
+// memoLimit bounds the memo: entries for subtrees that updates have
+// detached keep their nodes alive, so an unbounded memo would be a leak
+// on delete-heavy streams. Past the limit the memo is simply rebuilt.
+const memoLimit = 1 << 18
+
+// subtreeSizeWithin resolves a child's val size for descent routing: a
+// memo hit is exact; otherwise the walk aborts as soon as the size
+// provably exceeds limit (the remaining preorder offset) — the caller
+// descends into the child then, and an exact size is never needed. Only
+// exact sizes are memoized; an aborted child is the descent target and
+// would be evicted as a path node anyway.
+func subtreeSizeWithin(c *xmltree.Node, sizes map[int32]*grammar.SizeVectors, memo Memo, limit int64) (int64, bool) {
+	if memo != nil {
+		if v, ok := memo[c]; ok {
+			return v, true
+		}
+	}
+	v, exact := grammar.SubtreeValSizeWithin(c, sizes, limit)
+	if exact && memo != nil {
+		if len(memo) >= memoLimit {
+			// Rebuild: a full memo is mostly entries for subtrees that
+			// deletes detached — dropping them releases the pinned nodes
+			// and makes room for the live working set again.
+			clear(memo)
+		}
+		memo[c] = v
+	}
+	return v, exact
+}
+
 // Isolate unfolds the grammar along the derivation path to the node with
 // the given preorder index (0-based) of val_G(S), mutating only the start
 // rule, and returns the now-explicit terminal node. Size vectors may be
 // passed in when the caller already computed them (they are valid as long
 // as no rule other than the start rule changed); pass nil to compute.
 func Isolate(g *grammar.Grammar, preorder int64, sizes map[int32]*grammar.SizeVectors) (Position, error) {
+	return IsolateMemo(g, preorder, sizes, nil)
+}
+
+// IsolateMemo is Isolate with a subtree-size memo shared across calls;
+// see Memo for the invalidation contract.
+func IsolateMemo(g *grammar.Grammar, preorder int64, sizes map[int32]*grammar.SizeVectors, memo Memo) (Position, error) {
 	if sizes == nil {
 		var err error
 		sizes, err = g.ValSizes()
@@ -56,6 +102,13 @@ func Isolate(g *grammar.Grammar, preorder int64, sizes map[int32]*grammar.SizeVe
 	node := s.RHS
 	rem := preorder
 	for {
+		// Every node on the derivation path is an ancestor of the
+		// mutation the caller makes next: its memoized size is about to
+		// go stale, so evict it here (every path node passes through
+		// this loop head exactly when it becomes current).
+		if memo != nil {
+			delete(memo, node)
+		}
 		switch node.Label.Kind {
 		case xmltree.Terminal:
 			if rem == 0 {
@@ -64,8 +117,19 @@ func Isolate(g *grammar.Grammar, preorder int64, sizes map[int32]*grammar.SizeVe
 			rem--
 			descended := false
 			for i, c := range node.Children {
-				sz := grammar.SubtreeValSize(c, sizes)
-				if rem < sz {
+				// Loop invariant: rem < val size of the remaining children.
+				// For the last child that makes the containment check — and
+				// with it the O(subtree) size walk — redundant. Descending
+				// a next-sibling spine (the append-heavy case) always takes
+				// the last child, turning the former quadratic re-walk of
+				// nested sibling chains into a linear descent.
+				if i == len(node.Children)-1 {
+					parent, idx, node = node, i, c
+					descended = true
+					break
+				}
+				sz, exact := subtreeSizeWithin(c, sizes, memo, rem)
+				if !exact || rem < sz {
 					parent, idx, node = node, i, c
 					descended = true
 					break
@@ -87,8 +151,11 @@ func Isolate(g *grammar.Grammar, preorder int64, sizes map[int32]*grammar.SizeVe
 				off = sv.Seg[0]
 				descended := false
 				for i, c := range node.Children {
-					sz := grammar.SubtreeValSize(c, sizes)
-					if rem < off+sz {
+					// Invariant: rem ≥ off (earlier segments and arguments
+					// did not contain the target), so rem-off is a valid
+					// abort limit and !exact implies rem < off+sz.
+					sz, exact := subtreeSizeWithin(c, sizes, memo, rem-off)
+					if !exact || rem < off+sz {
 						rem -= off
 						parent, idx, node = node, i, c
 						descended = true
@@ -122,11 +189,16 @@ func Isolate(g *grammar.Grammar, preorder int64, sizes map[int32]*grammar.SizeVe
 }
 
 // NonBottomCount returns the number of non-⊥ nodes of val_G(S), i.e. the
-// number of element nodes of the encoded document.
+// number of element nodes of the encoded document. When the node count
+// saturates (exponentially compressing grammars), it returns
+// grammar.ErrSaturated instead of a bogus huge count.
 func NonBottomCount(g *grammar.Grammar) (int64, error) {
 	total, err := g.ValNodeCount()
 	if err != nil {
 		return 0, err
+	}
+	if grammar.Saturated(total) {
+		return 0, grammar.ErrSaturated
 	}
 	// In a binary XML encoding with n elements there are n+1 ⊥ leaves:
 	// total = 2n+1.

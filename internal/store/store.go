@@ -1,0 +1,396 @@
+// Package store is the long-lived dynamic-document engine of the
+// reproduction: a Store wraps a grammar-compressed XML document and owns
+// its maintenance across an unbounded stream of update operations — the
+// production shape of the paper's §III/§V-C protocol that the examples
+// and experiments previously hand-rolled.
+//
+// # Lifecycle
+//
+// A Store is created around an existing grammar (New takes ownership of
+// it) and from then on every mutation goes through Apply/ApplyAll and
+// every read through Query/Snapshot/the aggregate helpers. Three
+// maintenance concerns are automated:
+//
+//   - Size-vector caching. Path isolation needs the size vectors
+//     size(A,0..k) of every rule, but only the start rule's right-hand
+//     side changes under updates (internal/isolate/isolate.go), so the
+//     Store computes the full map once and afterwards refreshes just the
+//     start rule's vector per operation — O(|RHS_S|) instead of the
+//     O(|G|) ValSizes pass per op that update.Apply pays. Non-start
+//     entries are invalidated only by recompression, which replaces the
+//     grammar wholesale.
+//
+//   - Batched garbage collection. Deletes strand rules; stranded rules
+//     are unreachable from the start symbol and therefore invisible to
+//     isolation and queries, so ApplyAll runs one GarbageCollect per
+//     batch instead of one per delete.
+//
+//   - Self-tuning recompression. Updates degrade the grammar; the Store
+//     triggers GrammarRePair when |G| grows past Ratio × |G| at the last
+//     compression. The effective ratio adapts to the workload: when a
+//     recompression barely shrinks the grammar the trigger backs off
+//     (up to MaxRatio) so incompressible churn is not recompressed in a
+//     tight loop, and when recompression pays off the trigger resets to
+//     the configured base. Set Ratio < 0 for manual-only Recompress.
+//
+// # Concurrency
+//
+// A Store is safe for concurrent use: mutations take the write lock,
+// aggregate reads (Size, TreeSize, Elements, CountLabel, LabelHistogram,
+// Query, Stats) are served under the read lock during update ingestion.
+// Readers that must outlive a lock — DOM-style cursors — take a
+// Snapshot, a deep copy that later updates and recompressions can never
+// invalidate.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/grammar"
+	"repro/internal/navigate"
+	"repro/internal/update"
+)
+
+// Config tunes a Store. The zero value selects the defaults below.
+type Config struct {
+	// MaxRank is the paper's k_in for recompression runs (0 = default 4).
+	MaxRank int
+	// Ratio triggers auto-recompression when |G| exceeds
+	// Ratio × |G_lastCompressed|. 0 selects DefaultRatio; a negative
+	// value disables auto-recompression (Recompress stays available).
+	Ratio float64
+	// MaxRatio caps how far the self-tuning policy may back the trigger
+	// off when recompressions stop paying (0 = DefaultMaxRatio).
+	MaxRatio float64
+	// MinSize suppresses auto-recompression below this grammar size, so
+	// small documents are not recompressed on every few ops
+	// (0 = DefaultMinSize).
+	MinSize int
+}
+
+// Policy defaults; see Config.
+const (
+	DefaultRatio    = 1.5
+	DefaultMaxRatio = 4.0
+	DefaultMinSize  = 64
+)
+
+// payoffThreshold is the minimum shrink factor (size before / size after)
+// a recompression must achieve for the policy to keep its current
+// trigger; below it the trigger backs off multiplicatively.
+const payoffThreshold = 1.15
+
+// Stats is a point-in-time snapshot of a Store's counters.
+type Stats struct {
+	Ops     int64 // operations applied
+	Renames int64
+	Inserts int64
+	Deletes int64
+	Batches int64 // Apply/ApplyAll calls
+
+	Recompressions  int64 // GrammarRePair runs (auto + manual)
+	SizeCacheHits   int64 // ops served from the warm size-vector cache
+	SizeCacheMisses int64 // full ValSizes recomputations
+	GCRuns          int64 // garbage-collection passes
+	RulesCollected  int64 // rules removed by those passes
+
+	Size               int     // current |G|
+	PeakSize           int     // max |G| observed at any batch boundary
+	LastCompressedSize int     // |G| right after the last recompression
+	EffectiveRatio     float64 // current self-tuned trigger ratio
+
+	// Elements is the document's element count. When the derived tree is
+	// too large for int64 (exponentially compressing grammars) Saturated
+	// is true and Elements is 0 — never a bogus huge number.
+	Elements  int64
+	Saturated bool
+}
+
+// Store is a grammar-compressed document under a stream of updates. See
+// the package comment for the lifecycle.
+type Store struct {
+	mu    sync.RWMutex
+	g     *grammar.Grammar
+	cache update.Cache
+
+	cfg      Config
+	effRatio float64 // current trigger; self-tunes within [base, MaxRatio]
+
+	lastCompressed int
+	peakSize       int
+	pendingGC      bool
+
+	ops, renames, inserts, deletes int64
+	batches                        int64
+	recompressions                 int64
+	gcRuns, rulesCollected         int64
+}
+
+// New wraps a grammar in a Store, taking ownership: the caller must not
+// mutate g afterwards (reads through Query/Snapshot instead).
+func New(g *grammar.Grammar, cfg ...Config) *Store {
+	var c Config
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	if c.Ratio == 0 {
+		c.Ratio = DefaultRatio
+	}
+	if c.MaxRatio == 0 {
+		c.MaxRatio = DefaultMaxRatio
+	}
+	if c.MaxRatio < c.Ratio {
+		c.MaxRatio = c.Ratio
+	}
+	if c.MinSize == 0 {
+		c.MinSize = DefaultMinSize
+	}
+	size := g.Size()
+	s := &Store{
+		g:              g,
+		cfg:            c,
+		effRatio:       c.Ratio,
+		lastCompressed: size,
+		peakSize:       size,
+	}
+	// Warm the size-vector cache while no reader can hold the lock yet,
+	// so TreeSize/Elements/Stats are O(1) from the first call. On error
+	// (invalid grammar) the cache stays cold and the first Apply
+	// surfaces the problem.
+	s.cache.Sizes(g)
+	return s
+}
+
+// Apply performs one update operation.
+func (s *Store) Apply(op update.Op) error {
+	return s.ApplyAll([]update.Op{op})
+}
+
+// ApplyAll performs a batch of operations: one shared size-vector cache
+// across the batch, one garbage collection at the end, one
+// recompression-policy check at the batch boundary.
+func (s *Store) ApplyAll(ops []update.Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches++
+	for i := range ops {
+		if err := s.applyLocked(ops[i]); err != nil {
+			s.finishBatchLocked()
+			// Ops before i are committed (and batch maintenance ran);
+			// the index makes the partial state diagnosable.
+			return fmt.Errorf("store: op %d of %d: %w", i, len(ops), err)
+		}
+	}
+	s.finishBatchLocked()
+	return nil
+}
+
+func (s *Store) applyLocked(op update.Op) error {
+	stranded, err := update.ApplyCached(s.g, op, &s.cache)
+	if err != nil {
+		return err
+	}
+	s.pendingGC = s.pendingGC || stranded
+	s.ops++
+	switch op.Kind {
+	case update.Rename:
+		s.renames++
+	case update.Insert:
+		s.inserts++
+	case update.Delete:
+		s.deletes++
+	}
+	return nil
+}
+
+// finishBatchLocked runs the deferred garbage collection and the
+// recompression policy at a batch boundary.
+func (s *Store) finishBatchLocked() {
+	s.gcLocked()
+	size := s.g.Size()
+	if size > s.peakSize {
+		s.peakSize = size
+	}
+	if s.cfg.Ratio < 0 {
+		return
+	}
+	if size >= s.cfg.MinSize && float64(size) > s.effRatio*float64(s.lastCompressed) {
+		s.recompressLocked()
+	}
+}
+
+func (s *Store) gcLocked() {
+	if !s.pendingGC {
+		return
+	}
+	s.pendingGC = false
+	removed := s.g.GarbageCollect()
+	s.gcRuns++
+	s.rulesCollected += int64(removed)
+	if removed > 0 {
+		s.cache.DropDeleted(s.g)
+	}
+}
+
+// recompressLocked runs GrammarRePair, swaps in the result, invalidates
+// the size-vector cache, and lets the trigger ratio adapt to the payoff.
+func (s *Store) recompressLocked() *core.Stats {
+	before := s.g.Size()
+	g2, st := core.Compress(s.g, core.Options{MaxRank: s.cfg.MaxRank})
+	s.g = g2
+	s.cache.Invalidate()
+	// Re-warm under the already-held write lock: readers polling
+	// aggregates on a write-idle Store must not each pay a full
+	// ValSizes pass.
+	s.cache.Sizes(g2)
+	s.recompressions++
+	s.lastCompressed = g2.Size()
+	if st.MaxIntermediate > s.peakSize {
+		s.peakSize = st.MaxIntermediate
+	}
+	// Self-tuning: if the run barely shrank the grammar, the document's
+	// churn is incompressible right now — back the trigger off so the
+	// next run waits for proportionally more growth. A run that pays
+	// resets the trigger to the configured base.
+	if after := g2.Size(); after > 0 && float64(before)/float64(after) < payoffThreshold {
+		s.effRatio *= 1.5
+		if s.effRatio > s.cfg.MaxRatio {
+			s.effRatio = s.cfg.MaxRatio
+		}
+	} else {
+		s.effRatio = s.cfg.Ratio
+	}
+	return st
+}
+
+// Recompress forces a GrammarRePair run regardless of the policy and
+// returns its stats.
+func (s *Store) Recompress() *core.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gcLocked()
+	return s.recompressLocked()
+}
+
+// Query runs fn on the live grammar under the read lock, concurrently
+// with other readers. fn must treat the grammar as read-only and must
+// not retain it (or anything reachable from it) past the call; use
+// Snapshot for state that outlives the lock.
+func (s *Store) Query(fn func(*grammar.Grammar) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return fn(s.g)
+}
+
+// Snapshot returns a deep copy of the current grammar. The copy is
+// invalidation-safe: later updates and recompressions never touch it, so
+// cursors built over it stay valid indefinitely.
+func (s *Store) Snapshot() *grammar.Grammar {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.Clone()
+}
+
+// Cursor returns a DOM-style cursor over a snapshot of the document.
+func (s *Store) Cursor() (*navigate.Cursor, error) {
+	return navigate.NewCursor(s.Snapshot())
+}
+
+// Size returns the current grammar size |G|.
+func (s *Store) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.Size()
+}
+
+// TreeSize returns the node count of the derived binary tree, saturating
+// at math.MaxInt64 for exponentially compressing grammars. When the
+// size-vector cache is warm (any time after the first applied op) this
+// is O(1).
+func (s *Store) TreeSize() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.treeSizeLocked()
+}
+
+func (s *Store) treeSizeLocked() (int64, error) {
+	if sizes := s.cache.Peek(); sizes != nil {
+		if sv := sizes[s.g.Start]; sv != nil {
+			return sv.Total, nil
+		}
+	}
+	return s.g.ValNodeCount()
+}
+
+// Elements returns the document's element count, or grammar.ErrSaturated
+// when the derived tree exceeds the int64 range.
+func (s *Store) Elements() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.elementsLocked()
+}
+
+func (s *Store) elementsLocked() (int64, error) {
+	n, err := s.treeSizeLocked()
+	if err != nil {
+		return 0, err
+	}
+	if grammar.Saturated(n) {
+		return 0, grammar.ErrSaturated
+	}
+	return (n - 1) / 2, nil
+}
+
+// CountLabel counts occurrences of an element label in the document
+// without decompressing.
+func (s *Store) CountLabel(label string) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return navigate.CountLabel(s.g, label)
+}
+
+// LabelHistogram returns the occurrence count of every element label.
+func (s *Store) LabelHistogram() (map[string]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return navigate.LabelHistogram(s.g)
+}
+
+// Stats returns a snapshot of the Store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Ops:     s.ops,
+		Renames: s.renames,
+		Inserts: s.inserts,
+		Deletes: s.deletes,
+		Batches: s.batches,
+
+		Recompressions:  s.recompressions,
+		SizeCacheHits:   s.cache.Hits,
+		SizeCacheMisses: s.cache.Misses,
+		GCRuns:          s.gcRuns,
+		RulesCollected:  s.rulesCollected,
+
+		Size:               s.g.Size(),
+		PeakSize:           s.peakSize,
+		LastCompressedSize: s.lastCompressed,
+		EffectiveRatio:     s.effRatio,
+	}
+	if st.Size > st.PeakSize {
+		st.PeakSize = st.Size
+	}
+	if n, err := s.elementsLocked(); errors.Is(err, grammar.ErrSaturated) {
+		st.Saturated = true
+	} else if err == nil {
+		st.Elements = n
+	}
+	return st
+}

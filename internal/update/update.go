@@ -8,6 +8,7 @@ package update
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/grammar"
 	"repro/internal/isolate"
@@ -50,48 +51,193 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
-// Apply performs the operation on the grammar via path isolation. Only
-// the start rule is modified (plus garbage collection after deletes).
-func Apply(g *grammar.Grammar, op Op) error {
-	pos, err := isolate.Isolate(g, op.Pos, nil)
+// Cache holds the grammar's size vectors across a sequence of operations.
+// Path isolation mutates only the start rule, so every non-start vector
+// stays valid from op to op (internal/isolate/isolate.go); only the start
+// rule's vector is refreshed after a mutation, in O(|RHS_S|) instead of
+// the O(|G|) full ValSizes pass the per-op path pays. The cache must be
+// invalidated whenever any non-start rule changes — in practice, after
+// recompression (which builds a new grammar anyway).
+//
+// A Cache serves exactly one grammar; Hits/Misses count warm vs cold
+// Sizes calls and feed Store.Stats.
+type Cache struct {
+	sizes map[int32]*grammar.SizeVectors
+	memo  isolate.Memo // subtree sizes of start-RHS nodes across ops
+
+	Hits   int64 // Sizes calls served from the warm cache
+	Misses int64 // Sizes calls that recomputed all vectors
+}
+
+// Sizes returns the cached size-vector map, computing it on first use.
+func (c *Cache) Sizes(g *grammar.Grammar) (map[int32]*grammar.SizeVectors, error) {
+	if c.sizes != nil {
+		c.Hits++
+		return c.sizes, nil
+	}
+	c.Misses++
+	sizes, err := g.ValSizes()
+	if err != nil {
+		return nil, err
+	}
+	c.sizes = sizes
+	return sizes, nil
+}
+
+// Peek returns the cached vectors without filling the cache or touching
+// the hit counters (nil when cold). It is the read-only accessor for
+// callers that hold only a read lock over the owning structure.
+func (c *Cache) Peek() map[int32]*grammar.SizeVectors { return c.sizes }
+
+// Invalidate drops the cached vectors and the subtree-size memo; the
+// next Sizes call recomputes.
+func (c *Cache) Invalidate() {
+	c.sizes = nil
+	c.memo = nil
+}
+
+// RefreshStart recomputes only the start rule's vector from the cached
+// callee vectors. Call it after an operation changed val_G(S)'s node
+// count (insert/delete); renames and isolation unfolding preserve sizes.
+func (c *Cache) RefreshStart(g *grammar.Grammar) error {
+	if c.sizes == nil {
+		return nil
+	}
+	sv, err := g.RuleValSizes(g.Start, c.sizes)
 	if err != nil {
 		return err
+	}
+	c.sizes[g.Start] = sv
+	return nil
+}
+
+// adjustStartTotal maintains the start rule's cached vector by a known
+// node-count delta, avoiding the O(|RHS_S|) re-walk of RefreshStart:
+// an insert adds exactly the fragment's binary encoding, a delete
+// removes exactly the element and its first-child subtree. The start
+// rule has rank 0, so its vector is the single segment Total. Saturated
+// states fall back to a full refresh — exactness cannot be recovered
+// arithmetically there.
+func (c *Cache) adjustStartTotal(g *grammar.Grammar, delta int64) error {
+	if c.sizes == nil {
+		return nil
+	}
+	sv := c.sizes[g.Start]
+	if sv == nil || len(sv.Seg) != 1 || grammar.Saturated(sv.Total) {
+		return c.RefreshStart(g)
+	}
+	t := sv.Total + delta
+	if delta > 0 && t < sv.Total {
+		t = math.MaxInt64 // saturate on overflow
+	}
+	sv.Total = t
+	sv.Seg[0] = t
+	return nil
+}
+
+// DropDeleted removes cache entries whose rule no longer exists (after a
+// garbage-collection pass), so a long-lived cache does not accumulate
+// vectors for dead rule IDs.
+func (c *Cache) DropDeleted(g *grammar.Grammar) {
+	for id := range c.sizes {
+		if g.Rule(id) == nil {
+			delete(c.sizes, id)
+		}
+	}
+}
+
+// ApplyCached performs one operation using the shared size-vector cache
+// and refreshes the cache afterwards. Unlike Apply it never garbage
+// collects: deletes can strand rules, and the caller decides when to run
+// one GarbageCollect for a whole batch (stranded rules are unreachable
+// from the start rule, so they are invisible to isolation and queries in
+// the meantime). The returned stranded flag reports whether such a pass
+// is due.
+func ApplyCached(g *grammar.Grammar, op Op, c *Cache) (stranded bool, err error) {
+	sizes, err := c.Sizes(g)
+	if err != nil {
+		return false, err
+	}
+	if c.memo == nil {
+		c.memo = make(isolate.Memo)
+	}
+	pos, err := isolate.IsolateMemo(g, op.Pos, sizes, c.memo)
+	if err != nil {
+		return false, err
 	}
 	switch op.Kind {
 	case Rename:
 		if pos.Node.Label.IsBottom() {
-			return fmt.Errorf("update: rename of ⊥ node at %d", op.Pos)
+			return false, fmt.Errorf("update: rename of ⊥ node at %d", op.Pos)
 		}
 		id := g.Syms.InternElement(op.Label)
 		pos.Node.Label = xmltree.Term(id)
+		// Renames (and the isolation unfolding itself) do not change any
+		// val size, so the cached start vector stays valid.
+		return false, nil
 	case Insert:
 		if op.Frag == nil {
-			return fmt.Errorf("update: insert without fragment")
+			return false, fmt.Errorf("update: insert without fragment")
 		}
 		// insert(t,u,s): the fragment's right-most ⊥ becomes the subtree
 		// currently rooted at u (for u = ⊥ this degenerates to t[u/s]).
+		// A fragment of k elements becomes a binary tree of 2k+1 nodes
+		// whose right-most ⊥ is replaced by the existing subtree: exactly
+		// 2k nodes join val_G(S).
+		fragNodes := int64(op.Frag.Nodes())
 		sub := op.Frag.BinaryInto(g.Syms, pos.Node)
 		pos.Replace(g, sub)
+		return false, c.adjustStartTotal(g, 2*fragNodes)
 	case Delete:
 		if pos.Node.Label.IsBottom() {
-			return fmt.Errorf("update: delete of ⊥ node at %d", op.Pos)
+			return false, fmt.Errorf("update: delete of ⊥ node at %d", op.Pos)
 		}
 		// t[u / u.2]: drop the element and its first-child subtree, keep
-		// the next-sibling chain.
+		// the next-sibling chain — exactly 1 + |val(u.1)| nodes leave.
+		removed := grammar.SatAdd(1, grammar.SubtreeValSize(pos.Node.Children[0], sizes))
 		pos.Replace(g, pos.Node.Children[1])
+		if grammar.Saturated(removed) {
+			return true, c.RefreshStart(g)
+		}
+		return true, c.adjustStartTotal(g, -removed)
+	}
+	return false, fmt.Errorf("update: unknown op kind %v", op.Kind)
+}
+
+// Apply performs the operation on the grammar via path isolation. Only
+// the start rule is modified (plus garbage collection after deletes).
+func Apply(g *grammar.Grammar, op Op) error {
+	var c Cache
+	stranded, err := ApplyCached(g, op, &c)
+	if err != nil {
+		return err
+	}
+	if stranded {
 		g.GarbageCollect()
-	default:
-		return fmt.Errorf("update: unknown op kind %v", op.Kind)
 	}
 	return nil
 }
 
-// ApplyAll applies a sequence of operations in order.
+// ApplyAll applies a sequence of operations in order. The size-vector
+// cache is shared across the whole sequence and garbage collection runs
+// once at the end instead of after every delete, so a batch of n ops
+// costs one ValSizes pass plus n start-rule refreshes.
 func ApplyAll(g *grammar.Grammar, ops []Op) error {
+	var c Cache
+	stranded := false
+	defer func() {
+		// Also on the error path: deletes already applied must not leave
+		// stranded rules behind.
+		if stranded {
+			g.GarbageCollect()
+		}
+	}()
 	for i, op := range ops {
-		if err := Apply(g, op); err != nil {
+		s, err := ApplyCached(g, op, &c)
+		if err != nil {
 			return fmt.Errorf("op %d: %w", i, err)
 		}
+		stranded = stranded || s
 	}
 	return nil
 }

@@ -45,12 +45,19 @@ func Updates(final *xmltree.Unranked, n int, insertPct int, seed int64) (*Sequen
 			if !ok {
 				// Document too small to remove anything; fall back to a
 				// forward delete (inverted below) to grow it again.
-				op, next = invertDelete(st, cur, rng)
+				var err error
+				op, next, err = invertDelete(st, cur, rng)
+				if err != nil {
+					return nil, fmt.Errorf("workload: op %d: %w", i, err)
+				}
 			}
 			ops = append(ops, op)
 			cur = next
 		} else {
-			op, next := invertDelete(st, cur, rng)
+			op, next, err := invertDelete(st, cur, rng)
+			if err != nil {
+				return nil, fmt.Errorf("workload: op %d: %w", i, err)
+			}
 			ops = append(ops, op)
 			cur = next
 		}
@@ -92,13 +99,28 @@ func invertInsert(st *xmltree.SymbolTable, cur *xmltree.Node, rng *rand.Rand) (u
 	return update.Op{}, cur, false
 }
 
+// maxInvertAttempts bounds the fragment-sampling retry loop of
+// invertDelete; without a bound a document on which DecodeElement keeps
+// failing would spin forever.
+const maxInvertAttempts = 128
+
 // invertDelete derives a forward DELETE operation by inserting a copy of
 // a random small document fragment into the current state: the forward
-// delete removes exactly that fragment.
-func invertDelete(st *xmltree.SymbolTable, cur *xmltree.Node, rng *rand.Rand) (update.Op, *xmltree.Node) {
+// delete removes exactly that fragment. It fails (instead of panicking)
+// when the document has degenerated so far that no insert position or no
+// decodable fragment exists.
+func invertDelete(st *xmltree.SymbolTable, cur *xmltree.Node, rng *rand.Rand) (update.Op, *xmltree.Node, error) {
+	// Insert positions are 1..Size()-1 (never before the document root at
+	// preorder 0); a single-node document has none.
+	if cur.Size() < 2 {
+		return update.Op{}, cur, fmt.Errorf("document too small to seed an insert (size %d)", cur.Size())
+	}
 	positions := elementPositions(cur)
+	if len(positions) == 0 {
+		return update.Op{}, cur, fmt.Errorf("document has no element to use as a fragment")
+	}
 	var frag *xmltree.Unranked
-	for attempt := 0; ; attempt++ {
+	for attempt := 0; attempt < maxInvertAttempts; attempt++ {
 		p := positions[rng.Intn(len(positions))]
 		node := cur.PreorderIndex(int(p))
 		f, err := xmltree.DecodeElement(st, node)
@@ -110,15 +132,17 @@ func invertDelete(st *xmltree.SymbolTable, cur *xmltree.Node, rng *rand.Rand) (u
 			break
 		}
 	}
+	if frag == nil {
+		return update.Op{}, cur, fmt.Errorf("no decodable fragment after %d attempts", maxInvertAttempts)
+	}
 	// Insert before a random position (possibly a ⊥, i.e. an append),
 	// but never before the document root at preorder 0.
 	p := int64(1 + rng.Intn(cur.Size()-1))
 	next, err := update.ApplyTree(st, cur, update.Op{Kind: update.Insert, Pos: p, Frag: frag})
 	if err != nil {
-		// Cannot happen: insert is defined at every node.
-		panic(fmt.Sprintf("workload: backward insert failed: %v", err))
+		return update.Op{}, cur, fmt.Errorf("backward insert at %d failed: %w", p, err)
 	}
-	return update.Op{Kind: update.Delete, Pos: p}, next
+	return update.Op{Kind: update.Delete, Pos: p}, next, nil
 }
 
 // elementPositions lists the preorder indices of all non-⊥ nodes.

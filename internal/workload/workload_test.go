@@ -146,3 +146,38 @@ func TestRenamesCappedAtElementCount(t *testing.T) {
 		t.Fatalf("got %d ops, want 2 (only 2 elements)", len(ops))
 	}
 }
+
+// TestUpdatesTinyDocument is the regression test for the invertDelete
+// bounds: on a degenerate single-element document the generator must
+// neither panic (rng.Intn on a non-positive range) nor spin in an
+// unbounded retry loop — it either produces a valid replayable sequence
+// or fails with an error.
+func TestUpdatesTinyDocument(t *testing.T) {
+	tiny := &xmltree.Unranked{Label: "root"}
+	for seed := int64(0); seed < 20; seed++ {
+		seq, err := Updates(tiny, 50, 90, seed)
+		if err != nil {
+			// Degeneration to an un-seedable document is a legal outcome;
+			// panicking is not.
+			continue
+		}
+		got, err := update.ApplyTreeAll(seq.Seed.Syms, seq.Seed.Root.Copy(), seq.Ops)
+		if err != nil {
+			t.Fatalf("seed %d: replay failed: %v", seed, err)
+		}
+		if !xmltree.Equal(got, seq.Final.Root) {
+			t.Fatalf("seed %d: tiny-document replay diverged", seed)
+		}
+	}
+}
+
+// TestInvertDeleteSingleNode drives invertDelete directly into the case
+// that used to panic: a document that is a single node has no insert
+// position, so the inversion must return an error.
+func TestInvertDeleteSingleNode(t *testing.T) {
+	st := xmltree.NewSymbolTable()
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := invertDelete(st, xmltree.NewBottom(), rng); err == nil {
+		t.Fatal("single-node document must not seed an insert")
+	}
+}

@@ -25,6 +25,23 @@
 //	g2, st := sltgrammar.Recompress(g)            // GrammarRePair
 //	fmt.Println(sltgrammar.Size(g2), st.Rounds)
 //
+// # Serving updates: Store
+//
+// For a long-lived document under a stream of updates, wrap the grammar
+// in a Store instead of calling Apply/Recompress by hand. The Store
+// caches size vectors across operations (path isolation then costs
+// O(|RHS_S|) per op instead of O(|G|)), garbage-collects once per batch,
+// recompresses automatically when the grammar has degraded past a
+// configurable ratio of its last compressed size (self-tuning: the
+// trigger backs off while recompression isn't paying), and is safe for
+// concurrent readers during update ingestion:
+//
+//	st := sltgrammar.NewStore(g)                  // takes ownership of g
+//	_ = st.ApplyAll(ops)                          // batched updates
+//	n, _ := st.CountLabel("item")                 // served under RLock
+//	cur, _ := st.Cursor()                         // over a safe snapshot
+//	fmt.Printf("%+v\n", st.Stats())               // ops, cache hits, |G|…
+//
 // Nodes are addressed by preorder index in the binary
 // first-child/next-sibling encoding (Fig. 1 of the paper), in which each
 // element has rank 2 and missing children are explicit ⊥ leaves.
@@ -35,7 +52,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grammar"
+	"repro/internal/isolate"
 	"repro/internal/navigate"
+	"repro/internal/store"
 	"repro/internal/treerepair"
 	"repro/internal/udc"
 	"repro/internal/update"
@@ -64,7 +83,26 @@ type (
 	// Cursor is a DOM-style read-only position in the derived tree,
 	// navigating the grammar without decompression.
 	Cursor = navigate.Cursor
+	// Store is the long-lived dynamic-document engine: cached size
+	// vectors, batched garbage collection, self-tuning recompression,
+	// and concurrent readers. See repro/internal/store for the lifecycle.
+	Store = store.Store
+	// StoreConfig tunes a Store's recompression policy.
+	StoreConfig = store.Config
+	// StoreStats is a snapshot of a Store's counters.
+	StoreStats = store.Stats
 )
+
+// ErrSaturated is returned by Elements (and Store.Elements) when the
+// derived tree's node count exceeds the int64 range — exponentially
+// compressing grammars saturate rather than overflow.
+var ErrSaturated = grammar.ErrSaturated
+
+// NewStore wraps a grammar in a Store, taking ownership of it. Pass a
+// StoreConfig to tune the recompression policy; the default triggers
+// GrammarRePair when the grammar has grown 1.5× past its last compressed
+// size.
+func NewStore(g *Grammar, cfg ...StoreConfig) *Store { return store.New(g, cfg...) }
 
 // NewCursor returns a cursor at the root of the derived tree. Every move
 // costs time proportional to the grammar's nesting depth, never to the
@@ -204,14 +242,10 @@ func Size(g *Grammar) int { return g.Size() }
 // exponentially compressing grammars).
 func TreeSize(g *Grammar) (int64, error) { return g.ValNodeCount() }
 
-// Elements returns the number of element nodes of the encoded document.
-func Elements(g *Grammar) (int64, error) {
-	n, err := g.ValNodeCount()
-	if err != nil {
-		return 0, err
-	}
-	return (n - 1) / 2, nil
-}
+// Elements returns the number of element nodes of the encoded document,
+// or ErrSaturated when the derived tree exceeds the int64 range (an
+// exact count would be bogus).
+func Elements(g *Grammar) (int64, error) { return isolate.NonBottomCount(g) }
 
 // Equal reports whether two grammars derive the same tree. It expands
 // both (bounded by maxNodes if > 0), so use it on moderate documents or
