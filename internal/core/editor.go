@@ -8,44 +8,68 @@ import (
 	"repro/internal/xmltree"
 )
 
-// editor wraps one rule body with a parent/child-index map so that
+// locEntry is one slot of the editor's dense parent table. self guards
+// against stale Node.Aux values: an entry speaks for node n only when
+// locs[n.Aux].self == n — anything else means n was registered by an
+// earlier editor session (or never) and must be (re)registered.
+type locEntry struct {
+	self   *xmltree.Node // the node this entry belongs to
+	parent *xmltree.Node // nil for the rule root
+	idx    int32         // child index within parent
+}
+
+// editor wraps one rule body with a parent/child-index table so that
 // inlining steps (which splice trees in place) stay O(size of the
-// inlined body) instead of re-walking the whole rule. Editors are pooled
-// by the per-run scratch; loc survives between uses and is cleared on
-// reacquisition.
+// inlined body) instead of re-walking the whole rule. The table is a
+// dense slice indexed through Node.Aux — registering a node stamps its
+// slot index into the node — replacing the pointer-keyed map that was
+// rebuilt (and rehashed) on every rule visit. Editors are pooled by the
+// per-run scratch; locs keeps its capacity between uses and is truncated
+// on reacquisition, so steady-state visits allocate nothing.
 type editor struct {
 	g     *grammar.Grammar
 	rule  *grammar.Rule
 	arena *xmltree.Arena
-	loc   map[*xmltree.Node]parentRef
+	locs  []locEntry
 }
 
 func (ed *editor) reset(g *grammar.Grammar, rule *grammar.Rule, arena *xmltree.Arena) {
 	ed.g = g
 	ed.rule = rule
 	ed.arena = arena
-	if ed.loc == nil {
-		ed.loc = make(map[*xmltree.Node]parentRef)
-	} else {
-		clear(ed.loc)
-	}
+	ed.locs = ed.locs[:0]
 	rule.RHS.WalkParent(func(n, p *xmltree.Node, i int) bool {
-		ed.loc[n] = parentRef{node: p, idx: i}
+		ed.setLoc(n, p, i)
 		return true
 	})
 }
 
+// setLoc records n's parent entry, reusing n's existing slot when n is
+// already registered in this session and appending a fresh one otherwise.
+func (ed *editor) setLoc(n, parent *xmltree.Node, idx int) {
+	if a := n.Aux; uint64(a) < uint64(len(ed.locs)) && ed.locs[a].self == n {
+		ed.locs[a].parent = parent
+		ed.locs[a].idx = int32(idx)
+		return
+	}
+	n.Aux = int32(len(ed.locs))
+	ed.locs = append(ed.locs, locEntry{self: n, parent: parent, idx: int32(idx)})
+}
+
 // parent returns the current parent of n within the rule (nil for root)
-// and n's child index in it.
+// and n's child index in it. An unregistered node reads as a root,
+// matching the zero value the old map returned on a miss.
 func (ed *editor) parent(n *xmltree.Node) (*xmltree.Node, int) {
-	pr := ed.loc[n]
-	return pr.node, pr.idx
+	if a := n.Aux; uint64(a) < uint64(len(ed.locs)) && ed.locs[a].self == n {
+		return ed.locs[a].parent, int(ed.locs[a].idx)
+	}
+	return nil, 0
 }
 
 // splice replaces the node old (which must be in the rule) by sub,
-// updating the parent maps for every node of sub except the interiors of
-// the subtrees listed in keep (whose maps are already correct because the
-// subtrees were simply relocated).
+// updating the parent table for every node of sub except the interiors of
+// the subtrees listed in keep (whose entries are already correct because
+// the subtrees were simply relocated).
 func (ed *editor) splice(old, sub *xmltree.Node, keep []*xmltree.Node) {
 	p, i := ed.parent(old)
 	if p == nil {
@@ -55,10 +79,10 @@ func (ed *editor) splice(old, sub *xmltree.Node, keep []*xmltree.Node) {
 	}
 	var walk func(n, parent *xmltree.Node, idx int)
 	walk = func(n, parent *xmltree.Node, idx int) {
-		ed.loc[n] = parentRef{node: parent, idx: idx}
+		ed.setLoc(n, parent, idx)
 		for _, k := range keep {
 			if k == n {
-				return // relocated subtree: interior maps still valid
+				return // relocated subtree: interior entries still valid
 			}
 		}
 		for j, c := range n.Children {

@@ -69,45 +69,51 @@ func (a *iface) equal(b *iface) bool {
 // Algorithm 4 (RETRIEVEOCCS) state: per-rule digram occurrence generators,
 // usage-weighted global frequencies, and the non-overlap bookkeeping for
 // equal-label digrams. Global counts and the equal-label sets are keyed by
-// packed digram keys in open-addressed tables.
+// packed digram keys in open-addressed tables; all per-rule state lives in
+// dense rule-ID-indexed slices (rule IDs are dense and never reused), so
+// the refresh path does no hashing at all.
 type occIndex struct {
 	g       *grammar.Grammar
 	maxRank int
 
-	perRule map[int32]*ruleOccs
+	perRule []*ruleOccs // by rule ID; nil = deleted / never seen
 	counts  digram.Table[float64]
-	usage   map[int32]float64
+	usage   []float64 // by rule ID
 	queue   digram.Queue
 	// genSet holds, per equal-label digram, the set of stored generator
 	// nodes (all of which are terminal tree children); a candidate whose
 	// resolved tree parent is in this set would overlap (Alg. 4 line 11).
 	genSet digram.Table[map[*xmltree.Node]bool]
 
-	ifaces map[int32]*iface
+	ifaces []*iface // by rule ID
 	// per-refresh resolution memos and scratch sets, reused across rounds
-	rootMemo  map[int32]*resolved
-	paramMemo map[int32][]*resolved
-	changed   map[int32]bool
-	dirty     map[int32]bool
-	topoState map[int32]uint8
+	// (all by rule ID; cleared, not reallocated, between refreshes)
+	rootMemo  []*resolved
+	paramMemo [][]*resolved
+	changed   []bool
+	dirty     []bool
+	topoState []uint8
 	topoBuf   []int32
 }
 
 func newOccIndex(g *grammar.Grammar, maxRank int) *occIndex {
-	ix := &occIndex{
-		g:         g,
-		maxRank:   maxRank,
-		perRule:   make(map[int32]*ruleOccs),
-		usage:     make(map[int32]float64),
-		ifaces:    make(map[int32]*iface),
-		rootMemo:  make(map[int32]*resolved),
-		paramMemo: make(map[int32][]*resolved),
-		changed:   make(map[int32]bool),
-		dirty:     make(map[int32]bool),
-		topoState: make(map[int32]uint8),
-	}
+	ix := &occIndex{g: g, maxRank: maxRank}
 	ix.refresh(g.RuleIDs(), nil)
 	return ix
+}
+
+// grow sizes every dense table for the rule IDs the grammar has assigned
+// so far; called at each refresh (replacement rounds create rules).
+func (ix *occIndex) grow() {
+	n := int(ix.g.MaxRuleID())
+	ix.perRule = grammar.GrowTo(ix.perRule, n)
+	ix.usage = grammar.GrowTo(ix.usage, n)
+	ix.ifaces = grammar.GrowTo(ix.ifaces, n)
+	ix.rootMemo = grammar.GrowTo(ix.rootMemo, n)
+	ix.paramMemo = grammar.GrowTo(ix.paramMemo, n)
+	ix.changed = grammar.GrowTo(ix.changed, n)
+	ix.dirty = grammar.GrowTo(ix.dirty, n)
+	ix.topoState = grammar.GrowTo(ix.topoState, n)
 }
 
 // live reports the current frequency of d (for the priority queue).
@@ -121,16 +127,19 @@ func (ix *occIndex) best() (digram.Digram, float64, bool) {
 	return ix.queue.PopBest(ix.live)
 }
 
-// rulesWithGenerators returns the IDs of rules holding generators of d.
+// rulesWithGenerators returns the IDs of rules holding generators of d,
+// in ascending rule-ID order (the dense scan produces it sorted).
 func (ix *occIndex) rulesWithGenerators(d digram.Digram) []int32 {
 	k := d.Key()
 	var out []int32
 	for rid, ro := range ix.perRule {
+		if ro == nil {
+			continue
+		}
 		if gens, _ := ro.gens.Get(k); len(gens) > 0 {
-			out = append(out, rid)
+			out = append(out, int32(rid))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -148,7 +157,9 @@ func (ix *occIndex) generators(rid int32, d digram.Digram) []*xmltree.Node {
 func (ix *occIndex) totalNodes() int {
 	t := 0
 	for _, ro := range ix.perRule {
-		t += ro.nodes
+		if ro != nil {
+			t += ro.nodes
+		}
 	}
 	return t
 }
@@ -157,11 +168,13 @@ func (ix *occIndex) totalNodes() int {
 // edited (or created) the given rules and deleted others. Passing all
 // rule IDs as edited performs the initial full build.
 func (ix *occIndex) refresh(edited []int32, deleted []int32) {
+	// Replacement rounds create rules; size every dense table first.
+	ix.grow()
 	// Drop deleted rules entirely.
 	for _, rid := range deleted {
 		ix.dropContributions(rid)
-		delete(ix.perRule, rid)
-		delete(ix.ifaces, rid)
+		ix.perRule[rid] = nil
+		ix.ifaces[rid] = nil
 	}
 	// Phase A: rebuild local structure (calls, parameter parents, node
 	// counts) for every edited rule, so interface resolution below sees
@@ -178,10 +191,12 @@ func (ix *occIndex) refresh(edited []int32, deleted []int32) {
 	clear(ix.paramMemo)
 	changed := ix.changed
 	clear(changed)
+	nChanged := 0
 	for _, rid := range ix.g.RuleIDs() {
 		ni := ix.computeIface(rid)
 		if !ni.equal(ix.ifaces[rid]) {
 			changed[rid] = true
+			nChanged++
 		}
 		ix.ifaces[rid] = ni
 	}
@@ -193,9 +208,9 @@ func (ix *occIndex) refresh(edited []int32, deleted []int32) {
 			dirty[rid] = true
 		}
 	}
-	if len(changed) > 0 {
+	if nChanged > 0 {
 		for rid, ro := range ix.perRule {
-			if dirty[rid] {
+			if ro == nil || dirty[rid] {
 				continue
 			}
 			for callee := range ro.calls {
@@ -305,7 +320,7 @@ func (ix *occIndex) computeIface(rid int32) *iface {
 // resolveRoot implements TREECHILD's rule-root chain: the terminal node a
 // nonterminal generator's tree child resolves to (Algorithm 2).
 func (ix *occIndex) resolveRoot(rid int32) *resolved {
-	if r, ok := ix.rootMemo[rid]; ok {
+	if r := ix.rootMemo[rid]; r != nil {
 		return r
 	}
 	root := ix.g.Rule(rid).RHS
@@ -439,9 +454,6 @@ func (ix *occIndex) topoAntiSL() []int32 {
 func (ix *occIndex) refreshUsage(antiSL []int32) {
 	newUsage := ix.usage
 	clear(newUsage)
-	for _, id := range antiSL {
-		newUsage[id] = 0
-	}
 	newUsage[ix.g.Start] = 1
 	// SL order: reverse of anti-SL.
 	for i := len(antiSL) - 1; i >= 0; i-- {

@@ -59,6 +59,19 @@ type scratch struct {
 	flagMaps []map[*xmltree.Node]*flagSet
 	boolMaps []map[*xmltree.Node]bool
 	editors  []*editor
+
+	// Per-round dense rule-ID tables (born/edited/live flags, topo
+	// positions), pooled so a compression run does not reallocate and
+	// re-zero O(MaxRuleID) slices on every digram round.
+	born, edited, live []bool
+	pos                []int
+}
+
+// resetBools grows a pooled dense table to length n and zeroes it.
+func resetBools(s []bool, n int) []bool {
+	s = grammar.GrowTo(s, n)
+	clear(s)
+	return s
 }
 
 func newScratch() *scratch {
@@ -84,6 +97,10 @@ func (sc *scratch) getEditor(g *grammar.Grammar, rule *grammar.Rule) *editor {
 func (sc *scratch) putEditor(ed *editor) {
 	ed.g = nil
 	ed.rule = nil
+	// Zero the entries so a pooled editor does not pin the last rule's
+	// nodes; capacity is kept for the next visit.
+	clear(ed.locs)
+	ed.locs = ed.locs[:0]
 	sc.editors = append(sc.editors, ed)
 }
 
@@ -126,24 +143,30 @@ type replacer struct {
 	x         int32 // generated terminal standing for the new nonterminal X
 	optimized bool
 
-	// refs0 snapshots |ref_G(Q)| at round start. Algorithm 8's export
-	// condition must see the pre-round counts: a rule referenced from
-	// several sites keeps (or shares) its fragments via export rules even
-	// when every one of those sites inlines a version during this round —
-	// evaluating against live counts would let the last inline copy the
-	// full body and double the grammar level by level.
-	refs0 map[int32]int
-	// born marks export rules created during this round. They are always
-	// referenced from at least one surviving body, so inlining one of
-	// their fragments without export would duplicate it — they get the
-	// export treatment unconditionally (refs0 cannot know about them).
-	born     map[int32]bool
+	// refs0 snapshots |ref_G(Q)| at round start (dense, indexed by rule
+	// ID). Algorithm 8's export condition must see the pre-round counts:
+	// a rule referenced from several sites keeps (or shares) its
+	// fragments via export rules even when every one of those sites
+	// inlines a version during this round — evaluating against live
+	// counts would let the last inline copy the full body and double the
+	// grammar level by level. Rules born during the round lie past the
+	// snapshot's length and read as 0.
+	refs0 []int
+	// born marks export rules created during this round (dense, grown as
+	// rules appear). They are always referenced from at least one
+	// surviving body, so inlining one of their fragments without export
+	// would duplicate it — they get the export treatment unconditionally
+	// (refs0 cannot know about them).
+	born     []bool
 	versions map[versionKey]*xmltree.Node // processed version bodies (templates)
-	edited   map[int32]bool               // rules whose bodies changed or were created
+	edited   []bool                       // rules whose bodies changed or were created
 	replaced int
 }
 
 func newReplacer(g *grammar.Grammar, ix *occIndex, sc *scratch, d digram.Digram, x int32, optimized bool) *replacer {
+	n := int(g.MaxRuleID())
+	sc.born = resetBools(sc.born, n)
+	sc.edited = resetBools(sc.edited, n)
 	return &replacer{
 		g:         g,
 		ix:        ix,
@@ -152,10 +175,27 @@ func newReplacer(g *grammar.Grammar, ix *occIndex, sc *scratch, d digram.Digram,
 		x:         x,
 		optimized: optimized,
 		refs0:     g.RefCounts(),
-		born:      make(map[int32]bool),
+		born:      sc.born,
 		versions:  make(map[versionKey]*xmltree.Node),
-		edited:    make(map[int32]bool),
+		edited:    sc.edited,
 	}
+}
+
+// refCount0 reads the pre-round reference count (0 for rules born since).
+func (r *replacer) refCount0(id int32) int {
+	if int(id) < len(r.refs0) {
+		return r.refs0[id]
+	}
+	return 0
+}
+
+func (r *replacer) isBorn(id int32) bool {
+	return int(id) < len(r.born) && r.born[id]
+}
+
+func (r *replacer) markEdited(id int32) {
+	r.edited = grammar.GrowTo(r.edited, int(id)+1)
+	r.edited[id] = true
 }
 
 // run replaces every tracked occurrence of the digram. It returns the set
@@ -164,8 +204,10 @@ func newReplacer(g *grammar.Grammar, ix *occIndex, sc *scratch, d digram.Digram,
 func (r *replacer) run() (edited []int32, deleted []int32) {
 	withGens := r.ix.rulesWithGenerators(r.d)
 	// Process bottom-up: callees before callers (Algorithm 5 line 2 /
-	// Algorithm 6 line 2).
-	pos := make(map[int32]int)
+	// Algorithm 6 line 2). pos needs no clear: the topo loop writes every
+	// live ID and only live IDs are read.
+	r.sc.pos = grammar.GrowTo(r.sc.pos, int(r.g.MaxRuleID()))
+	pos := r.sc.pos
 	for i, id := range r.ix.topoAntiSL() {
 		pos[id] = i
 	}
@@ -175,22 +217,29 @@ func (r *replacer) run() (edited []int32, deleted []int32) {
 	}
 	before := r.g.RuleIDs()
 	r.g.GarbageCollect()
-	live := make(map[int32]bool)
+	r.sc.live = resetBools(r.sc.live, int(r.g.MaxRuleID()))
+	live := r.sc.live
 	for _, id := range r.g.RuleIDs() {
 		live[id] = true
 	}
+	// before is creation order, which decoded grammars may present out of
+	// ID order, so deleted gets an explicit sort; edited comes off the
+	// dense-slice scan already ascending.
 	for _, id := range before {
 		if !live[id] {
 			deleted = append(deleted, id)
 		}
 	}
-	for id := range r.edited {
-		if live[id] {
-			edited = append(edited, id)
+	sort.Slice(deleted, func(i, j int) bool { return deleted[i] < deleted[j] })
+	for id, e := range r.edited {
+		if e && live[id] {
+			edited = append(edited, int32(id))
 		}
 	}
-	sort.Slice(edited, func(i, j int) bool { return edited[i] < edited[j] })
-	sort.Slice(deleted, func(i, j int) bool { return deleted[i] < deleted[j] })
+	// markEdited/exportOne may have regrown the pooled tables past the
+	// scratch's references; hand the larger backings back for reuse.
+	r.sc.born = r.born
+	r.sc.edited = r.edited
 	return edited, deleted
 }
 
@@ -270,7 +319,7 @@ func (r *replacer) processRule(rid int32) {
 	}
 
 	r.replaced += replaceDigramScan(rule, r.d.A, r.d.I, r.d.B, r.x, r.sc.arena)
-	r.edited[rid] = true
+	r.markEdited(rid)
 	r.sc.putEditor(ed)
 }
 
@@ -369,7 +418,7 @@ func (r *replacer) version(rid int32, fs *flagSet) *xmltree.Node {
 	r.sc.putEditor(ed)
 
 	body := work.RHS
-	if r.optimized && (r.refs0[rid] > 1 || r.born[rid]) && len(marks) > 0 {
+	if r.optimized && (r.refCount0(rid) > 1 || r.isBorn(rid)) && len(marks) > 0 {
 		body = r.exportFragments(body, marks)
 	}
 	r.versions[key] = body
@@ -460,7 +509,8 @@ func (r *replacer) exportOne(n *xmltree.Node, fragmentable func(*xmltree.Node) b
 	}
 	tu := build(n)
 	u := r.g.NewRule(len(args), tu)
-	r.edited[u.ID] = true
+	r.markEdited(u.ID)
+	r.born = grammar.GrowTo(r.born, int(u.ID)+1)
 	r.born[u.ID] = true
 	call := ar.New(xmltree.Nonterm(u.ID))
 	call.Children = ar.Children(len(args))

@@ -20,12 +20,13 @@ var ErrSaturated = errors.New("grammar: derived tree size saturated (exceeds int
 // ValSizes/ValNodeCount.
 func Saturated(n int64) bool { return n == math.MaxInt64 }
 
-// RefCounts returns, for every live rule ID, the number of occurrences of
-// its nonterminal on right-hand sides (the paper's |ref_G(Q)|).
-func (g *Grammar) RefCounts() map[int32]int {
-	refs := make(map[int32]int, len(g.rules))
+// RefCounts returns |ref_G(Q)| — the number of occurrences of each rule's
+// nonterminal on right-hand sides — as a dense slice indexed by rule ID
+// (length MaxRuleID; dead IDs hold 0). Rule IDs are never reused, so the
+// slice form replaces the former map without any hashing per lookup.
+func (g *Grammar) RefCounts() []int {
+	refs := make([]int, g.nextNT)
 	for _, id := range g.order {
-		refs[id] += 0
 		g.rules[id].RHS.Walk(func(v *xmltree.Node) bool {
 			if v.Label.Kind == xmltree.Nonterminal {
 				refs[v.Label.ID]++
@@ -36,21 +37,19 @@ func (g *Grammar) RefCounts() map[int32]int {
 	return refs
 }
 
-// Usage returns usage_G(Q) for every rule: the number of times Q is used
-// to generate val_G(S). usage(S) = 1 and usage(Q) = Σ_{(R,n)∈ref(Q)}
-// usage(R), computed in SL order (callers before callees). Usage counts
-// can be astronomically large for exponentially compressing grammars, so
-// they are computed in float64 and saturate at +Inf; digram-frequency
-// comparisons only need ordering, for which this is sufficient.
-func (g *Grammar) Usage() (map[int32]float64, error) {
+// Usage returns usage_G(Q) for every rule as a dense slice indexed by rule
+// ID: the number of times Q is used to generate val_G(S). usage(S) = 1 and
+// usage(Q) = Σ_{(R,n)∈ref(Q)} usage(R), computed in SL order (callers
+// before callees). Usage counts can be astronomically large for
+// exponentially compressing grammars, so they are computed in float64 and
+// saturate at +Inf; digram-frequency comparisons only need ordering, for
+// which this is sufficient. Dead rule IDs (and unreachable rules) hold 0.
+func (g *Grammar) Usage() ([]float64, error) {
 	sl, err := g.SLOrder()
 	if err != nil {
 		return nil, err
 	}
-	usage := make(map[int32]float64, len(g.rules))
-	for _, id := range sl {
-		usage[id] += 0
-	}
+	usage := make([]float64, g.nextNT)
 	usage[g.Start] = 1
 	for _, id := range sl {
 		u := usage[id]
@@ -74,14 +73,14 @@ func (g *Grammar) Usage() (map[int32]float64, error) {
 // returns the number of rules removed. Updates that delete subtrees can
 // strand rules; experiments call this after each update batch.
 func (g *Grammar) GarbageCollect() int {
-	reach := make(map[int32]bool, len(g.rules))
+	reach := make([]bool, g.nextNT)
 	var mark func(id int32)
 	mark = func(id int32) {
 		if reach[id] {
 			return
 		}
 		reach[id] = true
-		if r := g.rules[id]; r != nil {
+		if r := g.Rule(id); r != nil {
 			r.RHS.Walk(func(v *xmltree.Node) bool {
 				if v.Label.Kind == xmltree.Nonterminal {
 					mark(v.Label.ID)
@@ -111,22 +110,70 @@ type SizeVectors struct {
 	Total int64   // Σ Seg
 }
 
+// SizeTable is a dense rule-ID-indexed table of size vectors: the shape
+// ValSizes returns and path isolation, the update cache, and the Store
+// probe on every operation. Because rule IDs are dense and never reused,
+// a slice lookup replaces the former map[int32] probe — no hashing on the
+// isolation hot path. A nil entry means "no vector" (dead rule or not yet
+// computed), exactly like a missing map key.
+type SizeTable struct {
+	vec []*SizeVectors
+}
+
+// NewSizeTable returns an empty table sized for every rule ID the grammar
+// has assigned so far.
+func NewSizeTable(g *Grammar) *SizeTable {
+	return &SizeTable{vec: make([]*SizeVectors, g.MaxRuleID())}
+}
+
+// Get returns the vector for rule id (nil if absent). Out-of-range IDs
+// return nil rather than panicking, matching map-miss semantics.
+func (t *SizeTable) Get(id int32) *SizeVectors {
+	if uint64(id) >= uint64(len(t.vec)) {
+		return nil
+	}
+	return t.vec[id]
+}
+
+// Set stores the vector for rule id, growing the table as needed.
+func (t *SizeTable) Set(id int32, sv *SizeVectors) {
+	t.vec = GrowTo(t.vec, int(id)+1)
+	t.vec[id] = sv
+}
+
+// Drop removes the vector for rule id.
+func (t *SizeTable) Drop(id int32) {
+	if uint64(id) < uint64(len(t.vec)) {
+		t.vec[id] = nil
+	}
+}
+
+// Range calls f for every present vector in ascending rule-ID order until
+// f returns false. f may Drop entries (including the current one).
+func (t *SizeTable) Range(f func(id int32, sv *SizeVectors) bool) {
+	for id, sv := range t.vec {
+		if sv != nil && !f(int32(id), sv) {
+			return
+		}
+	}
+}
+
 // ValSizes computes size vectors for every rule in one bottom-up pass
 // (anti-SL order), as required by path isolation (Section III-A). Counts
 // saturate at math.MaxInt64 to stay safe on exponentially compressing
 // grammars.
-func (g *Grammar) ValSizes() (map[int32]*SizeVectors, error) {
+func (g *Grammar) ValSizes() (*SizeTable, error) {
 	anti, err := g.AntiSLOrder()
 	if err != nil {
 		return nil, err
 	}
-	sizes := make(map[int32]*SizeVectors, len(g.rules))
+	sizes := NewSizeTable(g)
 	for _, id := range anti {
 		sv, err := g.RuleValSizes(id, sizes)
 		if err != nil {
 			return nil, err
 		}
-		sizes[id] = sv
+		sizes.vec[id] = sv
 	}
 	return sizes, nil
 }
@@ -134,10 +181,10 @@ func (g *Grammar) ValSizes() (map[int32]*SizeVectors, error) {
 // RuleValSizes computes the size vector of one rule from already-computed
 // callee vectors in sizes. It is the per-rule body of ValSizes, exposed so
 // callers that know only the start rule changed (path isolation keeps
-// every other rule intact) can refresh a cached size-vector map in
+// every other rule intact) can refresh a cached size-vector table in
 // O(|RHS|) instead of recomputing all rules.
-func (g *Grammar) RuleValSizes(id int32, sizes map[int32]*SizeVectors) (*SizeVectors, error) {
-	r := g.rules[id]
+func (g *Grammar) RuleValSizes(id int32, sizes *SizeTable) (*SizeVectors, error) {
+	r := g.Rule(id)
 	if r == nil {
 		return nil, fmt.Errorf("grammar: RuleValSizes: no rule N%d", id)
 	}
@@ -158,7 +205,7 @@ func (g *Grammar) RuleValSizes(id int32, sizes map[int32]*SizeVectors) (*SizeVec
 			}
 			return nil
 		case xmltree.Nonterminal:
-			callee := sizes[n.Label.ID]
+			callee := sizes.Get(n.Label.ID)
 			if callee == nil {
 				return fmt.Errorf("grammar: ValSizes: rule N%d not yet computed", n.Label.ID)
 			}
@@ -202,28 +249,29 @@ func SatAdd(a, b int64) int64 { return satAdd(a, b) }
 // walking the rest of the subtree. Path isolation uses it to prove "the
 // target position lies inside this child" after walking only enough of
 // the child to cover the target's offset, instead of measuring subtrees
-// it is about to descend into anyway.
-func SubtreeValSizeWithin(t *xmltree.Node, sizes map[int32]*SizeVectors, limit int64) (int64, bool) {
-	var acc int64
-	var walk func(n *xmltree.Node) bool
-	walk = func(n *xmltree.Node) bool {
-		if n.Label.Kind == xmltree.Nonterminal {
-			acc = satAdd(acc, sizes[n.Label.ID].Total)
-		} else {
-			acc = satAdd(acc, 1)
-		}
-		if acc > limit {
-			return false
-		}
-		for _, c := range n.Children {
-			if !walk(c) {
-				return false
-			}
-		}
-		return true
+// it is about to descend into anyway. The recursion carries the running
+// count in plain arguments (no closure), so the isolation hot path
+// allocates nothing.
+func SubtreeValSizeWithin(t *xmltree.Node, sizes *SizeTable, limit int64) (int64, bool) {
+	return subtreeWithin(t, sizes, limit, 0)
+}
+
+func subtreeWithin(n *xmltree.Node, sizes *SizeTable, limit, acc int64) (int64, bool) {
+	if n.Label.Kind == xmltree.Nonterminal {
+		acc = satAdd(acc, sizes.Get(n.Label.ID).Total)
+	} else {
+		acc = satAdd(acc, 1)
 	}
-	ok := walk(t)
-	return acc, ok
+	if acc > limit {
+		return acc, false
+	}
+	for _, c := range n.Children {
+		var ok bool
+		if acc, ok = subtreeWithin(c, sizes, limit, acc); !ok {
+			return acc, false
+		}
+	}
+	return acc, true
 }
 
 // ValNodeCount returns the node count of val_G(S) (excluding nothing;
@@ -234,14 +282,14 @@ func (g *Grammar) ValNodeCount() (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return sizes[g.Start].Total, nil
+	return sizes.Get(g.Start).Total, nil
 }
 
 // SubtreeValSize returns the node count of val(t) for a subtree t of a
 // right-hand side, given precomputed rule size vectors. Parameter nodes
 // count as 1 placeholder node (they stand for externally supplied trees;
 // path isolation only uses this on the start rule, which has none).
-func SubtreeValSize(t *xmltree.Node, sizes map[int32]*SizeVectors) int64 {
+func SubtreeValSize(t *xmltree.Node, sizes *SizeTable) int64 {
 	switch t.Label.Kind {
 	case xmltree.Parameter:
 		return 1
@@ -252,7 +300,7 @@ func SubtreeValSize(t *xmltree.Node, sizes map[int32]*SizeVectors) int64 {
 		}
 		return s
 	case xmltree.Nonterminal:
-		sv := sizes[t.Label.ID]
+		sv := sizes.Get(t.Label.ID)
 		s := sv.Total
 		for _, c := range t.Children {
 			s = satAdd(s, SubtreeValSize(c, sizes))

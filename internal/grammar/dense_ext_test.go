@@ -1,0 +1,234 @@
+// Differential coverage for the dense rule-ID-indexed analysis tables:
+// the slice-backed RefCounts, Usage, and ValSizes must agree exactly with
+// independent map-based reference implementations (the shapes the code
+// used before the dense refactor) on real compressed grammars across the
+// workload corpora, before and after update degradation. External test
+// package so the corpora generators and compressors can be imported.
+package grammar_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/grammar"
+	"repro/internal/treerepair"
+	"repro/internal/update"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+// refCountsRef recomputes |ref_G(Q)| into a map, independent of RefCounts.
+func refCountsRef(g *grammar.Grammar) map[int32]int {
+	refs := make(map[int32]int)
+	g.Rules(func(r *grammar.Rule) {
+		refs[r.ID] += 0
+		r.RHS.Walk(func(v *xmltree.Node) bool {
+			if v.Label.Kind == xmltree.Nonterminal {
+				refs[v.Label.ID]++
+			}
+			return true
+		})
+	})
+	return refs
+}
+
+// usageRef recomputes usage_G into a map, independent of Usage.
+func usageRef(t *testing.T, g *grammar.Grammar) map[int32]float64 {
+	t.Helper()
+	sl, err := g.SLOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := make(map[int32]float64)
+	usage[g.Start] = 1
+	for _, id := range sl {
+		u := usage[id]
+		if u == 0 {
+			continue
+		}
+		g.Rule(id).RHS.Walk(func(v *xmltree.Node) bool {
+			if v.Label.Kind == xmltree.Nonterminal {
+				usage[v.Label.ID] += u
+			}
+			return true
+		})
+	}
+	return usage
+}
+
+// valSizesRef recomputes every rule's size vector into a map, with its
+// own walker, independent of ValSizes/RuleValSizes.
+func valSizesRef(t *testing.T, g *grammar.Grammar) map[int32]*grammar.SizeVectors {
+	t.Helper()
+	anti, err := g.AntiSLOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make(map[int32]*grammar.SizeVectors)
+	for _, id := range anti {
+		r := g.Rule(id)
+		sv := &grammar.SizeVectors{Seg: make([]int64, r.Rank+1)}
+		seg := 0
+		var walk func(n *xmltree.Node)
+		walk = func(n *xmltree.Node) {
+			switch n.Label.Kind {
+			case xmltree.Parameter:
+				seg = int(n.Label.ID)
+			case xmltree.Terminal:
+				sv.Seg[seg]++
+				for _, c := range n.Children {
+					walk(c)
+				}
+			case xmltree.Nonterminal:
+				callee := sizes[n.Label.ID]
+				sv.Seg[seg] += callee.Seg[0]
+				for i, c := range n.Children {
+					walk(c)
+					sv.Seg[seg] += callee.Seg[i+1]
+				}
+			}
+		}
+		walk(r.RHS)
+		for _, s := range sv.Seg {
+			sv.Total += s
+		}
+		sizes[id] = sv
+	}
+	return sizes
+}
+
+// degradedCorpusGrammars yields each micro corpus's TreeRePair grammar
+// fresh and after an update workload has degraded it (isolation unfolds,
+// stranded-rule GC — the states the serving engine actually probes).
+func degradedCorpusGrammars(t *testing.T, fn func(name string, g *grammar.Grammar)) {
+	t.Helper()
+	for _, short := range []string{"EW", "XM", "TB"} {
+		c, ok := datasets.ByShort(short)
+		if !ok {
+			t.Fatalf("unknown corpus %q", short)
+		}
+		u := c.Generate(0.05, 1)
+		doc := u.Binary()
+		g, _ := treerepair.Compress(doc, treerepair.Options{})
+		fn(short+"/fresh", g)
+
+		seq, err := workload.Updates(u, 60, 90, 3)
+		if err != nil {
+			t.Fatalf("%s workload: %v", short, err)
+		}
+		gd, _ := treerepair.Compress(seq.Seed, treerepair.Options{})
+		if err := update.ApplyAll(gd, seq.Ops); err != nil {
+			t.Fatalf("%s degrade: %v", short, err)
+		}
+		fn(short+"/degraded", gd)
+	}
+}
+
+func TestDenseTablesMatchMapReference(t *testing.T) {
+	degradedCorpusGrammars(t, func(name string, g *grammar.Grammar) {
+		dense := g.RefCounts()
+		if len(dense) != int(g.MaxRuleID()) {
+			t.Fatalf("%s: RefCounts length %d, MaxRuleID %d", name, len(dense), g.MaxRuleID())
+		}
+		for id, want := range refCountsRef(g) {
+			if dense[id] != want {
+				t.Fatalf("%s: refs(N%d) dense %d, reference %d", name, id, dense[id], want)
+			}
+		}
+
+		usage, err := g.Usage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, want := range usageRef(t, g) {
+			if usage[id] != want {
+				t.Fatalf("%s: usage(N%d) dense %v, reference %v", name, id, usage[id], want)
+			}
+		}
+
+		sizes, err := g.ValSizes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := valSizesRef(t, g)
+		seen := 0
+		sizes.Range(func(id int32, sv *grammar.SizeVectors) bool {
+			seen++
+			want := ref[id]
+			if want == nil {
+				t.Fatalf("%s: SizeTable has vector for dead rule N%d", name, id)
+			}
+			if sv.Total != want.Total || len(sv.Seg) != len(want.Seg) {
+				t.Fatalf("%s: sizes(N%d) dense %+v, reference %+v", name, id, sv, want)
+			}
+			for i := range sv.Seg {
+				if sv.Seg[i] != want.Seg[i] {
+					t.Fatalf("%s: sizes(N%d) seg %d: dense %d, reference %d",
+						name, id, i, sv.Seg[i], want.Seg[i])
+				}
+			}
+			return true
+		})
+		if seen != len(ref) {
+			t.Fatalf("%s: SizeTable has %d vectors, reference %d", name, seen, len(ref))
+		}
+	})
+}
+
+// TestSizeTableMissSemantics pins the map-miss contract dense callers
+// rely on: out-of-range and dead IDs read as nil / zero, never panic.
+func TestSizeTableMissSemantics(t *testing.T) {
+	st := xmltree.NewSymbolTable()
+	g := grammar.New(st)
+	sizes, err := g.ValSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes.Get(-1) != nil || sizes.Get(g.MaxRuleID()) != nil || sizes.Get(math.MaxInt32) != nil {
+		t.Fatal("out-of-range Get must return nil")
+	}
+	sizes.Drop(math.MaxInt32) // must not panic
+	sizes.Set(5, &grammar.SizeVectors{Total: 7})
+	if got := sizes.Get(5); got == nil || got.Total != 7 {
+		t.Fatal("Set past the current length must grow the table")
+	}
+	refs := g.RefCounts()
+	if len(refs) != int(g.MaxRuleID()) {
+		t.Fatalf("RefCounts sized %d, want %d", len(refs), g.MaxRuleID())
+	}
+}
+
+// TestDenseSizeLookupAllocs guards the dense size-vector lookup path: a
+// warm-table probe (SizeTable.Get) and the early-abort subtree measure
+// that isolation runs per descent step must not allocate.
+func TestDenseSizeLookupAllocs(t *testing.T) {
+	c, _ := datasets.ByShort("EW")
+	doc := c.Generate(0.05, 1).Binary()
+	g, _ := treerepair.Compress(doc, treerepair.Options{})
+	sizes, err := g.ValSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := g.RuleIDs()
+	var sink int64
+	if avg := testing.AllocsPerRun(200, func() {
+		for _, id := range ids {
+			if sv := sizes.Get(id); sv != nil {
+				sink += sv.Total
+			}
+		}
+	}); avg != 0 {
+		t.Fatalf("SizeTable.Get allocates %.1f per run, want 0", avg)
+	}
+	rhs := g.StartRule().RHS
+	if avg := testing.AllocsPerRun(200, func() {
+		for _, child := range rhs.Children {
+			n, _ := grammar.SubtreeValSizeWithin(child, sizes, 1<<40)
+			sink += n
+		}
+	}); avg != 0 {
+		t.Fatalf("SubtreeValSizeWithin allocates %.1f per run, want 0", avg)
+	}
+	_ = sink
+}

@@ -126,7 +126,7 @@ func Decode(r io.Reader) (*Grammar, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &Grammar{Syms: st, Start: int32(start), rules: make(map[int32]*Rule)}
+	g := &Grammar{Syms: st, Start: int32(start)}
 	for i := uint64(0); i < nrules; i++ {
 		id, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -160,10 +160,10 @@ func Decode(r io.Reader) (*Grammar, error) {
 			return nil, fmt.Errorf("grammar: decode rule %d: size mismatch", id)
 		}
 		rid := int32(id)
-		if _, dup := g.rules[rid]; dup {
+		if g.Rule(rid) != nil {
 			return nil, fmt.Errorf("grammar: decode: duplicate rule N%d", rid)
 		}
-		g.rules[rid] = &Rule{ID: rid, Rank: int(rank), RHS: rhs}
+		g.setRule(rid, &Rule{ID: rid, Rank: int(rank), RHS: rhs})
 		g.order = append(g.order, rid)
 		if rid >= g.nextNT {
 			g.nextNT = rid + 1
@@ -193,9 +193,10 @@ const (
 	maxChildPrealloc = 1 << 10
 	// maxRuleID bounds decoded rule IDs. Encoders assign IDs
 	// sequentially (deletions leave gaps but never inflate them), and
-	// dense rule-ID-indexed structures (refCountsDense, nextNT) size by
-	// the largest ID — an unbounded ID would let ~30 bytes of input
-	// demand a multi-GB slice or overflow nextNT past int32.
+	// dense rule-ID-indexed structures (the rules slice itself, RefCounts,
+	// Usage, SizeTable) size by the largest ID — an unbounded ID would let
+	// ~30 bytes of input demand a multi-GB slice or overflow nextNT past
+	// int32.
 	maxRuleID = 1 << 20
 	// maxBodyDepth bounds rule-body nesting. readNode (and every
 	// recursive pass that follows: Validate, Walk, expansion) recurses

@@ -26,11 +26,17 @@ type Rule struct {
 // Grammar is a mutable SLCF tree grammar. Rules are identified by
 // nonterminal ID; iteration order over rules is the deterministic order of
 // creation (kept in order), which experiments rely on for reproducibility.
+//
+// Rule IDs are dense: NewRule assigns them sequentially and they are never
+// reused, so rules live in a slice indexed by ID (deleted rules leave nil
+// gaps) and every per-rule analysis table (RefCounts, Usage, SizeTable,
+// the compressor's occurrence index) is a plain slice bounded by
+// MaxRuleID — no hashing on any per-rule lookup.
 type Grammar struct {
 	Syms  *xmltree.SymbolTable
 	Start int32
 
-	rules  map[int32]*Rule
+	rules  []*Rule // indexed by rule ID; nil = deleted / never created
 	order  []int32 // creation order of live rule IDs
 	nextNT int32
 }
@@ -38,10 +44,7 @@ type Grammar struct {
 // New returns an empty grammar over the given symbol table with a start
 // rule S (rank 0) whose right-hand side is a single ⊥ node.
 func New(st *xmltree.SymbolTable) *Grammar {
-	g := &Grammar{
-		Syms:  st,
-		rules: make(map[int32]*Rule),
-	}
+	g := &Grammar{Syms: st}
 	s := g.NewRule(0, xmltree.NewBottom())
 	g.Start = s.ID
 	return g
@@ -55,6 +58,11 @@ func FromTree(st *xmltree.SymbolTable, t *xmltree.Node) *Grammar {
 	return g
 }
 
+// MaxRuleID returns an exclusive upper bound on every rule ID the grammar
+// has ever assigned (deleted IDs included — they are never reused). Dense
+// rule-ID-indexed tables size themselves by this bound.
+func (g *Grammar) MaxRuleID() int32 { return g.nextNT }
+
 // FromDocument wraps a binary-encoded document into a single-rule grammar.
 func FromDocument(d *xmltree.Document) *Grammar {
 	return FromTree(d.Syms, d.Root)
@@ -66,24 +74,53 @@ func (g *Grammar) NewRule(rank int, rhs *xmltree.Node) *Rule {
 	id := g.nextNT
 	g.nextNT++
 	r := &Rule{ID: id, Rank: rank, RHS: rhs}
-	g.rules[id] = r
+	g.setRule(id, r)
 	g.order = append(g.order, id)
 	return r
 }
 
+// setRule grows the dense rule slice to cover id and stores r there.
+func (g *Grammar) setRule(id int32, r *Rule) {
+	g.rules = GrowTo(g.rules, int(id)+1)
+	g.rules[id] = r
+}
+
+// GrowTo extends a dense rule-ID-indexed slice to length n (new
+// elements zero), reusing spare capacity. One helper for every dense
+// table keyed by rule ID — the grammar's rule slice, SizeTable, and the
+// compressor's occurrence-index state.
+func GrowTo[T any](s []T, n int) []T {
+	if n <= len(s) {
+		return s
+	}
+	if n <= cap(s) {
+		t := s[:n]
+		// Spare capacity is zero after any append-grow, but clear
+		// defensively so no truncation pattern can ever leak old values.
+		clear(t[len(s):])
+		return t
+	}
+	return append(s, make([]T, n-len(s))...)
+}
+
 // Rule returns the rule for nonterminal id (nil if deleted/unknown).
-func (g *Grammar) Rule(id int32) *Rule { return g.rules[id] }
+func (g *Grammar) Rule(id int32) *Rule {
+	if uint64(id) >= uint64(len(g.rules)) {
+		return nil
+	}
+	return g.rules[id]
+}
 
 // StartRule returns the start rule.
-func (g *Grammar) StartRule() *Rule { return g.rules[g.Start] }
+func (g *Grammar) StartRule() *Rule { return g.Rule(g.Start) }
 
 // DeleteRule removes the rule for id. The caller must ensure no remaining
 // right-hand side references id.
 func (g *Grammar) DeleteRule(id int32) {
-	if _, ok := g.rules[id]; !ok {
+	if g.Rule(id) == nil {
 		return
 	}
-	delete(g.rules, id)
+	g.rules[id] = nil
 	for i, rid := range g.order {
 		if rid == id {
 			g.order = append(g.order[:i], g.order[i+1:]...)
@@ -93,7 +130,7 @@ func (g *Grammar) DeleteRule(id int32) {
 }
 
 // NumRules returns the number of live rules.
-func (g *Grammar) NumRules() int { return len(g.rules) }
+func (g *Grammar) NumRules() int { return len(g.order) }
 
 // RuleIDs returns the live rule IDs in creation order. The returned slice
 // is a copy and safe to mutate.
@@ -132,12 +169,14 @@ func (g *Grammar) Clone() *Grammar {
 	cp := &Grammar{
 		Syms:   g.Syms.Clone(),
 		Start:  g.Start,
-		rules:  make(map[int32]*Rule, len(g.rules)),
+		rules:  make([]*Rule, len(g.rules)),
 		order:  append([]int32(nil), g.order...),
 		nextNT: g.nextNT,
 	}
 	for id, r := range g.rules {
-		cp.rules[id] = &Rule{ID: r.ID, Rank: r.Rank, RHS: r.RHS.Copy()}
+		if r != nil {
+			cp.rules[id] = &Rule{ID: r.ID, Rank: r.Rank, RHS: r.RHS.Copy()}
+		}
 	}
 	return cp
 }
@@ -150,13 +189,16 @@ var errValidate = errors.New("grammar: invalid")
 // linearity and preorder ordering, start-symbol non-occurrence,
 // straight-lineness, and that every referenced rule exists.
 func (g *Grammar) Validate() error {
-	if g.rules[g.Start] == nil {
+	if g.Rule(g.Start) == nil {
 		// Decoded streams are untrusted: a dangling start ID must fail
 		// here, not nil-deref on first use.
 		return fmt.Errorf("%w: start rule N%d does not exist", errValidate, g.Start)
 	}
 	for _, id := range g.order {
 		r := g.rules[id]
+		if r == nil {
+			return fmt.Errorf("%w: rule N%d in order but not stored", errValidate, id)
+		}
 		if r.RHS == nil {
 			return fmt.Errorf("%w: rule N%d has nil RHS", errValidate, id)
 		}
@@ -173,7 +215,7 @@ func (g *Grammar) Validate() error {
 						errValidate, id, g.Syms.Name(v.Label.ID), len(v.Children), want)
 				}
 			case xmltree.Nonterminal:
-				callee := g.rules[v.Label.ID]
+				callee := g.Rule(v.Label.ID)
 				if callee == nil {
 					err = fmt.Errorf("%w: rule N%d references missing rule N%d", errValidate, id, v.Label.ID)
 				} else if len(v.Children) != callee.Rank {
@@ -214,14 +256,17 @@ func (g *Grammar) Validate() error {
 // recursive.
 func (g *Grammar) AntiSLOrder() ([]int32, error) {
 	const (
-		white = 0
 		gray  = 1
 		black = 2
 	)
-	color := make(map[int32]uint8, len(g.rules))
-	out := make([]int32, 0, len(g.rules))
+	color := make([]uint8, g.nextNT)
+	out := make([]int32, 0, len(g.order))
 	var visit func(id int32) error
 	visit = func(id int32) error {
+		r := g.Rule(id)
+		if r == nil {
+			return fmt.Errorf("%w: missing rule N%d", errValidate, id)
+		}
 		switch color[id] {
 		case gray:
 			return fmt.Errorf("%w: recursion through N%d", errValidate, id)
@@ -229,10 +274,6 @@ func (g *Grammar) AntiSLOrder() ([]int32, error) {
 			return nil
 		}
 		color[id] = gray
-		r := g.rules[id]
-		if r == nil {
-			return fmt.Errorf("%w: missing rule N%d", errValidate, id)
-		}
 		var err error
 		r.RHS.Walk(func(v *xmltree.Node) bool {
 			if err != nil {

@@ -252,7 +252,7 @@ func TestValSizesPaperExample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sv := sizes[A.ID]
+	sv := sizes.Get(A.ID)
 	want := []int64{1, 3, 2, 0}
 	for i, w := range want {
 		if sv.Seg[i] != w {

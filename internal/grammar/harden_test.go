@@ -270,8 +270,18 @@ func TestPruneRefcountsAfterDelete(t *testing.T) {
 func TestPruneRefcountsStayExact(t *testing.T) {
 	g, _, _ := paperGrammar(t)
 	g.Prune()
-	fresh := g.RefCounts()
-	dense := g.refCountsDense()
+	// Independent map-based recount as the reference for the dense slice.
+	fresh := make(map[int32]int)
+	g.Rules(func(r *Rule) {
+		fresh[r.ID] += 0
+		r.RHS.Walk(func(v *xmltree.Node) bool {
+			if v.Label.Kind == xmltree.Nonterminal {
+				fresh[v.Label.ID]++
+			}
+			return true
+		})
+	})
+	dense := g.RefCounts()
 	for id, want := range fresh {
 		if dense[id] != want {
 			t.Fatalf("rule N%d: dense %d, fresh %d", id, dense[id], want)
@@ -292,12 +302,13 @@ func TestRuleValSizesMatchesFull(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if sv.Total != sizes[id].Total || len(sv.Seg) != len(sizes[id].Seg) {
+		want := sizes.Get(id)
+		if sv.Total != want.Total || len(sv.Seg) != len(want.Seg) {
 			t.Fatalf("rule N%d: refreshed vector diverges", id)
 		}
 		for i := range sv.Seg {
-			if sv.Seg[i] != sizes[id].Seg[i] {
-				t.Fatalf("rule N%d seg %d: %d != %d", id, i, sv.Seg[i], sizes[id].Seg[i])
+			if sv.Seg[i] != want.Seg[i] {
+				t.Fatalf("rule N%d seg %d: %d != %d", id, i, sv.Seg[i], want.Seg[i])
 			}
 		}
 	}

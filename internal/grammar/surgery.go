@@ -13,7 +13,7 @@ func (g *Grammar) InlineEverywhere(id int32) error {
 	if id == g.Start {
 		return fmt.Errorf("grammar: cannot inline start rule")
 	}
-	target := g.rules[id]
+	target := g.Rule(id)
 	if target == nil {
 		return fmt.Errorf("grammar: no rule N%d", id)
 	}
@@ -55,29 +55,12 @@ func Sav(refs int, edges int, rank int) int {
 	return refs*(edges-rank) - edges
 }
 
-// refCountsDense returns |ref_G(Q)| for every rule as a slice indexed by
-// rule ID (IDs are never reused, so nextNT bounds them). The dense form
-// avoids the per-call map allocation of RefCounts and can be maintained
-// incrementally across inlines and deletes.
-func (g *Grammar) refCountsDense() []int {
-	refs := make([]int, g.nextNT)
-	for _, id := range g.order {
-		g.rules[id].RHS.Walk(func(v *xmltree.Node) bool {
-			if v.Label.Kind == xmltree.Nonterminal {
-				refs[v.Label.ID]++
-			}
-			return true
-		})
-	}
-	return refs
-}
-
 // inlineEverywhereRefs is InlineEverywhere with incremental refcount
 // maintenance: with k call sites, every nonterminal occurring n times in
 // the inlined body gains (k-1)·n references (k fresh copies minus the
 // deleted original), and the inlined rule itself drops to zero.
 func (g *Grammar) inlineEverywhereRefs(id int32, refs []int) error {
-	target := g.rules[id]
+	target := g.Rule(id)
 	if target == nil {
 		return fmt.Errorf("grammar: no rule N%d", id)
 	}
@@ -100,7 +83,7 @@ func (g *Grammar) inlineEverywhereRefs(id int32, refs []int) error {
 // deleteRuleRefs is DeleteRule with incremental refcount maintenance: the
 // deleted rule's right-hand side no longer contributes references.
 func (g *Grammar) deleteRuleRefs(id int32, refs []int) {
-	r := g.rules[id]
+	r := g.Rule(id)
 	if r == nil {
 		return
 	}
@@ -120,18 +103,18 @@ func (g *Grammar) deleteRuleRefs(id int32, refs []int) {
 // TreeRePair's greedy strategy. Unreachable rules are collected as well.
 // Returns the number of rules removed.
 //
-// Refcounts are kept in a dense rule-ID-indexed slice maintained across
-// every inline and delete, so decisions never see stale counts (deletes
-// used to leave counts unadjusted) and the full RefCounts map is built
-// only once per Prune call.
+// Refcounts are kept in the dense rule-ID-indexed slice RefCounts
+// returns, maintained across every inline and delete, so decisions never
+// see stale counts (deletes used to leave counts unadjusted) and the full
+// recount runs only once per Prune call.
 func (g *Grammar) Prune() int {
 	removed := 0
-	refs := g.refCountsDense()
+	refs := g.RefCounts()
 	for {
 		changed := false
 		// Pass 1: |refs| == 1 rules are never worth keeping.
 		for _, id := range g.RuleIDs() {
-			if id == g.Start || g.rules[id] == nil {
+			if id == g.Start || g.Rule(id) == nil {
 				continue
 			}
 			if refs[id] == 1 {
@@ -156,7 +139,7 @@ func (g *Grammar) Prune() int {
 			if id == g.Start {
 				continue
 			}
-			r := g.rules[id]
+			r := g.Rule(id)
 			if r == nil {
 				continue
 			}

@@ -41,12 +41,77 @@ func (p Position) Replace(g *grammar.Grammar, sub *xmltree.Node) *xmltree.Node {
 // operation and repeat isolations stop re-walking the same unchanged
 // sibling subtrees. The owner must drop the memo whenever a non-start
 // rule changes (update.Cache clears it together with the size vectors).
-type Memo map[*xmltree.Node]int64
+//
+// Storage is a dense slice indexed through Node.Aux (each registered
+// node is stamped with its slot) instead of a pointer-keyed map, so the
+// per-descent-step probes on the isolation hot path do no hashing. A
+// slot speaks for a node only while entries[n.Aux].self == n — stale Aux
+// values from other owners (the compressor's editor uses the same
+// scratch field) fail that check and simply re-register.
+type Memo struct {
+	entries []memoEntry
+}
+
+type memoEntry struct {
+	self *xmltree.Node // owner check; nil = evicted slot (reusable)
+	val  int64
+}
+
+// NewMemo returns an empty memo.
+func NewMemo() *Memo { return &Memo{} }
 
 // memoLimit bounds the memo: entries for subtrees that updates have
 // detached keep their nodes alive, so an unbounded memo would be a leak
 // on delete-heavy streams. Past the limit the memo is simply rebuilt.
 const memoLimit = 1 << 18
+
+func (m *Memo) get(n *xmltree.Node) (int64, bool) {
+	if m == nil {
+		return 0, false
+	}
+	if a := n.Aux; uint64(a) < uint64(len(m.entries)) && m.entries[a].self == n {
+		return m.entries[a].val, true
+	}
+	return 0, false
+}
+
+func (m *Memo) put(n *xmltree.Node, v int64) {
+	if a := n.Aux; uint64(a) < uint64(len(m.entries)) {
+		if e := &m.entries[a]; e.self == n || e.self == nil {
+			// Own slot, or a slot a previous eviction freed: either way no
+			// live node points here through a passing self check.
+			e.self = n
+			e.val = v
+			return
+		}
+	}
+	if len(m.entries) >= memoLimit {
+		// Rebuild: a full memo is mostly entries for subtrees that
+		// deletes detached — dropping them releases the pinned nodes
+		// and makes room for the live working set again.
+		clear(m.entries)
+		m.entries = m.entries[:0]
+	}
+	n.Aux = int32(len(m.entries))
+	m.entries = append(m.entries, memoEntry{self: n, val: v})
+}
+
+// evict invalidates n's entry (a derivation-path ancestor about to go
+// stale); the slot is reused by a later put.
+func (m *Memo) evict(n *xmltree.Node) {
+	if m == nil {
+		return
+	}
+	if a := n.Aux; uint64(a) < uint64(len(m.entries)) && m.entries[a].self == n {
+		m.entries[a].self = nil
+	}
+}
+
+// memoMinSubtree is the smallest subtree val size worth an interior memo
+// entry. Memoizing every walked node would churn the bounded memo on the
+// huge flat sibling chains of weblog-shaped documents; entries below the
+// threshold save less than they cost to store.
+const memoMinSubtree = 8
 
 // subtreeSizeWithin resolves a child's val size for descent routing: a
 // memo hit is exact; otherwise the walk aborts as soon as the size
@@ -54,23 +119,59 @@ const memoLimit = 1 << 18
 // descends into the child then, and an exact size is never needed. Only
 // exact sizes are memoized; an aborted child is the descent target and
 // would be evicted as a path node anyway.
-func subtreeSizeWithin(c *xmltree.Node, sizes map[int32]*grammar.SizeVectors, memo Memo, limit int64) (int64, bool) {
-	if memo != nil {
-		if v, ok := memo[c]; ok {
-			return v, true
-		}
+//
+// The walk itself is memo-aware in both directions: it cuts at interior
+// nodes whose subtree size is already memoized, and it memoizes the
+// interior subtrees it completes. Successive isolations on a
+// repeatedly-unfolded region (the exponential-corpus workload: every op
+// walks fresh unfold material around a drifting position) then re-walk
+// only the frontier that actually changed, not the whole region.
+func subtreeSizeWithin(c *xmltree.Node, sizes *grammar.SizeTable, memo *Memo, limit int64) (int64, bool) {
+	if memo == nil {
+		return grammar.SubtreeValSizeWithin(c, sizes, limit)
 	}
-	v, exact := grammar.SubtreeValSizeWithin(c, sizes, limit)
-	if exact && memo != nil {
-		if len(memo) >= memoLimit {
-			// Rebuild: a full memo is mostly entries for subtrees that
-			// deletes detached — dropping them releases the pinned nodes
-			// and makes room for the live working set again.
-			clear(memo)
-		}
-		memo[c] = v
+	// walkWithinMemo probes the memo for c itself first, so no separate
+	// lookup here.
+	acc, ok := walkWithinMemo(c, sizes, memo, limit, 0)
+	if ok && acc < memoMinSubtree {
+		// The walk memoizes completed subtrees from the interior
+		// threshold up; the routing result itself is worth an entry even
+		// below it — the same child is re-probed on every later isolation
+		// that passes its parent.
+		memo.put(c, acc)
 	}
-	return v, exact
+	return acc, ok
+}
+
+// walkWithinMemo is SubtreeValSizeWithin with memo cuts and interior
+// memoization; acc is the running count carried through the recursion
+// (no closure, no allocation). Returns (count, count ≤ limit).
+func walkWithinMemo(n *xmltree.Node, sizes *grammar.SizeTable, memo *Memo, limit, acc int64) (int64, bool) {
+	if v, ok := memo.get(n); ok {
+		acc = grammar.SatAdd(acc, v)
+		return acc, acc <= limit
+	}
+	var self int64 = 1
+	if n.Label.Kind == xmltree.Nonterminal {
+		self = sizes.Get(n.Label.ID).Total
+	}
+	sub := self // val size of n's subtree alone
+	acc = grammar.SatAdd(acc, self)
+	if acc > limit {
+		return acc, false
+	}
+	for _, c := range n.Children {
+		before := acc
+		var ok bool
+		if acc, ok = walkWithinMemo(c, sizes, memo, limit, acc); !ok {
+			return acc, false
+		}
+		sub = grammar.SatAdd(sub, acc-before)
+	}
+	if sub >= memoMinSubtree {
+		memo.put(n, sub)
+	}
+	return acc, true
 }
 
 // Isolate unfolds the grammar along the derivation path to the node with
@@ -78,13 +179,13 @@ func subtreeSizeWithin(c *xmltree.Node, sizes map[int32]*grammar.SizeVectors, me
 // rule, and returns the now-explicit terminal node. Size vectors may be
 // passed in when the caller already computed them (they are valid as long
 // as no rule other than the start rule changed); pass nil to compute.
-func Isolate(g *grammar.Grammar, preorder int64, sizes map[int32]*grammar.SizeVectors) (Position, error) {
+func Isolate(g *grammar.Grammar, preorder int64, sizes *grammar.SizeTable) (Position, error) {
 	return IsolateMemo(g, preorder, sizes, nil)
 }
 
 // IsolateMemo is Isolate with a subtree-size memo shared across calls;
 // see Memo for the invalidation contract.
-func IsolateMemo(g *grammar.Grammar, preorder int64, sizes map[int32]*grammar.SizeVectors, memo Memo) (Position, error) {
+func IsolateMemo(g *grammar.Grammar, preorder int64, sizes *grammar.SizeTable, memo *Memo) (Position, error) {
 	if sizes == nil {
 		var err error
 		sizes, err = g.ValSizes()
@@ -92,7 +193,7 @@ func IsolateMemo(g *grammar.Grammar, preorder int64, sizes map[int32]*grammar.Si
 			return Position{}, err
 		}
 	}
-	total := sizes[g.Start].Total
+	total := sizes.Get(g.Start).Total
 	if preorder < 0 || preorder >= total {
 		return Position{}, fmt.Errorf("isolate: preorder %d out of range [0,%d)", preorder, total)
 	}
@@ -106,9 +207,7 @@ func IsolateMemo(g *grammar.Grammar, preorder int64, sizes map[int32]*grammar.Si
 		// mutation the caller makes next: its memoized size is about to
 		// go stale, so evict it here (every path node passes through
 		// this loop head exactly when it becomes current).
-		if memo != nil {
-			delete(memo, node)
-		}
+		memo.evict(node)
 		switch node.Label.Kind {
 		case xmltree.Terminal:
 			if rem == 0 {
@@ -140,7 +239,7 @@ func IsolateMemo(g *grammar.Grammar, preorder int64, sizes map[int32]*grammar.Si
 				return Position{}, fmt.Errorf("isolate: internal navigation error (rem=%d)", rem)
 			}
 		case xmltree.Nonterminal:
-			sv := sizes[node.Label.ID]
+			sv := sizes.Get(node.Label.ID)
 			// val(node) in preorder: Seg[0] body nodes, val(arg1), Seg[1],
 			// val(arg2), ..., val(argk), Seg[k]. If the target falls in a
 			// body segment we must unfold the rule; if it falls inside an

@@ -194,6 +194,14 @@ func CountLabel(g *grammar.Grammar, label string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return CountLabelUsage(g, usage, label), nil
+}
+
+// CountLabelUsage is CountLabel with a precomputed usage vector (as
+// returned by Grammar.Usage). Serving engines cache the vector across a
+// query stream — usage only changes when the grammar does — so repeated
+// label queries skip the per-call usage recomputation.
+func CountLabelUsage(g *grammar.Grammar, usage []float64, label string) float64 {
 	total := 0.0
 	for _, id := range g.RuleIDs() {
 		u := usage[id]
@@ -210,7 +218,7 @@ func CountLabel(g *grammar.Grammar, label string) (float64, error) {
 		})
 		total += u * float64(cnt)
 	}
-	return total, nil
+	return total
 }
 
 // LabelHistogram returns the usage-weighted count of every terminal
@@ -220,6 +228,12 @@ func LabelHistogram(g *grammar.Grammar) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	return LabelHistogramUsage(g, usage), nil
+}
+
+// LabelHistogramUsage is LabelHistogram with a precomputed usage vector;
+// see CountLabelUsage.
+func LabelHistogramUsage(g *grammar.Grammar, usage []float64) map[string]float64 {
 	hist := make(map[string]float64)
 	for _, id := range g.RuleIDs() {
 		u := usage[id]
@@ -233,5 +247,5 @@ func LabelHistogram(g *grammar.Grammar) (map[string]float64, error) {
 			return true
 		})
 	}
-	return hist, nil
+	return hist
 }

@@ -91,11 +91,13 @@ type Stats struct {
 	Deletes int64
 	Batches int64 // Apply/ApplyAll calls
 
-	Recompressions  int64 // GrammarRePair runs (auto + manual)
-	SizeCacheHits   int64 // ops served from the warm size-vector cache
-	SizeCacheMisses int64 // full ValSizes recomputations
-	GCRuns          int64 // garbage-collection passes
-	RulesCollected  int64 // rules removed by those passes
+	Recompressions   int64 // GrammarRePair runs (auto + manual)
+	SizeCacheHits    int64 // ops served from the warm size-vector cache
+	SizeCacheMisses  int64 // full ValSizes recomputations
+	UsageCacheHits   int64 // label queries served from the warm usage cache
+	UsageCacheMisses int64 // usage-vector recomputations
+	GCRuns           int64 // garbage-collection passes
+	RulesCollected   int64 // rules removed by those passes
 
 	Size               int     // current |G|
 	PeakSize           int     // max |G| observed at any batch boundary
@@ -115,6 +117,18 @@ type Store struct {
 	mu    sync.RWMutex
 	g     *grammar.Grammar
 	cache update.Cache
+
+	// usage caches the grammar's usage vector for the aggregate label
+	// queries (CountLabel, LabelHistogram): usage only changes when the
+	// grammar does, so a hot query stream pays one Usage pass per update
+	// batch instead of one per query. Guarded by its own mutex because
+	// readers fill it while holding only mu.RLock; invalidation happens
+	// under the write lock (finishBatchLocked / recompressLocked), so a
+	// cached vector can never outlive the grammar state it was computed
+	// from.
+	usageMu                sync.Mutex
+	usage                  []float64
+	usageHits, usageMisses int64
 
 	cfg      Config
 	effRatio float64 // current trigger; self-tunes within [base, MaxRatio]
@@ -209,9 +223,39 @@ func (s *Store) applyLocked(op update.Op) error {
 	return nil
 }
 
+// invalidateUsageLocked drops the cached usage vector. Callers hold the
+// write lock, so no reader can be mid-fill.
+func (s *Store) invalidateUsageLocked() {
+	s.usageMu.Lock()
+	s.usage = nil
+	s.usageMu.Unlock()
+}
+
+// cachedUsage returns the usage vector, computing and caching it on first
+// use. Callers hold at least mu.RLock (the grammar is stable); concurrent
+// cold readers serialize on usageMu so only one pays the Usage pass.
+func (s *Store) cachedUsage() ([]float64, error) {
+	s.usageMu.Lock()
+	defer s.usageMu.Unlock()
+	if s.usage != nil {
+		s.usageHits++
+		return s.usage, nil
+	}
+	u, err := s.g.Usage()
+	if err != nil {
+		return nil, err
+	}
+	s.usage = u
+	s.usageMisses++
+	return u, nil
+}
+
 // finishBatchLocked runs the deferred garbage collection and the
 // recompression policy at a batch boundary.
 func (s *Store) finishBatchLocked() {
+	// Every applied op rewrites the start rule (isolation unfolds calls
+	// into it), which shifts usage counts — the cached vector is stale.
+	s.invalidateUsageLocked()
 	s.gcLocked()
 	size := s.g.Size()
 	if size > s.peakSize {
@@ -245,6 +289,7 @@ func (s *Store) recompressLocked() *core.Stats {
 	g2, st := core.Compress(s.g, core.Options{MaxRank: s.cfg.MaxRank})
 	s.g = g2
 	s.cache.Invalidate()
+	s.invalidateUsageLocked()
 	// Re-warm under the already-held write lock: readers polling
 	// aggregates on a write-idle Store must not each pay a full
 	// ValSizes pass.
@@ -321,7 +366,7 @@ func (s *Store) TreeSize() (int64, error) {
 
 func (s *Store) treeSizeLocked() (int64, error) {
 	if sizes := s.cache.Peek(); sizes != nil {
-		if sv := sizes[s.g.Start]; sv != nil {
+		if sv := sizes.Get(s.g.Start); sv != nil {
 			return sv.Total, nil
 		}
 	}
@@ -348,18 +393,29 @@ func (s *Store) elementsLocked() (int64, error) {
 }
 
 // CountLabel counts occurrences of an element label in the document
-// without decompressing.
+// without decompressing. The usage vector is cached across queries and
+// invalidated by updates and recompressions, so a hot query stream pays
+// one Usage pass per update batch instead of one per query.
 func (s *Store) CountLabel(label string) (float64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return navigate.CountLabel(s.g, label)
+	usage, err := s.cachedUsage()
+	if err != nil {
+		return 0, err
+	}
+	return navigate.CountLabelUsage(s.g, usage, label), nil
 }
 
-// LabelHistogram returns the occurrence count of every element label.
+// LabelHistogram returns the occurrence count of every element label,
+// served from the same cached usage vector as CountLabel.
 func (s *Store) LabelHistogram() (map[string]float64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return navigate.LabelHistogram(s.g)
+	usage, err := s.cachedUsage()
+	if err != nil {
+		return nil, err
+	}
+	return navigate.LabelHistogramUsage(s.g, usage), nil
 }
 
 // Stats returns a snapshot of the Store's counters.
@@ -384,6 +440,10 @@ func (s *Store) Stats() Stats {
 		LastCompressedSize: s.lastCompressed,
 		EffectiveRatio:     s.effRatio,
 	}
+	s.usageMu.Lock()
+	st.UsageCacheHits = s.usageHits
+	st.UsageCacheMisses = s.usageMisses
+	s.usageMu.Unlock()
 	if st.Size > st.PeakSize {
 		st.PeakSize = st.Size
 	}

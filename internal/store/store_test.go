@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/datasets"
 	"repro/internal/grammar"
+	"repro/internal/navigate"
 	"repro/internal/treerepair"
 	"repro/internal/update"
 	"repro/internal/workload"
@@ -371,5 +372,61 @@ func TestSnapshotInvalidationSafety(t *testing.T) {
 	live := st.Snapshot()
 	if sameLabeledTree(live.Syms, mustTree(t, live), snap.Syms, before) {
 		t.Fatal("live store did not change")
+	}
+}
+
+// TestUsageCache: repeated label queries must be served from one cached
+// usage vector, updates and recompressions must invalidate it, and the
+// cached answers must always match a cold navigate.CountLabel pass.
+func TestUsageCache(t *testing.T) {
+	c, _ := datasets.ByShort("XM")
+	u := c.Generate(0.02, 5)
+	seq, err := workload.Updates(u, 40, 90, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := treerepair.Compress(seq.Seed, treerepair.Options{})
+	st := New(g, Config{Ratio: -1})
+
+	check := func(when string) {
+		for _, label := range []string{"item", "listitem", "nosuchlabel"} {
+			got, err := st.CountLabel(label)
+			if err != nil {
+				t.Fatalf("%s: CountLabel(%s): %v", when, label, err)
+			}
+			var want float64
+			if err := st.Query(func(g *grammar.Grammar) error {
+				w, err := navigate.CountLabel(g, label)
+				want = w
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s: CountLabel(%s) cached %v, cold %v", when, label, got, want)
+			}
+		}
+	}
+
+	check("fresh")
+	s0 := st.Stats()
+	if s0.UsageCacheMisses != 1 || s0.UsageCacheHits < 2 {
+		t.Fatalf("fresh: usage cache hits=%d misses=%d, want >=2/1",
+			s0.UsageCacheHits, s0.UsageCacheMisses)
+	}
+
+	if err := st.ApplyAll(seq.Ops); err != nil {
+		t.Fatal(err)
+	}
+	check("after updates")
+	s1 := st.Stats()
+	if s1.UsageCacheMisses != 2 {
+		t.Fatalf("updates must invalidate the usage cache (misses=%d, want 2)", s1.UsageCacheMisses)
+	}
+
+	st.Recompress()
+	check("after recompression")
+	if s2 := st.Stats(); s2.UsageCacheMisses != 3 {
+		t.Fatalf("recompression must invalidate the usage cache (misses=%d, want 3)", s2.UsageCacheMisses)
 	}
 }

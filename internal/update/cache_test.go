@@ -114,9 +114,9 @@ func TestCacheRefreshStart(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if cached[g.Start].Total != fresh[g.Start].Total {
+		if cached.Get(g.Start).Total != fresh.Get(g.Start).Total {
 			t.Fatalf("op %d: cached start total %d, fresh %d",
-				i, cached[g.Start].Total, fresh[g.Start].Total)
+				i, cached.Get(g.Start).Total, fresh.Get(g.Start).Total)
 		}
 	}
 }

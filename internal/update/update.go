@@ -62,15 +62,15 @@ func (k Kind) String() string {
 // A Cache serves exactly one grammar; Hits/Misses count warm vs cold
 // Sizes calls and feed Store.Stats.
 type Cache struct {
-	sizes map[int32]*grammar.SizeVectors
-	memo  isolate.Memo // subtree sizes of start-RHS nodes across ops
+	sizes *grammar.SizeTable
+	memo  *isolate.Memo // subtree sizes of start-RHS nodes across ops
 
 	Hits   int64 // Sizes calls served from the warm cache
 	Misses int64 // Sizes calls that recomputed all vectors
 }
 
-// Sizes returns the cached size-vector map, computing it on first use.
-func (c *Cache) Sizes(g *grammar.Grammar) (map[int32]*grammar.SizeVectors, error) {
+// Sizes returns the cached size-vector table, computing it on first use.
+func (c *Cache) Sizes(g *grammar.Grammar) (*grammar.SizeTable, error) {
 	if c.sizes != nil {
 		c.Hits++
 		return c.sizes, nil
@@ -87,7 +87,7 @@ func (c *Cache) Sizes(g *grammar.Grammar) (map[int32]*grammar.SizeVectors, error
 // Peek returns the cached vectors without filling the cache or touching
 // the hit counters (nil when cold). It is the read-only accessor for
 // callers that hold only a read lock over the owning structure.
-func (c *Cache) Peek() map[int32]*grammar.SizeVectors { return c.sizes }
+func (c *Cache) Peek() *grammar.SizeTable { return c.sizes }
 
 // Invalidate drops the cached vectors and the subtree-size memo; the
 // next Sizes call recomputes.
@@ -107,7 +107,7 @@ func (c *Cache) RefreshStart(g *grammar.Grammar) error {
 	if err != nil {
 		return err
 	}
-	c.sizes[g.Start] = sv
+	c.sizes.Set(g.Start, sv)
 	return nil
 }
 
@@ -122,7 +122,7 @@ func (c *Cache) adjustStartTotal(g *grammar.Grammar, delta int64) error {
 	if c.sizes == nil {
 		return nil
 	}
-	sv := c.sizes[g.Start]
+	sv := c.sizes.Get(g.Start)
 	if sv == nil || len(sv.Seg) != 1 || grammar.Saturated(sv.Total) {
 		return c.RefreshStart(g)
 	}
@@ -139,11 +139,15 @@ func (c *Cache) adjustStartTotal(g *grammar.Grammar, delta int64) error {
 // garbage-collection pass), so a long-lived cache does not accumulate
 // vectors for dead rule IDs.
 func (c *Cache) DropDeleted(g *grammar.Grammar) {
-	for id := range c.sizes {
-		if g.Rule(id) == nil {
-			delete(c.sizes, id)
-		}
+	if c.sizes == nil {
+		return
 	}
+	c.sizes.Range(func(id int32, _ *grammar.SizeVectors) bool {
+		if g.Rule(id) == nil {
+			c.sizes.Drop(id)
+		}
+		return true
+	})
 }
 
 // ApplyCached performs one operation using the shared size-vector cache
@@ -159,7 +163,7 @@ func ApplyCached(g *grammar.Grammar, op Op, c *Cache) (stranded bool, err error)
 		return false, err
 	}
 	if c.memo == nil {
-		c.memo = make(isolate.Memo)
+		c.memo = isolate.NewMemo()
 	}
 	pos, err := isolate.IsolateMemo(g, op.Pos, sizes, c.memo)
 	if err != nil {

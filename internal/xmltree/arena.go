@@ -12,7 +12,8 @@ package xmltree
 // freely with heap-allocated nodes. Free returns a single node to the
 // arena's freelist for reuse; the caller must guarantee that no reference
 // to the node survives — in particular that the pointer is not a key in
-// any live map (a recycled pointer would alias the stale entry).
+// any live map or registered in a live Aux-indexed table (a recycled
+// pointer would alias the stale entry).
 //
 // All methods are nil-receiver safe: a nil *Arena falls back to plain heap
 // allocation, so arena use can be threaded through optional parameters.
@@ -36,6 +37,11 @@ func (a *Arena) New(label Symbol) *Node {
 		nd := a.free[n-1]
 		a.free = a.free[:n-1]
 		nd.Label = label
+		// A recycled pointer would pass the self-validation of any
+		// Aux-indexed table (editor.locs, isolate.Memo) that still holds
+		// the dead node's entry; zeroing Aux makes such a table miss and
+		// re-register instead of serving the dead node's data.
+		nd.Aux = 0
 		nd.Children = nil
 		return nd
 	}

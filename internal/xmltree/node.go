@@ -11,7 +11,15 @@ import (
 // a parameter node has none; a nonterminal node of rank k has k argument
 // subtrees.
 type Node struct {
-	Label    Symbol
+	Label Symbol
+	// Aux is scratch space for algorithm-owned dense side tables: an
+	// index into a slice the algorithm maintains instead of a
+	// pointer-keyed map (the compressor's rule editor stores each node's
+	// parent entry this way). Values are meaningless between owners —
+	// any reader must validate that its table entry points back at the
+	// node before trusting it, because nodes move freely between pooled
+	// owners without Aux being reset.
+	Aux      int32
 	Children []*Node
 }
 
