@@ -6,6 +6,7 @@
 package sltgrammar_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -149,6 +150,16 @@ func BenchmarkPerOpUpdateStream(b *testing.B) {
 	for _, short := range benchsuite.MicroShorts {
 		c, _ := datasets.ByShort(short)
 		b.Run(c.Name, benchsuite.PerOpUpdateStreamBench(short))
+	}
+}
+
+// BenchmarkUpdateStreamSharded measures aggregate multi-document
+// ingestion through a ShardedStore across shard counts; one op ingests
+// every document's full pinned stream (see benchsuite for the fixture).
+func BenchmarkUpdateStreamSharded(b *testing.B) {
+	for _, shards := range benchsuite.ShardedShardCounts {
+		b.Run(fmt.Sprintf("XM/docs=%d/shards=%d", benchsuite.ShardedDocs, shards),
+			benchsuite.ShardedUpdateStreamBench("XM", shards, benchsuite.ShardedDocs))
 	}
 }
 

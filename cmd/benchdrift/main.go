@@ -1,0 +1,102 @@
+// Command benchdrift compares two committed BENCH_<n>.json records and
+// fails when a benchmark regressed past tolerance — the perf trajectory
+// gate that CI runs on every PR. Both records are produced by
+// `benchtables -json` on the same machine, so a ratio drift between the
+// committed files is a real code regression, not machine noise.
+//
+// Usage:
+//
+//	benchdrift -old BENCH_3.json -new BENCH_4.json -match StoreUpdateStream/ -tol 0.10
+//
+// Every benchmark in the new record whose name starts with -match and
+// that also exists in the old record is compared by ns/op; a run above
+// (1+tol)× its old value is a failure. Matching nothing is also a
+// failure — a renamed benchmark must not silently disable the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type record struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+func load(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(rec.Benchmarks))
+	for _, b := range rec.Benchmarks {
+		out[b.Name] = b.NsPerOp
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "baseline BENCH_<n>.json")
+		newPath = flag.String("new", "", "candidate BENCH_<n>.json")
+		match   = flag.String("match", "", "benchmark name prefix to compare (empty = all shared names)")
+		tol     = flag.Float64("tol", 0.10, "allowed fractional ns/op regression")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldNs, err := load(*oldPath)
+	if err != nil {
+		fail(err)
+	}
+	newNs, err := load(*newPath)
+	if err != nil {
+		fail(err)
+	}
+
+	compared, regressed := 0, 0
+	for name, ns := range newNs {
+		if !strings.HasPrefix(name, *match) {
+			continue
+		}
+		base, ok := oldNs[name]
+		if !ok || base <= 0 {
+			continue
+		}
+		compared++
+		ratio := ns / base
+		status := "ok"
+		if ratio > 1+*tol {
+			status = fmt.Sprintf("REGRESSED beyond %.0f%%", *tol*100)
+			regressed++
+		}
+		fmt.Printf("%-45s %12.0f -> %12.0f ns/op  (%+.1f%%)  %s\n",
+			name, base, ns, (ratio-1)*100, status)
+	}
+	if compared == 0 {
+		fail(fmt.Errorf("no benchmark in %s matches prefix %q and exists in %s",
+			*newPath, *match, *oldPath))
+	}
+	if regressed > 0 {
+		fail(fmt.Errorf("%d of %d benchmarks regressed more than %.0f%%",
+			regressed, compared, *tol*100))
+	}
+	fmt.Printf("benchdrift: %d benchmarks within %.0f%% of baseline\n", compared, *tol*100)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchdrift:", err)
+	os.Exit(1)
+}

@@ -205,6 +205,10 @@ func writeBenchJSON(n int, cfg experiments.Config) error {
 	for _, short := range benchsuite.MicroShorts {
 		add("PerOpUpdateStream/"+short, benchsuite.PerOpUpdateStreamBench(short))
 	}
+	for _, shards := range benchsuite.ShardedShardCounts {
+		add(fmt.Sprintf("UpdateStreamSharded/XM/docs=%d/shards=%d", benchsuite.ShardedDocs, shards),
+			benchsuite.ShardedUpdateStreamBench("XM", shards, benchsuite.ShardedDocs))
+	}
 
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

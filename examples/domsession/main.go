@@ -1,49 +1,67 @@
 // domsession simulates the paper's motivating application (Section I and
-// the conclusion): a browser-style DOM that changes frequently while
+// the conclusion): browser-style DOMs that change frequently while
 // staying grammar-compressed in memory.
 //
-// A long editing session runs against an XMark-like document through a
-// sltgrammar.Store: every operation executes on the compressed grammar
-// via path isolation with the Store's cached size vectors, and the
-// Store's self-tuning policy decides when GrammarRePair recompresses the
-// grammar in place — no hand-rolled "every N ops" loop. The session
-// prints how the compressed size tracks the recompress-from-scratch
-// reference — the Fig. 4 experiment as an application loop.
+// In the default single-document mode a long editing session runs
+// against an XMark-like document through a sltgrammar.Store: every
+// operation executes on the compressed grammar via path isolation with
+// the Store's cached size vectors, and the Store's self-tuning policy
+// decides when GrammarRePair recompresses the grammar in place. The
+// session prints how the compressed size tracks the
+// recompress-from-scratch reference — the Fig. 4 experiment as an
+// application loop.
+//
+// With -docs N -shards S the same session runs as a fleet: N distinct
+// DOMs served by one ShardedStore, one writer per document, shards
+// updating in parallel and recompression running asynchronously off the
+// write locks (the serving shape of the ROADMAP's million-user target):
+//
+//	domsession -docs 8 -shards 4
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	sltgrammar "repro"
-	"repro/internal/datasets"
-	"repro/internal/workload"
+	"repro/internal/examples"
+)
+
+const (
+	corpusScale = 0.2
+	insertPct   = 90
 )
 
 func main() {
-	// An auction-site DOM of ~20k edges.
-	corpus, _ := datasets.ByShort("XM")
-	page := corpus.Generate(0.2, 42)
-	fmt.Printf("DOM: %d elements, depth %d\n", page.Nodes(), page.Depth())
+	serve := examples.ServeFlags(1000, 42)
+	serve.Parse()
+	if serve.Docs > 1 {
+		multiDoc(serve)
+		return
+	}
+	singleDoc(serve)
+}
 
-	// A realistic editing session: 1000 operations, 90 % inserts / 10 %
-	// deletes, derived from the document itself by inverse seeding.
-	seq, err := workload.Updates(page, 1000, 90, 7)
+// singleDoc is the classic narrative: one DOM, compressed-size tracking
+// against the from-scratch reference every 100 ops.
+func singleDoc(serve *examples.Serve) {
+	sessions, err := examples.CorpusSessions("XM", corpusScale, 1, serve.Ops, insertPct, serve.Seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	g, _ := sltgrammar.Compress(seq.Seed)
-	fmt.Printf("initial DOM grammar: %d edges (document has %d)\n\n",
-		sltgrammar.Size(g), seq.Seed.Root.Edges())
+	ses := sessions[0]
+	fmt.Printf("DOM session: %d ops toward a %d-element document\n", len(ses.Ops), ses.FinalNodes)
+	fmt.Printf("initial DOM grammar: %d edges\n\n", sltgrammar.Size(ses.Grammar))
 
 	// The Store owns grammar maintenance: recompress when the grammar
 	// grows 1.3× past its last compressed size.
-	st := sltgrammar.NewStore(g, sltgrammar.StoreConfig{Ratio: 1.3})
+	st := sltgrammar.NewStore(ses.Grammar, sltgrammar.StoreConfig{Ratio: 1.3})
 
 	fmt.Printf("%8s %12s %12s %10s %9s\n", "ops", "|G| live", "|G| scratch", "overhead", "recomps")
-	for done := 0; done < len(seq.Ops); {
-		end := min(done+100, len(seq.Ops))
-		if err := st.ApplyAll(seq.Ops[done:end]); err != nil {
+	for done := 0; done < len(ses.Ops); {
+		end := min(done+100, len(ses.Ops))
+		if err := st.ApplyAll(ses.Ops[done:end]); err != nil {
 			log.Fatal(err)
 		}
 		done = end
@@ -61,21 +79,89 @@ func main() {
 			stats.Recompressions)
 	}
 
-	// The session must have converged to the target document.
-	final, err := sltgrammar.Decompress(st.Snapshot(), 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	back, _ := sltgrammar.Decode(final)
-	fmt.Printf("\nfinal DOM: %d elements (target %d)\n", back.Nodes(), page.Nodes())
-	if back.Nodes() != page.Nodes() {
-		log.Fatal("session diverged from the target document")
-	}
+	verifyConverged(st, ses)
 	stats := st.Stats()
 	fmt.Printf("store: %d ops in %d batches, %d recompressions, "+
 		"size-vector cache %d hits / %d misses, peak |G| %d\n",
 		stats.Ops, stats.Batches, stats.Recompressions,
 		stats.SizeCacheHits, stats.SizeCacheMisses, stats.PeakSize)
+}
+
+// multiDoc serves -docs DOMs through one ShardedStore: disjoint editing
+// sessions run concurrently, recompression happens asynchronously off
+// the write locks, and the swap protocol guarantees no session ever
+// loses an update to a racing compression.
+func multiDoc(serve *examples.Serve) {
+	sessions, err := examples.CorpusSessions("XM", corpusScale, serve.Docs, serve.Ops, insertPct, serve.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d DOMs on %d shards, %d ops each\n",
+		serve.Docs, serve.Shards, serve.Ops)
+
+	ss := sltgrammar.NewShardedStore(serve.Shards, sltgrammar.StoreConfig{Ratio: 1.3, Async: true})
+	defer ss.Close()
+	for _, ses := range sessions {
+		if _, err := ss.Open(ses.ID, ses.Grammar); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(sessions))
+	for _, ses := range sessions {
+		wg.Add(1)
+		go func(ses *examples.Session) {
+			defer wg.Done()
+			for done := 0; done < len(ses.Ops); {
+				end := min(done+100, len(ses.Ops))
+				if err := ss.ApplyAll(ses.ID, ses.Ops[done:end]); err != nil {
+					errs <- fmt.Errorf("%s: %w", ses.ID, err)
+					return
+				}
+				done = end
+			}
+		}(ses)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		log.Fatal(err)
+	}
+	ss.Quiesce() // let in-flight recompressions settle before the audit
+
+	for _, ses := range sessions {
+		st, ok := ss.Get(ses.ID)
+		if !ok {
+			log.Fatalf("%s vanished", ses.ID)
+		}
+		verifyConverged(st, ses)
+	}
+	agg := ss.Stats()
+	fmt.Printf("fleet: %d ops over %d docs, |G| total %d, "+
+		"%d recompressions (%d async, %d discarded, %d tail ops replayed), "+
+		"write-lock stall %.2fms total\n",
+		agg.Ops, agg.Docs, agg.Size,
+		agg.Recompressions, agg.AsyncRecompressions, agg.DiscardedRecompressions,
+		agg.ReplayedTailOps, float64(agg.StallNanos)/1e6)
+	fmt.Println("all sessions converged to their target documents")
+}
+
+// verifyConverged checks a session landed exactly on its target
+// document.
+func verifyConverged(st *sltgrammar.Store, ses *examples.Session) {
+	final, err := sltgrammar.Decompress(st.Snapshot(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := sltgrammar.Decode(final)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if back.Nodes() != ses.FinalNodes {
+		log.Fatalf("%s: session diverged (%d elements, want %d)",
+			ses.ID, back.Nodes(), ses.FinalNodes)
+	}
 }
 
 func min(a, b int) int {

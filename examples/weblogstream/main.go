@@ -1,5 +1,5 @@
 // weblogstream demonstrates the extreme-compression regime (the paper's
-// EXI-Weblog/NCBI corpora): an append-heavy event log kept compressed in
+// EXI-Weblog/NCBI corpora): append-heavy event logs kept compressed in
 // memory while records stream in.
 //
 // Appending to a grammar-compressed list breaks its exponential
@@ -8,24 +8,55 @@
 // "naive" curve. A sltgrammar.Store with its self-tuning recompression
 // policy keeps the log at O(log n) edges without any hand-rolled
 // "recompress every batch" loop, and never materializes the log as a
-// tree.
+// tree. That is the default single-log narrative.
+//
+// With -docs N -shards S the demo ingests N independent logs through
+// one ShardedStore — appends to different logs updating in parallel and
+// every log recompressing asynchronously off its write lock:
+//
+//	weblogstream -docs 8 -shards 4
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	sltgrammar "repro"
+	"repro/internal/examples"
+)
+
+const (
+	initialRecords = 64
+	batchRecords   = 64
+	batches        = 8
 )
 
 func main() {
-	// Start with a small log of identical request records.
+	serve := examples.ServeFlags(batches*batchRecords, 1)
+	serve.Parse()
+	if serve.Docs > 1 {
+		multiLog(serve)
+		return
+	}
+	singleLog()
+}
+
+// seedLog builds the starting log grammar: initialRecords identical
+// request records under one root.
+func seedLog() *sltgrammar.Grammar {
 	root := sltgrammar.NewElement("log")
-	for i := 0; i < 64; i++ {
+	for i := 0; i < initialRecords; i++ {
 		root.Children = append(root.Children, record())
 	}
 	g, _ := sltgrammar.Compress(sltgrammar.Encode(root))
-	fmt.Printf("initial log: %d records, grammar %d edges\n\n", 64, sltgrammar.Size(g))
+	return g
+}
+
+// singleLog is the classic naive-vs-tuned comparison on one log.
+func singleLog() {
+	g := seedLog()
+	fmt.Printf("initial log: %d records, grammar %d edges\n\n", initialRecords, sltgrammar.Size(g))
 	fmt.Printf("%10s %12s %14s %12s\n", "records", "naive |G|", "store |G|", "log elements")
 
 	// Two stores over the same log: one with recompression disabled (the
@@ -33,12 +64,12 @@ func main() {
 	naive := sltgrammar.NewStore(g.Clone(), sltgrammar.StoreConfig{Ratio: -1})
 	tuned := sltgrammar.NewStore(g, sltgrammar.StoreConfig{Ratio: 1.5})
 
-	records := 64
-	for batch := 0; batch < 8; batch++ {
-		// Append 64 records: insert at the end of the sibling chain. The
-		// append position is the final ⊥ of the root's child list, i.e.
-		// the last node in preorder (O(1) off the store's cached sizes).
-		for i := 0; i < 64; i++ {
+	records := initialRecords
+	for batch := 0; batch < batches; batch++ {
+		// Append records at the end of the sibling chain: the final ⊥ of
+		// the root's child list is the last node in preorder (O(1) off the
+		// store's cached sizes).
+		for i := 0; i < batchRecords; i++ {
 			for _, st := range []*sltgrammar.Store{naive, tuned} {
 				n, err := st.TreeSize()
 				if err != nil {
@@ -68,6 +99,62 @@ func main() {
 		log.Fatal("the two logs diverged")
 	}
 	fmt.Println("both grammars derive the identical log")
+}
+
+// multiLog ingests -docs independent logs through one ShardedStore with
+// asynchronous recompression: the appenders never stall on a
+// GrammarRePair pass.
+func multiLog(serve *examples.Serve) {
+	fmt.Printf("streaming into %d logs on %d shards, %d appends each\n",
+		serve.Docs, serve.Shards, serve.Ops)
+	ss := sltgrammar.NewShardedStore(serve.Shards, sltgrammar.StoreConfig{Ratio: 1.5, Async: true})
+	defer ss.Close()
+	for d := 0; d < serve.Docs; d++ {
+		if _, err := ss.Open(examples.DocID(d), seedLog()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, serve.Docs)
+	for d := 0; d < serve.Docs; d++ {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for i := 0; i < serve.Ops; i++ {
+				if err := examples.Append(ss, id, record()); err != nil {
+					errs <- fmt.Errorf("%s: %w", id, err)
+					return
+				}
+			}
+		}(examples.DocID(d))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		log.Fatal(err)
+	}
+	ss.Quiesce()
+
+	want := int64(initialRecords+serve.Ops)*5 + 1 // 5 elements per record + root
+	for d := 0; d < serve.Docs; d++ {
+		st, _ := ss.Get(examples.DocID(d))
+		elems, err := st.Elements()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if elems != want {
+			log.Fatalf("%s: %d elements, want %d", examples.DocID(d), elems, want)
+		}
+	}
+	agg := ss.Stats()
+	fmt.Printf("fleet: %d appends over %d logs, |G| total %d, "+
+		"%d recompressions (%d async, %d discarded, %d tail ops replayed), "+
+		"write-lock stall %.2fms total\n",
+		agg.Ops, agg.Docs, agg.Size,
+		agg.Recompressions, agg.AsyncRecompressions, agg.DiscardedRecompressions,
+		agg.ReplayedTailOps, float64(agg.StallNanos)/1e6)
+	fmt.Printf("every log holds exactly %d elements, compressed\n", want)
 }
 
 func record() *sltgrammar.Unranked {

@@ -7,6 +7,7 @@ package benchsuite
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	sltgrammar "repro"
@@ -38,7 +39,15 @@ const (
 	// a serving engine sees the stream as a sequence of small batches,
 	// which is what lets the recompression policy act mid-stream.
 	UpdateStreamBatch = 20
+	// ShardedDocs is the document count of the multi-document
+	// (UpdateStreamSharded) track: enough documents that hashing spreads
+	// them over every shard configuration being compared.
+	ShardedDocs = 8
 )
+
+// ShardedShardCounts are the shard configurations the multi-document
+// track sweeps; aggregate throughput across them is the scaling record.
+var ShardedShardCounts = []int{1, 2, 4}
 
 // MicroShorts are the corpora the micro benchmarks run on: one
 // exponentially compressing (EW), one moderate (XM), one hard (TB).
@@ -137,6 +146,95 @@ func StoreUpdateStreamBench(short string) func(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		}
+	}
+}
+
+// shardedInput is the pinned multi-document workload: document d of a
+// corpus is generated with seed CorpusSeed+d and replayed by the
+// inverse-seeded sequence with seed UpdateStreamSeed+d, so the
+// documents are genuinely distinct but every run (and every shard
+// configuration) measures exactly the same streams.
+type shardedInput struct {
+	ids  []string
+	gs   []*sltgrammar.Grammar
+	opss [][]sltgrammar.Op
+}
+
+var (
+	shardedMu     sync.Mutex
+	shardedInputs = map[string]*shardedInput{}
+)
+
+func shardedStream(short string, docs int) *shardedInput {
+	shardedMu.Lock()
+	defer shardedMu.Unlock()
+	key := fmt.Sprintf("%s/%d", short, docs)
+	if in, ok := shardedInputs[key]; ok {
+		return in
+	}
+	c, ok := datasets.ByShort(short)
+	if !ok {
+		panic(fmt.Sprintf("benchsuite: unknown corpus %q", short))
+	}
+	in := &shardedInput{}
+	for d := 0; d < docs; d++ {
+		u := c.Generate(MicroScale, CorpusSeed+int64(d))
+		seq, err := workload.Updates(u, UpdateStreamOps, 90, UpdateStreamSeed+int64(d))
+		if err != nil {
+			panic(fmt.Sprintf("benchsuite: workload for %s doc %d: %v", short, d, err))
+		}
+		g, _ := sltgrammar.Compress(seq.Seed)
+		in.ids = append(in.ids, fmt.Sprintf("%s-doc-%02d", short, d))
+		in.gs = append(in.gs, g)
+		in.opss = append(in.opss, seq.Ops)
+	}
+	shardedInputs[key] = in
+	return in
+}
+
+// ShardedUpdateStreamBench measures aggregate multi-document ingestion
+// through a ShardedStore: ShardedDocs disjoint documents, one writer
+// goroutine per document, batches routed to the owning shard's worker.
+// One benchmark iteration ingests every document's full stream, so
+// ns/op is the aggregate wall-clock of the whole fleet — comparing it
+// across shard counts is the scaling record. Recompression is disabled
+// for the same reason as StoreUpdateStreamBench: every configuration
+// must do identical semantic work.
+func ShardedUpdateStreamBench(short string, shards, docs int) func(b *testing.B) {
+	in := shardedStream(short, docs)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			clones := make([]*sltgrammar.Grammar, len(in.gs))
+			for d, g := range in.gs {
+				clones[d] = g.Clone()
+			}
+			b.StartTimer()
+			ss := sltgrammar.NewShardedStore(shards, sltgrammar.StoreConfig{Ratio: -1})
+			for d, g := range clones {
+				if _, err := ss.Open(in.ids[d], g); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var wg sync.WaitGroup
+			for d := range in.opss {
+				wg.Add(1)
+				go func(d int) {
+					defer wg.Done()
+					ops := in.opss[d]
+					for done := 0; done < len(ops); done += UpdateStreamBatch {
+						end := min(done+UpdateStreamBatch, len(ops))
+						if err := ss.ApplyAll(in.ids[d], ops[done:end]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(d)
+			}
+			wg.Wait()
+			ss.Close()
 		}
 	}
 }

@@ -1,0 +1,107 @@
+// Package examples holds the scaffolding shared by the runnable
+// examples: the multi-document serving flags and the per-document
+// corpus-session construction that domsession and weblogstream
+// previously hand-rolled separately. It exists so the -shards/-docs
+// surface lives in exactly one place.
+package examples
+
+import (
+	"flag"
+	"fmt"
+
+	sltgrammar "repro"
+	"repro/internal/datasets"
+	"repro/internal/workload"
+)
+
+// Serve is the shared multi-document serving configuration of the
+// examples. Docs = 1 keeps an example in its classic single-document
+// narrative; Docs > 1 serves the documents through a ShardedStore with
+// Shards shards.
+type Serve struct {
+	Shards int
+	Docs   int
+	Ops    int
+	Seed   int64
+}
+
+// ServeFlags registers the shared -shards/-docs/-ops/-seed flags with
+// the given per-example defaults. Call Parse before reading the fields.
+func ServeFlags(defaultOps int, defaultSeed int64) *Serve {
+	s := &Serve{}
+	flag.IntVar(&s.Shards, "shards", 1, "shard count of the multi-document store")
+	flag.IntVar(&s.Docs, "docs", 1, "documents to serve (1 = single-document mode)")
+	flag.IntVar(&s.Ops, "ops", defaultOps, "update operations per document")
+	flag.Int64Var(&s.Seed, "seed", defaultSeed, "base RNG seed (document d varies it by d)")
+	return s
+}
+
+// Parse finishes flag parsing and clamps the values to sane minima.
+func (s *Serve) Parse() {
+	flag.Parse()
+	if s.Shards < 1 {
+		s.Shards = 1
+	}
+	if s.Docs < 1 {
+		s.Docs = 1
+	}
+	if s.Ops < 1 {
+		s.Ops = 1
+	}
+}
+
+// DocID names document d consistently across the examples.
+func DocID(d int) string { return fmt.Sprintf("doc-%02d", d) }
+
+// Session is one document's serving input: its compressed seed grammar,
+// the update stream replaying it toward the target document, and the
+// target's element count for the convergence check at the end.
+type Session struct {
+	ID         string
+	Grammar    *sltgrammar.Grammar
+	Ops        []sltgrammar.Op
+	FinalNodes int
+}
+
+// CorpusSessions builds n per-document sessions over the named corpus:
+// document d is generated at the given scale with seed seed+d and
+// replayed by an inverse-seeded workload (insertPct percent inserts,
+// workload seed derived per document), so every document is distinct
+// but the whole fleet is reproducible from one seed.
+func CorpusSessions(short string, scale float64, n, ops, insertPct int, seed int64) ([]*Session, error) {
+	c, ok := datasets.ByShort(short)
+	if !ok {
+		return nil, fmt.Errorf("examples: unknown corpus %q", short)
+	}
+	out := make([]*Session, n)
+	for d := 0; d < n; d++ {
+		u := c.Generate(scale, seed+int64(d))
+		seq, err := workload.Updates(u, ops, insertPct, seed+int64(1000+d))
+		if err != nil {
+			return nil, fmt.Errorf("examples: workload for doc %d: %w", d, err)
+		}
+		g, _ := sltgrammar.Compress(seq.Seed)
+		out[d] = &Session{
+			ID:         DocID(d),
+			Grammar:    g,
+			Ops:        seq.Ops,
+			FinalNodes: u.Nodes(),
+		}
+	}
+	return out, nil
+}
+
+// Append inserts frag after the last element of document id's root
+// child list: the final ⊥ of the derived tree is its last preorder
+// node, found in O(1) from the store's cached size vectors.
+func Append(ss *sltgrammar.ShardedStore, id string, frag *sltgrammar.Unranked) error {
+	st, ok := ss.Get(id)
+	if !ok {
+		return fmt.Errorf("examples: unknown document %q", id)
+	}
+	n, err := st.TreeSize()
+	if err != nil {
+		return err
+	}
+	return ss.Apply(id, sltgrammar.InsertOp(n-1, frag))
+}

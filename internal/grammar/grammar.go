@@ -39,6 +39,26 @@ type Grammar struct {
 	rules  []*Rule // indexed by rule ID; nil = deleted / never created
 	order  []int32 // creation order of live rule IDs
 	nextNT int32
+
+	// epoch counts document-content mutations (update operations) applied
+	// to this grammar instance. It is bumped by the update path, copied by
+	// Clone, and compared by the store's asynchronous recompression swap
+	// protocol: a snapshot whose epoch still matches the live grammar's
+	// derives the same document, so the recompressed copy can be swapped
+	// in. Rule surgery that preserves the document (GC, inlining,
+	// recompression itself) does not bump it.
+	epoch uint64
+}
+
+// Epoch returns the grammar's update epoch. See the field comment.
+func (g *Grammar) Epoch() uint64 { return g.epoch }
+
+// BumpEpoch records one document-content mutation and returns the new
+// epoch. Callers that mutate val(G) outside the update path must bump,
+// or epoch-guarded snapshot swaps would resurrect overwritten content.
+func (g *Grammar) BumpEpoch() uint64 {
+	g.epoch++
+	return g.epoch
 }
 
 // New returns an empty grammar over the given symbol table with a start
@@ -172,6 +192,7 @@ func (g *Grammar) Clone() *Grammar {
 		rules:  make([]*Rule, len(g.rules)),
 		order:  append([]int32(nil), g.order...),
 		nextNT: g.nextNT,
+		epoch:  g.epoch,
 	}
 	for id, r := range g.rules {
 		if r != nil {

@@ -1,0 +1,325 @@
+// Sharded is the multi-document serving layer: document IDs are hashed
+// across N shards, each shard owning its documents' Stores plus one
+// worker goroutine that applies that shard's update batches. Updates to
+// documents in different shards therefore never contend — neither on a
+// lock nor on a queue — while reads go straight to the per-document
+// Store under its read lock and never touch a worker at all.
+//
+// The shard is deliberately the unit of write parallelism AND of write
+// backpressure: one worker per shard bounds the number of grammars
+// mutating concurrently to the shard count, whatever the document count,
+// so a fleet of thousands of documents cannot stampede the CPU. Size
+// the shard count to the write parallelism wanted (e.g. GOMAXPROCS);
+// same-shard documents serialize behind each other by design.
+//
+// Combined with per-Store asynchronous recompression (Config.Async),
+// the write path of a shard is never stalled by GrammarRePair either:
+// the worker keeps draining batches while compressions run beside it
+// and swap in under the epoch protocol.
+
+package store
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/grammar"
+	"repro/internal/update"
+)
+
+// Errors returned by the sharded layer.
+var (
+	// ErrUnknownDoc reports an operation addressed to a document ID that
+	// was never opened (or has been dropped).
+	ErrUnknownDoc = errors.New("store: unknown document")
+	// ErrClosed reports a write against a closed Sharded store.
+	ErrClosed = errors.New("store: closed")
+)
+
+// Sharded serves many documents concurrently. See the type comment at
+// the top of this file for the architecture; create one with NewSharded.
+type Sharded struct {
+	cfg    Config
+	shards []*shard
+}
+
+// shard is one hash bucket: its documents, and the worker serializing
+// their updates. mu guards only the docs map, so reads never queue
+// behind a writer; the jobs channel has its own send lock — senders
+// hold sendMu.RLock across the (possibly blocking) send and Close takes
+// sendMu.Lock before closing the channel, so a send can never race the
+// close and a blocked sender never delays a reader.
+type shard struct {
+	mu   sync.RWMutex
+	docs map[string]*Store
+
+	sendMu sync.RWMutex
+	jobs   chan shardJob
+	closed bool // guarded by sendMu
+}
+
+// shardJob is one update batch handed to a shard worker.
+type shardJob struct {
+	st   *Store
+	ops  []update.Op
+	done chan<- error
+}
+
+// NewSharded returns a multi-document store with the given shard count
+// (n <= 0 selects GOMAXPROCS) whose documents all use cfg. One worker
+// goroutine per shard is started; call Close to stop them.
+func NewSharded(n int, cfg ...Config) *Sharded {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	var c Config
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	s := &Sharded{cfg: c, shards: make([]*shard, n)}
+	for i := range s.shards {
+		sh := &shard{docs: make(map[string]*Store), jobs: make(chan shardJob)}
+		s.shards[i] = sh
+		go sh.work()
+	}
+	return s
+}
+
+// work drains one shard's update batches until Close.
+func (sh *shard) work() {
+	for j := range sh.jobs {
+		j.done <- j.st.ApplyAll(j.ops)
+	}
+}
+
+// shardFor hashes a document ID to its shard (FNV-1a, inlined so the
+// read path stays alloc-free).
+func (s *Sharded) shardFor(id string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return s.shards[h%uint64(len(s.shards))]
+}
+
+// Open registers a new document under id, wrapping g in a Store with the
+// Sharded store's Config (taking ownership of g), and returns the Store.
+// Opening an existing ID is an error — use Get for lookups.
+func (s *Sharded) Open(id string, g *grammar.Grammar) (*Store, error) {
+	sh := s.shardFor(id)
+	sh.sendMu.RLock()
+	closed := sh.closed
+	sh.sendMu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.docs[id]; ok {
+		return nil, fmt.Errorf("store: document %q already open", id)
+	}
+	st := New(g, s.cfg)
+	sh.docs[id] = st
+	return st, nil
+}
+
+// Get returns the Store serving id, for direct reads (Query, CountLabel,
+// Snapshot, Stats, ...). The lookup is alloc-free.
+func (s *Sharded) Get(id string) (*Store, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	st, ok := sh.docs[id]
+	sh.mu.RUnlock()
+	return st, ok
+}
+
+// Drop removes the document from the store and reports whether it was
+// present. In-flight recompressions of the dropped Store complete (and
+// are discarded or swapped) on their own; Wait on the returned Store if
+// that matters.
+func (s *Sharded) Drop(id string) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.docs[id]
+	delete(sh.docs, id)
+	return ok
+}
+
+// Apply performs one update operation on document id through the shard's
+// worker.
+func (s *Sharded) Apply(id string, op update.Op) error {
+	return s.ApplyAll(id, []update.Op{op})
+}
+
+// ApplyAll performs a batch of operations on document id. Batches are
+// serialized per shard (one worker each) and the call returns when the
+// batch has been applied; batches for documents in different shards run
+// in parallel.
+func (s *Sharded) ApplyAll(id string, ops []update.Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	st, ok := sh.docs[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDoc, id)
+	}
+	// The send may block behind the worker's current batch; only sendMu
+	// is held then, so readers (and the docs map) stay available. A doc
+	// dropped between the lookup and the send still receives the batch —
+	// Drop removes it from the registry, it does not cancel its queue.
+	sh.sendMu.RLock()
+	if sh.closed {
+		sh.sendMu.RUnlock()
+		return fmt.Errorf("%w: %q", ErrClosed, id)
+	}
+	done := make(chan error, 1)
+	sh.jobs <- shardJob{st: st, ops: ops, done: done}
+	sh.sendMu.RUnlock()
+	return <-done
+}
+
+// Query runs fn on document id's live grammar under its read lock.
+func (s *Sharded) Query(id string, fn func(*grammar.Grammar) error) error {
+	st, ok := s.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDoc, id)
+	}
+	return st.Query(fn)
+}
+
+// CountLabel counts label occurrences in document id (served from the
+// Store's cached usage vector).
+func (s *Sharded) CountLabel(id, label string) (float64, error) {
+	st, ok := s.Get(id)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownDoc, id)
+	}
+	return st.CountLabel(label)
+}
+
+// Snapshot returns an invalidation-safe deep copy of document id.
+func (s *Sharded) Snapshot(id string) (*grammar.Grammar, error) {
+	st, ok := s.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDoc, id)
+	}
+	return st.Snapshot(), nil
+}
+
+// Docs returns the IDs of every open document, sorted.
+func (s *Sharded) Docs() []string {
+	var ids []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id := range sh.docs {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// NumDocs returns the number of open documents.
+func (s *Sharded) NumDocs() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.docs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Quiesce blocks until no document has an asynchronous recompression in
+// flight. Safe to call concurrently with writers (runs they start are
+// waited for too); call it after writers are done and before comparing
+// snapshots byte-for-byte.
+func (s *Sharded) Quiesce() {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		stores := make([]*Store, 0, len(sh.docs))
+		for _, st := range sh.docs {
+			stores = append(stores, st)
+		}
+		sh.mu.RUnlock()
+		for _, st := range stores {
+			st.Wait()
+		}
+	}
+}
+
+// Close stops the shard workers. Writes after Close fail with ErrClosed;
+// reads keep working. Close does not wait for in-flight recompressions —
+// use Quiesce first if their results matter.
+func (s *Sharded) Close() {
+	for _, sh := range s.shards {
+		sh.sendMu.Lock()
+		if !sh.closed {
+			sh.closed = true
+			close(sh.jobs)
+		}
+		sh.sendMu.Unlock()
+	}
+}
+
+// ShardedStats aggregates the per-document Store counters across every
+// open document.
+type ShardedStats struct {
+	Shards int
+	Docs   int
+
+	Ops     int64
+	Batches int64
+
+	Recompressions          int64
+	AsyncRecompressions     int64
+	DiscardedRecompressions int64
+	ReplayedTailOps         int64
+	StallNanos              int64
+
+	Size     int // Σ |G| over all documents
+	PeakSize int // Σ per-document peaks
+}
+
+// Stats sums the counters of every open document.
+func (s *Sharded) Stats() ShardedStats {
+	out := ShardedStats{Shards: len(s.shards)}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		stores := make([]*Store, 0, len(sh.docs))
+		for _, st := range sh.docs {
+			stores = append(stores, st)
+		}
+		sh.mu.RUnlock()
+		for _, st := range stores {
+			ds := st.Stats()
+			out.Docs++
+			out.Ops += ds.Ops
+			out.Batches += ds.Batches
+			out.Recompressions += ds.Recompressions
+			out.AsyncRecompressions += ds.AsyncRecompressions
+			out.DiscardedRecompressions += ds.DiscardedRecompressions
+			out.ReplayedTailOps += ds.ReplayedTailOps
+			out.StallNanos += ds.StallNanos
+			out.Size += ds.Size
+			out.PeakSize += ds.PeakSize
+		}
+	}
+	return out
+}

@@ -33,6 +33,29 @@
 //     tight loop, and when recompression pays off the trigger resets to
 //     the configured base. Set Ratio < 0 for manual-only Recompress.
 //
+// # Asynchronous recompression
+//
+// With Config.Async the O(|G|) GrammarRePair pass moves off the write
+// lock entirely. When the policy fires, the Store clones the grammar
+// under the lock (the only stall writers ever see, Stats.StallNanos),
+// stamps the clone with the grammar's update epoch, and compresses the
+// clone in a background goroutine, which also pre-computes the new
+// grammar's size vectors. On completion the swap protocol runs under the
+// write lock:
+//
+//   - epoch unchanged → the snapshot still derives the live document;
+//     the compressed grammar and its pre-warmed size-vector cache are
+//     swapped in (update.Cache.Install — no O(|G|) warm-up under the
+//     lock).
+//   - epoch advanced by at most MaxTail ops → the ops that raced the
+//     compression (the tail, recorded while a run is in flight) are
+//     replayed onto the compressed copy, then it is swapped in. A write
+//     racing a recompression is therefore never lost.
+//   - tail overflow, a replay error, or an intervening manual
+//     Recompress → the run is discarded
+//     (Stats.DiscardedRecompressions) and the policy simply fires again
+//     later.
+//
 // # Concurrency
 //
 // A Store is safe for concurrent use: mutations take the write lock,
@@ -40,13 +63,14 @@
 // Query, Stats) are served under the read lock during update ingestion.
 // Readers that must outlive a lock — DOM-style cursors — take a
 // Snapshot, a deep copy that later updates and recompressions can never
-// invalidate.
+// invalidate. For many documents, see Sharded in this package.
 package store
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/grammar"
@@ -69,6 +93,16 @@ type Config struct {
 	// small documents are not recompressed on every few ops
 	// (0 = DefaultMinSize).
 	MinSize int
+	// Async moves policy-triggered recompression off the write lock: the
+	// grammar is cloned and compressed in a background goroutine and the
+	// result is swapped in under the epoch protocol (see the package
+	// comment). Manual Recompress stays synchronous either way.
+	Async bool
+	// MaxTail bounds how many update operations may race an in-flight
+	// asynchronous recompression and still be replayed onto its result;
+	// past the bound the run is discarded instead (0 = DefaultMaxTail,
+	// negative = never replay).
+	MaxTail int
 }
 
 // Policy defaults; see Config.
@@ -76,6 +110,7 @@ const (
 	DefaultRatio    = 1.5
 	DefaultMaxRatio = 4.0
 	DefaultMinSize  = 64
+	DefaultMaxTail  = 128
 )
 
 // payoffThreshold is the minimum shrink factor (size before / size after)
@@ -91,7 +126,19 @@ type Stats struct {
 	Deletes int64
 	Batches int64 // Apply/ApplyAll calls
 
-	Recompressions   int64 // GrammarRePair runs (auto + manual)
+	Recompressions          int64 // GrammarRePair runs swapped in (auto + manual)
+	AsyncRecompressions     int64 // of those, runs compressed off the write lock
+	DiscardedRecompressions int64 // async runs thrown away (tail overflow / raced)
+	ReplayedTailOps         int64 // ops replayed onto async results before swap
+	// StallNanos is the cumulative write-lock time spent on
+	// recompression work: the whole GrammarRePair pass for synchronous
+	// runs, only the snapshot clone and the swap for asynchronous ones —
+	// the number the async mode exists to shrink.
+	StallNanos int64
+	// RecompressionInflight reports an asynchronous run between snapshot
+	// and swap at the time of the Stats call.
+	RecompressionInflight bool
+
 	SizeCacheHits    int64 // ops served from the warm size-vector cache
 	SizeCacheMisses  int64 // full ValSizes recomputations
 	UsageCacheHits   int64 // label queries served from the warm usage cache
@@ -137,10 +184,47 @@ type Store struct {
 	peakSize       int
 	pendingGC      bool
 
+	// Asynchronous recompression state (all guarded by mu). gen counts
+	// grammar swaps (sync and async): a completion whose recorded gen no
+	// longer matches arrived after a manual Recompress replaced the
+	// grammar and must be discarded regardless of epochs. While a run is
+	// in flight, every applied op is also appended to tail (up to
+	// maxTail) so the completion can replay the race instead of wasting
+	// the compression.
+	inflight     bool
+	gen          uint64
+	tail         []update.Op
+	tailOverflow bool
+	// activeRuns counts background goroutines between launch and the end
+	// of their completion; runsDone broadcasts every decrement. A plain
+	// WaitGroup would be misuse here: Wait may run concurrently with an
+	// Add-from-zero triggered by a still-active writer.
+	activeRuns int
+	runsDone   *sync.Cond
+
+	// compress is the GrammarRePair entry point; tests inject a slow or
+	// instrumented compressor to pin the swap protocol deterministically.
+	compress func(*grammar.Grammar, core.Options) (*grammar.Grammar, *core.Stats)
+
 	ops, renames, inserts, deletes int64
 	batches                        int64
 	recompressions                 int64
+	asyncRecompressions            int64
+	discardedRecompressions        int64
+	replayedTailOps                int64
+	stallNanos                     int64
 	gcRuns, rulesCollected         int64
+}
+
+// maxTail resolves the configured replay bound.
+func (s *Store) maxTail() int {
+	switch {
+	case s.cfg.MaxTail < 0:
+		return 0
+	case s.cfg.MaxTail == 0:
+		return DefaultMaxTail
+	}
+	return s.cfg.MaxTail
 }
 
 // New wraps a grammar in a Store, taking ownership: the caller must not
@@ -169,7 +253,9 @@ func New(g *grammar.Grammar, cfg ...Config) *Store {
 		effRatio:       c.Ratio,
 		lastCompressed: size,
 		peakSize:       size,
+		compress:       core.Compress,
 	}
+	s.runsDone = sync.NewCond(&s.mu)
 	// Warm the size-vector cache while no reader can hold the lock yet,
 	// so TreeSize/Elements/Stats are O(1) from the first call. On error
 	// (invalid grammar) the cache stays cold and the first Apply
@@ -209,6 +295,16 @@ func (s *Store) applyLocked(op update.Op) error {
 	stranded, err := update.ApplyCached(s.g, op, &s.cache)
 	if err != nil {
 		return err
+	}
+	if s.inflight {
+		// A recompression is racing this write. Record the op so the
+		// completion can replay it onto the compressed result; past the
+		// bound, stop recording and mark the run for discard.
+		if !s.tailOverflow && len(s.tail) < s.maxTail() {
+			s.tail = append(s.tail, op)
+		} else {
+			s.tailOverflow = true
+		}
 	}
 	s.pendingGC = s.pendingGC || stranded
 	s.ops++
@@ -265,7 +361,126 @@ func (s *Store) finishBatchLocked() {
 		return
 	}
 	if size >= s.cfg.MinSize && float64(size) > s.effRatio*float64(s.lastCompressed) {
-		s.recompressLocked()
+		if s.cfg.Async {
+			s.startAsyncRecompressLocked()
+		} else {
+			s.recompressLocked()
+		}
+	}
+}
+
+// startAsyncRecompressLocked launches one background GrammarRePair run:
+// clone the grammar under the lock (the only writer-visible stall), then
+// compress the clone and pre-compute its size vectors off the lock. At
+// most one run is in flight per Store; while the policy keeps firing the
+// grammar just keeps growing until the swap lands.
+func (s *Store) startAsyncRecompressLocked() {
+	if s.inflight {
+		return
+	}
+	start := time.Now()
+	snap := s.g.Clone()
+	s.stallNanos += time.Since(start).Nanoseconds()
+	s.inflight = true
+	s.tail = s.tail[:0]
+	s.tailOverflow = false
+	gen := s.gen
+	epoch := snap.Epoch()
+	s.activeRuns++
+	go func() {
+		g2, st := s.compress(snap, core.Options{MaxRank: s.cfg.MaxRank})
+		sizes, szErr := g2.ValSizes()
+		s.completeAsync(gen, epoch, g2, st, sizes, szErr)
+	}()
+}
+
+// completeAsync is the swap protocol: called from the background
+// goroutine with the compressed grammar, its pre-warmed size vectors,
+// and the gen/epoch stamps recorded at snapshot time.
+func (s *Store) completeAsync(gen, epoch uint64, g2 *grammar.Grammar, st *core.Stats, sizes *grammar.SizeTable, szErr error) {
+	s.mu.Lock()
+	// Writers are only stalled while the lock is actually held — waiting
+	// for it above is the completion goroutine's problem, not theirs —
+	// so the stall clock starts here.
+	start := time.Now()
+	defer func() {
+		s.stallNanos += time.Since(start).Nanoseconds()
+		s.activeRuns--
+		s.runsDone.Broadcast()
+		s.mu.Unlock()
+	}()
+	s.inflight = false
+	tail := s.tail
+	s.tail = nil
+	discard := func() {
+		s.discardedRecompressions++
+	}
+	if gen != s.gen || szErr != nil || s.tailOverflow {
+		// The grammar was replaced under the run (manual Recompress), the
+		// result is unusable, or too many writes raced it.
+		discard()
+		return
+	}
+	stranded := false
+	switch {
+	case s.g.Epoch() == epoch:
+		// No write raced the run; the snapshot still derives the live
+		// document. Hand the pre-warmed vectors to the cache — no O(|G|)
+		// pass under the lock.
+		s.cache.Install(sizes)
+	case len(tail) > 0 && s.g.Epoch() == epoch+uint64(len(tail)):
+		// Writes raced the run but every one of them is in the tail:
+		// replay them onto the compressed copy. g2 derives exactly the
+		// snapshot document, so the ops' preorder positions are valid in
+		// order, and each replayed op bumps g2's epoch — after the loop
+		// the epochs line up again and no update is lost.
+		s.cache.Install(sizes)
+		for _, op := range tail {
+			str, err := update.ApplyCached(g2, op, &s.cache)
+			if err != nil {
+				// Should be impossible (same document); put the cache back
+				// in service of the live grammar and drop the run.
+				s.cache.Invalidate()
+				s.cache.Sizes(s.g)
+				discard()
+				return
+			}
+			stranded = stranded || str
+		}
+		s.replayedTailOps += int64(len(tail))
+	default:
+		// Epoch moved in a way the tail does not explain (it was trimmed,
+		// or a non-update mutation happened): not safe to swap.
+		discard()
+		return
+	}
+	s.g = g2
+	s.gen++
+	s.pendingGC = stranded
+	s.invalidateUsageLocked()
+	s.recompressions++
+	s.asyncRecompressions++
+	// The policy baseline is what actually went live — including any
+	// growth the tail replay just added — or sustained racing writes
+	// would make every subsequent trigger fire earlier than Ratio says.
+	s.lastCompressed = g2.Size()
+	if st.MaxIntermediate > s.peakSize {
+		s.peakSize = st.MaxIntermediate
+	}
+	s.tunePolicy(st.InputSize, st.FinalSize)
+}
+
+// tunePolicy adapts the trigger ratio to a recompression's payoff: a run
+// that barely shrank the grammar backs the trigger off (the churn is
+// incompressible right now), a paying run resets it to the base.
+func (s *Store) tunePolicy(before, after int) {
+	if after > 0 && float64(before)/float64(after) < payoffThreshold {
+		s.effRatio *= 1.5
+		if s.effRatio > s.cfg.MaxRatio {
+			s.effRatio = s.cfg.MaxRatio
+		}
+	} else {
+		s.effRatio = s.cfg.Ratio
 	}
 }
 
@@ -282,12 +497,15 @@ func (s *Store) gcLocked() {
 	}
 }
 
-// recompressLocked runs GrammarRePair, swaps in the result, invalidates
-// the size-vector cache, and lets the trigger ratio adapt to the payoff.
+// recompressLocked runs GrammarRePair synchronously under the write
+// lock, swaps in the result, invalidates the size-vector cache, and lets
+// the trigger ratio adapt to the payoff.
 func (s *Store) recompressLocked() *core.Stats {
+	start := time.Now()
 	before := s.g.Size()
-	g2, st := core.Compress(s.g, core.Options{MaxRank: s.cfg.MaxRank})
+	g2, st := s.compress(s.g, core.Options{MaxRank: s.cfg.MaxRank})
 	s.g = g2
+	s.gen++
 	s.cache.Invalidate()
 	s.invalidateUsageLocked()
 	// Re-warm under the already-held write lock: readers polling
@@ -299,28 +517,41 @@ func (s *Store) recompressLocked() *core.Stats {
 	if st.MaxIntermediate > s.peakSize {
 		s.peakSize = st.MaxIntermediate
 	}
-	// Self-tuning: if the run barely shrank the grammar, the document's
-	// churn is incompressible right now — back the trigger off so the
-	// next run waits for proportionally more growth. A run that pays
-	// resets the trigger to the configured base.
-	if after := g2.Size(); after > 0 && float64(before)/float64(after) < payoffThreshold {
-		s.effRatio *= 1.5
-		if s.effRatio > s.cfg.MaxRatio {
-			s.effRatio = s.cfg.MaxRatio
-		}
-	} else {
-		s.effRatio = s.cfg.Ratio
-	}
+	s.tunePolicy(before, g2.Size())
+	s.stallNanos += time.Since(start).Nanoseconds()
 	return st
 }
 
-// Recompress forces a GrammarRePair run regardless of the policy and
-// returns its stats.
+// Recompress forces a synchronous GrammarRePair run regardless of the
+// policy and returns its stats. If an asynchronous run is in flight its
+// result will be discarded when it completes — the manual run already
+// replaced the grammar it was compressing.
 func (s *Store) Recompress() *core.Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.gcLocked()
 	return s.recompressLocked()
+}
+
+// Wait blocks until no asynchronous recompression is in flight
+// (swapped in or discarded). It is safe to call concurrently with
+// writers — a run they start while Wait sleeps is simply waited for
+// too, so on return there was an instant with no run in flight.
+func (s *Store) Wait() {
+	s.mu.Lock()
+	for s.activeRuns > 0 {
+		s.runsDone.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Epoch returns the live grammar's update epoch: the number of update
+// operations applied to the document so far. This is the stamp the
+// asynchronous swap protocol compares; reading it is alloc-free.
+func (s *Store) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.Epoch()
 }
 
 // Query runs fn on the live grammar under the read lock, concurrently
@@ -429,11 +660,16 @@ func (s *Store) Stats() Stats {
 		Deletes: s.deletes,
 		Batches: s.batches,
 
-		Recompressions:  s.recompressions,
-		SizeCacheHits:   s.cache.Hits,
-		SizeCacheMisses: s.cache.Misses,
-		GCRuns:          s.gcRuns,
-		RulesCollected:  s.rulesCollected,
+		Recompressions:          s.recompressions,
+		AsyncRecompressions:     s.asyncRecompressions,
+		DiscardedRecompressions: s.discardedRecompressions,
+		ReplayedTailOps:         s.replayedTailOps,
+		StallNanos:              s.stallNanos,
+		RecompressionInflight:   s.inflight,
+		SizeCacheHits:           s.cache.Hits,
+		SizeCacheMisses:         s.cache.Misses,
+		GCRuns:                  s.gcRuns,
+		RulesCollected:          s.rulesCollected,
 
 		Size:               s.g.Size(),
 		PeakSize:           s.peakSize,

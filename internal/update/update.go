@@ -96,6 +96,18 @@ func (c *Cache) Invalidate() {
 	c.memo = nil
 }
 
+// Install hands the cache a precomputed size-vector table for the
+// grammar it is about to serve, dropping any previous state. This is the
+// cache hand-off of the store's asynchronous recompression swap: the
+// background goroutine computes the new grammar's ValSizes off the write
+// lock and the swap installs the result here, so readers and writers
+// never pay an O(|G|) warm-up pass under the lock. Counted as neither
+// hit nor miss — the work happened, just elsewhere.
+func (c *Cache) Install(sizes *grammar.SizeTable) {
+	c.sizes = sizes
+	c.memo = nil
+}
+
 // RefreshStart recomputes only the start rule's vector from the cached
 // callee vectors. Call it after an operation changed val_G(S)'s node
 // count (insert/delete); renames and isolation unfolding preserve sizes.
@@ -176,6 +188,7 @@ func ApplyCached(g *grammar.Grammar, op Op, c *Cache) (stranded bool, err error)
 		}
 		id := g.Syms.InternElement(op.Label)
 		pos.Node.Label = xmltree.Term(id)
+		g.BumpEpoch()
 		// Renames (and the isolation unfolding itself) do not change any
 		// val size, so the cached start vector stays valid.
 		return false, nil
@@ -191,6 +204,7 @@ func ApplyCached(g *grammar.Grammar, op Op, c *Cache) (stranded bool, err error)
 		fragNodes := int64(op.Frag.Nodes())
 		sub := op.Frag.BinaryInto(g.Syms, pos.Node)
 		pos.Replace(g, sub)
+		g.BumpEpoch()
 		return false, c.adjustStartTotal(g, 2*fragNodes)
 	case Delete:
 		if pos.Node.Label.IsBottom() {
@@ -200,6 +214,7 @@ func ApplyCached(g *grammar.Grammar, op Op, c *Cache) (stranded bool, err error)
 		// the next-sibling chain — exactly 1 + |val(u.1)| nodes leave.
 		removed := grammar.SatAdd(1, grammar.SubtreeValSize(pos.Node.Children[0], sizes))
 		pos.Replace(g, pos.Node.Children[1])
+		g.BumpEpoch()
 		if grammar.Saturated(removed) {
 			return true, c.RefreshStart(g)
 		}

@@ -87,10 +87,28 @@ type (
 	// vectors, batched garbage collection, self-tuning recompression,
 	// and concurrent readers. See repro/internal/store for the lifecycle.
 	Store = store.Store
-	// StoreConfig tunes a Store's recompression policy.
+	// StoreConfig tunes a Store's recompression policy (and, with Async,
+	// moves recompression off the write lock).
 	StoreConfig = store.Config
 	// StoreStats is a snapshot of a Store's counters.
 	StoreStats = store.Stats
+	// ShardedStore serves many documents at once: IDs are hashed across
+	// shards, each shard owning its documents' Stores plus one worker
+	// applying that shard's update batches, so updates to documents in
+	// different shards never contend.
+	ShardedStore = store.Sharded
+	// ShardedStats aggregates Store counters across all documents of a
+	// ShardedStore.
+	ShardedStats = store.ShardedStats
+)
+
+// Errors of the multi-document layer.
+var (
+	// ErrUnknownDoc reports an operation on a document ID that was never
+	// opened (or was dropped).
+	ErrUnknownDoc = store.ErrUnknownDoc
+	// ErrStoreClosed reports a write against a closed ShardedStore.
+	ErrStoreClosed = store.ErrClosed
 )
 
 // ErrSaturated is returned by Elements (and Store.Elements) when the
@@ -103,6 +121,24 @@ var ErrSaturated = grammar.ErrSaturated
 // GrammarRePair when the grammar has grown 1.5× past its last compressed
 // size.
 func NewStore(g *Grammar, cfg ...StoreConfig) *Store { return store.New(g, cfg...) }
+
+// NewShardedStore returns a multi-document store with the given shard
+// count (shards <= 0 selects GOMAXPROCS); every document opened in it
+// uses cfg. Open registers documents, ApplyAll routes update batches to
+// the owning shard's worker, Get serves reads. Call Close when done
+// ingesting (and Quiesce first when asynchronous recompressions must
+// settle):
+//
+//	ss := sltgrammar.NewShardedStore(8, sltgrammar.StoreConfig{Async: true})
+//	defer ss.Close()
+//	_, _ = ss.Open("doc-1", g1)
+//	_ = ss.ApplyAll("doc-1", ops)       // serialized per shard
+//	st, _ := ss.Get("doc-1")            // full read API of a Store
+//	n, _ := st.CountLabel("item")
+//	_ = n
+func NewShardedStore(shards int, cfg ...StoreConfig) *ShardedStore {
+	return store.NewSharded(shards, cfg...)
+}
 
 // NewCursor returns a cursor at the root of the derived tree. Every move
 // costs time proportional to the grammar's nesting depth, never to the

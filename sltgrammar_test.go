@@ -146,3 +146,64 @@ func TestPublicAPISerialization(t *testing.T) {
 		t.Fatalf("serialization round trip broken (eq=%v err=%v)", eq, err)
 	}
 }
+
+func TestPublicAPIShardedStore(t *testing.T) {
+	mk := func() *sltgrammar.Grammar {
+		u, _ := sltgrammar.ParseXML(strings.NewReader(sampleXML))
+		g, _ := sltgrammar.Compress(sltgrammar.Encode(u))
+		return g
+	}
+	ss := sltgrammar.NewShardedStore(2, sltgrammar.StoreConfig{Ratio: 1.5, Async: true})
+	defer ss.Close()
+	for _, id := range []string{"a", "b"} {
+		if _, err := ss.Open(id, mk()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss.ApplyAll("a", []sltgrammar.Op{
+		sltgrammar.RenameOp(0, "archive"),
+		sltgrammar.InsertOp(1, sltgrammar.NewElement("index")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Apply("missing", sltgrammar.RenameOp(0, "x")); err == nil {
+		t.Fatal("apply to unknown doc must fail")
+	}
+	ss.Quiesce()
+
+	// Document b is untouched; document a carries both updates.
+	nb, err := ss.CountLabel("b", "archive")
+	if err != nil || nb != 0 {
+		t.Fatalf("CountLabel(b, archive) = %v, %v", nb, err)
+	}
+	na, err := ss.CountLabel("a", "archive")
+	if err != nil || na != 1 {
+		t.Fatalf("CountLabel(a, archive) = %v, %v", na, err)
+	}
+	st, ok := ss.Get("a")
+	if !ok {
+		t.Fatal("Get(a) failed")
+	}
+	if st.Epoch() != 2 {
+		t.Fatalf("epoch %d after 2 ops", st.Epoch())
+	}
+	snap, err := ss.Snapshot("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sltgrammar.Decompress(snap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sltgrammar.Decode(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != "archive" || back.Children[0].Label != "index" {
+		t.Fatal("updates lost through the sharded store")
+	}
+	agg := ss.Stats()
+	if agg.Docs != 2 || agg.Shards != 2 || agg.Ops != 2 {
+		t.Fatalf("aggregate stats wrong: %+v", agg)
+	}
+}
