@@ -6,12 +6,18 @@
 //
 // Usage:
 //
-//	benchdrift -old BENCH_3.json -new BENCH_4.json -match StoreUpdateStream/ -tol 0.10
+//	benchdrift -old BENCH_4.json -new BENCH_5.json \
+//	    -match StoreUpdateStream/EW,StoreUpdateStream/XM,StoreUpdateStream/TB -tol 0.10
 //
-// Every benchmark in the new record whose name starts with -match and
-// that also exists in the old record is compared by ns/op; a run above
-// (1+tol)× its old value is a failure. Matching nothing is also a
-// failure — a renamed benchmark must not silently disable the gate.
+// -match takes one or more comma-separated name prefixes (tracks).
+// Every benchmark in the new record matching a track and present in the
+// old record is compared by ns/op; a run above (1+tol)× its old value
+// is a failure. A track matching nothing in the NEW record is a failure
+// (a renamed benchmark must not silently disable the gate), but a track
+// whose benchmarks are missing from the OLD record is skipped with a
+// notice — older records predate newly added tracks, and the gate must
+// degrade gracefully across that boundary instead of crashing the CI
+// job.
 package main
 
 import (
@@ -49,7 +55,7 @@ func main() {
 	var (
 		oldPath = flag.String("old", "", "baseline BENCH_<n>.json")
 		newPath = flag.String("new", "", "candidate BENCH_<n>.json")
-		match   = flag.String("match", "", "benchmark name prefix to compare (empty = all shared names)")
+		match   = flag.String("match", "", "comma-separated benchmark name prefixes to compare (empty = all shared names)")
 		tol     = flag.Float64("tol", 0.10, "allowed fractional ns/op regression")
 	)
 	flag.Parse()
@@ -66,34 +72,49 @@ func main() {
 		fail(err)
 	}
 
-	compared, regressed := 0, 0
-	for name, ns := range newNs {
-		if !strings.HasPrefix(name, *match) {
-			continue
+	tracks := strings.Split(*match, ",")
+	totalCompared, totalRegressed := 0, 0
+	for _, track := range tracks {
+		track = strings.TrimSpace(track)
+		matched, compared, regressed := 0, 0, 0
+		for name, ns := range newNs {
+			if !strings.HasPrefix(name, track) {
+				continue
+			}
+			matched++
+			base, ok := oldNs[name]
+			if !ok || base <= 0 {
+				fmt.Printf("%-45s %27s  skipped (not in %s)\n", name, "-", *oldPath)
+				continue
+			}
+			compared++
+			ratio := ns / base
+			status := "ok"
+			if ratio > 1+*tol {
+				status = fmt.Sprintf("REGRESSED beyond %.0f%%", *tol*100)
+				regressed++
+			}
+			fmt.Printf("%-45s %12.0f -> %12.0f ns/op  (%+.1f%%)  %s\n",
+				name, base, ns, (ratio-1)*100, status)
 		}
-		base, ok := oldNs[name]
-		if !ok || base <= 0 {
-			continue
+		if matched == 0 {
+			// Nothing in the NEW record matches the track: the gate would
+			// silently stop gating. That is an error, unlike a track the
+			// OLD record simply predates.
+			fail(fmt.Errorf("no benchmark in %s matches prefix %q", *newPath, track))
 		}
-		compared++
-		ratio := ns / base
-		status := "ok"
-		if ratio > 1+*tol {
-			status = fmt.Sprintf("REGRESSED beyond %.0f%%", *tol*100)
-			regressed++
+		if compared == 0 {
+			fmt.Printf("benchdrift: notice: track %q not present in %s — skipped (new track?)\n",
+				track, *oldPath)
 		}
-		fmt.Printf("%-45s %12.0f -> %12.0f ns/op  (%+.1f%%)  %s\n",
-			name, base, ns, (ratio-1)*100, status)
+		totalCompared += compared
+		totalRegressed += regressed
 	}
-	if compared == 0 {
-		fail(fmt.Errorf("no benchmark in %s matches prefix %q and exists in %s",
-			*newPath, *match, *oldPath))
-	}
-	if regressed > 0 {
+	if totalRegressed > 0 {
 		fail(fmt.Errorf("%d of %d benchmarks regressed more than %.0f%%",
-			regressed, compared, *tol*100))
+			totalRegressed, totalCompared, *tol*100))
 	}
-	fmt.Printf("benchdrift: %d benchmarks within %.0f%% of baseline\n", compared, *tol*100)
+	fmt.Printf("benchdrift: %d benchmarks within %.0f%% of baseline\n", totalCompared, *tol*100)
 }
 
 func fail(err error) {

@@ -33,77 +33,125 @@ func (p Position) Replace(g *grammar.Grammar, sub *xmltree.Node) *xmltree.Node {
 	return sub
 }
 
-// Memo caches val sizes of start-rule subtrees across isolations, keyed
-// by node identity. An entry is valid as long as the node's subtree (and
-// every rule it calls) is unchanged; Isolate evicts exactly the nodes on
-// its derivation path — the ancestors of the mutation the caller is
-// about to make — so off-path entries survive from operation to
-// operation and repeat isolations stop re-walking the same unchanged
-// sibling subtrees. The owner must drop the memo whenever a non-start
-// rule changes (update.Cache clears it together with the size vectors).
+// Memo carries the persistent per-document descent state across
+// isolations: memoized val sizes of start-rule subtrees, and the spine
+// index of frontier.go — the order-statistic index over explicit
+// sibling spines that turns the linear walk down a long unfolded chain
+// into a chunk-skipping seek.
+//
+// Size entries are valid as long as the node's subtree (and every rule
+// it calls) is unchanged; Isolate evicts exactly the nodes on its
+// derivation path — the ancestors of the mutation the caller is about
+// to make — so off-path entries survive from operation to operation and
+// repeat isolations stop re-walking the same unchanged sibling
+// subtrees. Spine entries are exact weights maintained structurally by
+// the CommitInsert/CommitDelete hooks. The owner must drop the memo
+// whenever a non-start rule changes (update.Cache clears it together
+// with the size vectors).
 //
 // Storage is a dense slice indexed through Node.Aux (each registered
 // node is stamped with its slot) instead of a pointer-keyed map, so the
 // per-descent-step probes on the isolation hot path do no hashing. A
 // slot speaks for a node only while entries[n.Aux].self == n — stale Aux
 // values from other owners (the compressor's editor uses the same
-// scratch field) fail that check and simply re-register.
+// scratch field) fail that check and simply re-register. One slot holds
+// either a memoized size or a spine position, never both: a spine
+// node's subtree size changes with every op that lands beyond it (the
+// very walks the index skips no longer evict it), so only its
+// structurally maintained weight may be trusted.
 type Memo struct {
 	entries []memoEntry
+	spines  []*spine
+
+	// Per-descent scratch, reused so the indexed descent allocates
+	// nothing in steady state.
+	runN      []*xmltree.Node // current naively walked sibling run
+	runW      []int64         // exact weights of that run
+	crossings []*xmltree.Node // indexed ancestors the descent exits through
+	extend    *spine          // spine the descent exhausted just before the run
+	extendAt  *xmltree.Node   // node where the naive continuation began
+
+	tick    int64 // descents started; the cold clock of chunk.touch
+	noIndex bool  // naive descent (differential tests / baselines)
+
+	stats FrontierStats
 }
 
+// memoEntry is one slot of the dense Aux-indexed table. ck == nil: a
+// plain memoized subtree size in val. ck != nil: the node is spine
+// entry (ck, off) and val is meaningless.
 type memoEntry struct {
 	self *xmltree.Node // owner check; nil = evicted slot (reusable)
 	val  int64
+	ck   *chunk
+	off  int32
 }
 
 // NewMemo returns an empty memo.
 func NewMemo() *Memo { return &Memo{} }
 
-// memoLimit bounds the memo: entries for subtrees that updates have
-// detached keep their nodes alive, so an unbounded memo would be a leak
-// on delete-heavy streams. Past the limit the memo is simply rebuilt.
+// memoLimit bounds the slot table: entries for subtrees that updates
+// have detached keep their nodes alive, so an unbounded table would be
+// a leak on delete-heavy streams. Past the limit the table (and with it
+// every spine) is simply rebuilt.
 const memoLimit = 1 << 18
 
 func (m *Memo) get(n *xmltree.Node) (int64, bool) {
 	if m == nil {
 		return 0, false
 	}
-	if a := n.Aux; uint64(a) < uint64(len(m.entries)) && m.entries[a].self == n {
-		return m.entries[a].val, true
+	if a := n.Aux; uint64(a) < uint64(len(m.entries)) {
+		if e := &m.entries[a]; e.self == n && e.ck == nil {
+			return e.val, true
+		}
 	}
 	return 0, false
 }
 
 func (m *Memo) put(n *xmltree.Node, v int64) {
 	if a := n.Aux; uint64(a) < uint64(len(m.entries)) {
-		if e := &m.entries[a]; e.self == n || e.self == nil {
-			// Own slot, or a slot a previous eviction freed: either way no
-			// live node points here through a passing self check.
+		if e := &m.entries[a]; e.self == n {
+			if e.ck == nil {
+				e.val = v
+			}
+			// Spine entries never hold a size: ops that land beyond a
+			// spine node skip it instead of evicting it, so a memoized
+			// size there would go stale silently.
+			return
+		}
+		if e := &m.entries[a]; e.self == nil {
+			// A slot a previous eviction freed: no live node points here
+			// through a passing self check.
 			e.self = n
 			e.val = v
+			e.ck = nil
 			return
 		}
 	}
 	if len(m.entries) >= memoLimit {
-		// Rebuild: a full memo is mostly entries for subtrees that
+		// Rebuild: a full table is mostly entries for subtrees that
 		// deletes detached — dropping them releases the pinned nodes
-		// and makes room for the live working set again.
-		clear(m.entries)
-		m.entries = m.entries[:0]
+		// and makes room for the live working set again. Spines cannot
+		// survive the rebuild (their slots die with it); descents
+		// re-register them.
+		m.resetSlots()
 	}
 	n.Aux = int32(len(m.entries))
 	m.entries = append(m.entries, memoEntry{self: n, val: v})
 }
 
-// evict invalidates n's entry (a derivation-path ancestor about to go
-// stale); the slot is reused by a later put.
+// evict invalidates n's memoized size (a derivation-path ancestor about
+// to go stale); the slot is reused by a later put. Spine entries are
+// untouched — their weights are maintained structurally, not by path
+// eviction.
 func (m *Memo) evict(n *xmltree.Node) {
 	if m == nil {
 		return
 	}
-	if a := n.Aux; uint64(a) < uint64(len(m.entries)) && m.entries[a].self == n {
-		m.entries[a].self = nil
+	if a := n.Aux; uint64(a) < uint64(len(m.entries)) {
+		if e := &m.entries[a]; e.self == n && e.ck == nil {
+			e.self = nil
+		}
 	}
 }
 
@@ -121,8 +169,9 @@ const memoMinSubtree = 8
 // would be evicted as a path node anyway.
 //
 // The walk itself is memo-aware in both directions: it cuts at interior
-// nodes whose subtree size is already memoized, and it memoizes the
-// interior subtrees it completes. Successive isolations on a
+// nodes whose subtree size is already memoized (or that head an indexed
+// spine, whose weight sums are exact), and it memoizes the interior
+// subtrees it completes. Successive isolations on a
 // repeatedly-unfolded region (the exponential-corpus workload: every op
 // walks fresh unfold material around a drifting position) then re-walk
 // only the frontier that actually changed, not the whole region.
@@ -150,6 +199,17 @@ func walkWithinMemo(n *xmltree.Node, sizes *grammar.SizeTable, memo *Memo, limit
 	if v, ok := memo.get(n); ok {
 		acc = grammar.SatAdd(acc, v)
 		return acc, acc <= limit
+	}
+	if ck, off, ok := memo.spineAt(n); ok {
+		// An indexed spine sums in O(#chunks): every entry's weight is
+		// its node plus its first-child subtree, so the walk resumes at
+		// the chain continuation after the last entry.
+		sum, tail := memo.suffixSum(ck, off)
+		acc = grammar.SatAdd(acc, sum)
+		if acc > limit {
+			return acc, false
+		}
+		return walkWithinMemo(tail, sizes, memo, limit, acc)
 	}
 	var self int64 = 1
 	if n.Label.Kind == xmltree.Nonterminal {
@@ -183,8 +243,12 @@ func Isolate(g *grammar.Grammar, preorder int64, sizes *grammar.SizeTable) (Posi
 	return IsolateMemo(g, preorder, sizes, nil)
 }
 
-// IsolateMemo is Isolate with a subtree-size memo shared across calls;
-// see Memo for the invalidation contract.
+// IsolateMemo is Isolate with the persistent descent state shared
+// across calls; see Memo for the invalidation contract. With a memo the
+// descent both reuses memoized subtree sizes and seeks across indexed
+// sibling spines instead of walking them, and it records the indexed
+// ancestors of the target so the caller can commit the op's node delta
+// (Memo.CommitInsert / Memo.CommitDelete) after mutating.
 func IsolateMemo(g *grammar.Grammar, preorder int64, sizes *grammar.SizeTable, memo *Memo) (Position, error) {
 	if sizes == nil {
 		var err error
@@ -202,38 +266,127 @@ func IsolateMemo(g *grammar.Grammar, preorder int64, sizes *grammar.SizeTable, m
 	idx := 0
 	node := s.RHS
 	rem := preorder
+	memo.beginDescent()
+	indexed := memo != nil && !memo.noIndex
 	for {
 		// Every node on the derivation path is an ancestor of the
 		// mutation the caller makes next: its memoized size is about to
 		// go stale, so evict it here (every path node passes through
-		// this loop head exactly when it becomes current).
+		// this loop head exactly when it becomes current). Spine entries
+		// on the path keep their slots — their weights are adjusted by
+		// the commit hooks instead.
 		memo.evict(node)
+		if node.Label.Kind == xmltree.Terminal && rem == 0 {
+			memo.flushRun(nil)
+			return Position{Node: node, Parent: parent, Index: idx}, nil
+		}
+		if indexed {
+			if ck, off, ok := memo.spineAt(node); ok {
+				memo.flushRun(node)
+				memo.stats.Jumps++
+				eck, eoff, local, found := memo.seek(ck, off, rem)
+				if !found {
+					// Spine exhausted: continue at the chain
+					// continuation; a following naive run extends
+					// this spine.
+					last := eck.nodes[eoff]
+					li := chainChild(last)
+					parent, idx, node = last, li, last.Children[li]
+					rem = local
+					memo.extend, memo.extendAt = eck.sp, node
+					continue
+				}
+				target := eck.nodes[eoff]
+				if target.Label.Kind == xmltree.Nonterminal {
+					// The target offset falls before this call's
+					// continuation (in its body or an earlier argument):
+					// the call is about to be unfolded or entered, so it
+					// leaves the index and the spine splits around it.
+					// The naive call logic below takes over at the node.
+					p, ok := memo.pred(eck, eoff)
+					memo.removeSplit(eck, eoff)
+					if ok {
+						parent, idx = p, chainChild(p)
+					}
+					node = target
+					rem = local
+					continue
+				}
+				if local == 0 {
+					// The target IS this entry; its chain predecessor is
+					// the parent (the first entry can never match with
+					// rem > 0, so it exists).
+					p, ok := memo.pred(eck, eoff)
+					if !ok {
+						return Position{}, fmt.Errorf("isolate: internal spine error (rem=%d)", rem)
+					}
+					parent, idx, node = p, chainChild(p), target
+					rem = 0
+					continue
+				}
+				// Target inside the entry's first-child subtree: the
+				// entry's weight covers the mutation to come.
+				memo.noteCrossing(target)
+				parent, idx, node = target, 0, target.Children[0]
+				rem = local - 1
+				continue
+			}
+			memo.stats.Steps++
+		}
 		switch node.Label.Kind {
 		case xmltree.Terminal:
-			if rem == 0 {
-				return Position{Node: node, Parent: parent, Index: idx}, nil
-			}
 			rem--
 			descended := false
+			var szC0 int64
+			elem := len(node.Children) == 2
 			for i, c := range node.Children {
 				// Loop invariant: rem < val size of the remaining children.
 				// For the last child that makes the containment check — and
 				// with it the O(subtree) size walk — redundant. Descending
 				// a next-sibling spine (the append-heavy case) always takes
 				// the last child, turning the former quadratic re-walk of
-				// nested sibling chains into a linear descent.
+				// nested sibling chains into a linear descent (and feeding
+				// the run the spine index is built from).
 				if i == len(node.Children)-1 {
+					if indexed {
+						if elem && i == 1 {
+							// Sibling step: this node extends the current
+							// run with its exact weight (itself plus its
+							// first child, whose size iteration 0 computed).
+							memo.pushRun(node, 1+szC0)
+						} else {
+							memo.flushRun(nil)
+						}
+					}
 					parent, idx, node = node, i, c
 					descended = true
 					break
 				}
 				sz, exact := subtreeSizeWithin(c, sizes, memo, rem)
 				if !exact || rem < sz {
+					if indexed {
+						if elem && i == 0 {
+							if exact {
+								// The run may end on this node: its weight
+								// is exact even though we descend into its
+								// first child — the mutation below is
+								// committed to it as a crossing.
+								memo.pushRun(node, 1+sz)
+							}
+							memo.flushRun(nil)
+							memo.noteCrossing(node)
+						} else {
+							memo.flushRun(nil)
+						}
+					}
 					parent, idx, node = node, i, c
 					descended = true
 					break
 				}
 				rem -= sz
+				if i == 0 {
+					szC0 = sz
+				}
 			}
 			if !descended {
 				return Position{}, fmt.Errorf("isolate: internal navigation error (rem=%d)", rem)
@@ -255,6 +408,19 @@ func IsolateMemo(g *grammar.Grammar, preorder int64, sizes *grammar.SizeTable, m
 					// abort limit and !exact implies rem < off+sz.
 					sz, exact := subtreeSizeWithin(c, sizes, memo, rem-off)
 					if !exact || rem < off+sz {
+						if indexed {
+							if i == len(node.Children)-1 && sv.Seg[i+1] == 0 &&
+								off > 0 && !grammar.Saturated(off) {
+								// A tail call: the derivation puts nothing
+								// after this argument, so the chain runs
+								// through it and everything derived before
+								// it — body segments plus earlier
+								// arguments — is the call's exact weight.
+								memo.pushRun(node, off)
+							} else {
+								memo.flushRun(nil)
+							}
+						}
 						rem -= off
 						parent, idx, node = node, i, c
 						descended = true
@@ -275,11 +441,17 @@ func IsolateMemo(g *grammar.Grammar, preorder int64, sizes *grammar.SizeTable, m
 				}
 			}
 			// Unfold: inlining does not change val(node) or its preorder,
-			// so rem stays put and navigation continues at the body.
+			// so rem stays put and navigation continues at the body. The
+			// body takes the call's place on the chain, so a pending run
+			// (and a pending spine extension) continues through it.
+			was := node
 			node = g.InlineAt(s, parent, idx)
 			if parent == nil {
 				// Root inline replaced the RHS.
 				node = s.RHS
+			}
+			if memo != nil && memo.extendAt == was {
+				memo.extendAt = node
 			}
 		default:
 			return Position{}, fmt.Errorf("isolate: parameter on derivation path")

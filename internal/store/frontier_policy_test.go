@@ -1,0 +1,270 @@
+// Tests for the PR 5 isolation-frontier features of the Store: the
+// indexed-vs-naive differential, the re-fold policy, the
+// isolation-cost recompression trigger, and the fleet-wide
+// recompression gate.
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/grammar"
+	"repro/internal/treerepair"
+	"repro/internal/update"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+// streamFixture is a pinned workload against a compressed corpus
+// document.
+func streamFixture(t *testing.T, short string, ops int, seed int64) (*grammar.Grammar, []update.Op) {
+	t.Helper()
+	c, ok := datasets.ByShort(short)
+	if !ok {
+		t.Fatalf("unknown corpus %q", short)
+	}
+	u := c.Generate(0.05, 1)
+	seq, err := workload.Updates(u, ops, 90, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := treerepair.Compress(seq.Seed, treerepair.Options{})
+	return g, seq.Ops
+}
+
+// flatLogGrammar compresses a small flat log document — the append
+// fixture of the gate test.
+func flatLogGrammar(n int) *grammar.Grammar {
+	root := xmltree.NewUnranked("log")
+	for i := 0; i < n; i++ {
+		root.Children = append(root.Children, xmltree.NewUnranked("rec"))
+	}
+	g, _ := treerepair.Compress(root.Binary(), treerepair.Options{})
+	return g
+}
+
+// TestFrontierVsNaiveByteIdentical replays the same streams through an
+// indexed Store and a naive-descent Store and demands byte-identical
+// Snapshot encodings at every batch boundary (and so byte-identical
+// Query output — readers see the same grammar). The spine index must be
+// a pure routing accelerator: same unfolds, same mutations, same
+// grammar evolution.
+func TestFrontierVsNaiveByteIdentical(t *testing.T) {
+	for _, short := range []string{"EW", "XM", "TB"} {
+		for _, seed := range []int64{5, 29} {
+			g, ops := streamFixture(t, short, 200, seed)
+			// Recompression disabled: the two engines must stay in
+			// lockstep op for op (GrammarRePair is already pinned by the
+			// parity harness).
+			si := New(g.Clone(), Config{Ratio: -1})
+			sn := New(g, Config{Ratio: -1})
+			sn.cache.Naive = true
+			for done := 0; done < len(ops); done += 25 {
+				end := min(done+25, len(ops))
+				if err := si.ApplyAll(ops[done:end]); err != nil {
+					t.Fatalf("%s/%d indexed: %v", short, seed, err)
+				}
+				if err := sn.ApplyAll(ops[done:end]); err != nil {
+					t.Fatalf("%s/%d naive: %v", short, seed, err)
+				}
+				var bi, bn bytes.Buffer
+				if err := grammar.Encode(&bi, si.Snapshot()); err != nil {
+					t.Fatal(err)
+				}
+				if err := grammar.Encode(&bn, sn.Snapshot()); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(bi.Bytes(), bn.Bytes()) {
+					t.Fatalf("%s seed %d: snapshots diverge after %d ops", short, seed, end)
+				}
+			}
+			ist, nst := si.Stats(), sn.Stats()
+			if ist.IsolationJumps == 0 {
+				t.Fatalf("%s seed %d: index never engaged: %+v", short, seed, ist)
+			}
+			if nst.IsolationJumps != 0 || nst.SpineNodes != 0 {
+				t.Fatalf("%s seed %d: naive store used the index: %+v", short, seed, nst)
+			}
+		}
+	}
+}
+
+// TestRefoldPolicyDifferential drives an aggressively re-folding Store
+// and a naive baseline through the same stream: the derived documents
+// must match exactly at every boundary even though the grammars now
+// differ (re-folding moves explicit material into fresh rules).
+func TestRefoldPolicyDifferential(t *testing.T) {
+	g, ops := streamFixture(t, "EW", 300, 3)
+	refolding := New(g.Clone(), Config{
+		Ratio:          1e9, // size trigger effectively off
+		MinSize:        1,
+		CostStepsPerOp: -1, // cost trigger off
+		RefoldSpine:    24, // fold eagerly
+		RefoldColdOps:  8,
+	})
+	baseline := New(g, Config{Ratio: -1})
+	baseline.cache.Naive = true
+	for done := 0; done < len(ops); done += 20 {
+		end := min(done+20, len(ops))
+		if err := refolding.ApplyAll(ops[done:end]); err != nil {
+			t.Fatalf("refolding store: %v", err)
+		}
+		if err := baseline.ApplyAll(ops[done:end]); err != nil {
+			t.Fatalf("baseline store: %v", err)
+		}
+		gr, gb := refolding.Snapshot(), baseline.Snapshot()
+		tr, err := gr.Expand(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := gb.Expand(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameLabeledTree(gr.Syms, tr, gb.Syms, tb) {
+			t.Fatalf("documents diverge after %d ops", end)
+		}
+		if err := gr.Validate(); err != nil {
+			t.Fatalf("refolded grammar invalid after %d ops: %v", end, err)
+		}
+	}
+	st := refolding.Stats()
+	if st.Refolds == 0 || st.RefoldedNodes == 0 {
+		t.Fatalf("re-folding never fired: %+v", st)
+	}
+	// Aggregate reads stay consistent with the ground truth document.
+	re, err := refolding.Elements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := baseline.Elements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != be {
+		t.Fatalf("Elements: refolding %d, baseline %d", re, be)
+	}
+}
+
+// TestCostTriggerRecompression pins the isolation-cost trigger: with
+// the size trigger effectively disabled, sustained descent work alone
+// must fire a recompression (and reset its own baseline afterwards).
+func TestCostTriggerRecompression(t *testing.T) {
+	g, ops := streamFixture(t, "EW", 200, 9)
+	s := New(g, Config{
+		Ratio:          1e9, // never by size
+		MinSize:        1,
+		CostStepsPerOp: 1, // any real walking fires
+		RefoldSpine:    -1,
+	})
+	for done := 0; done < len(ops); done += 20 {
+		end := min(done+20, len(ops))
+		if err := s.ApplyAll(ops[done:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.CostRecompressions == 0 {
+		t.Fatalf("cost trigger never fired: %+v", st)
+	}
+	if st.Recompressions < st.CostRecompressions {
+		t.Fatalf("cost firings (%d) not reflected in recompressions (%d)",
+			st.CostRecompressions, st.Recompressions)
+	}
+}
+
+// TestRecompressGateBounds pins the fleet-wide scheduler: with a
+// width-1 gate shared by two Stores and the first Store's asynchronous
+// run held in flight, the second Store's policy firing must defer (not
+// spawn), and fire for real once the gate frees up.
+func TestRecompressGateBounds(t *testing.T) {
+	shared := NewRecompressGate(1)
+	cfg := Config{Ratio: 1.01, MinSize: 1, Async: true, Gate: shared}
+
+	a := New(flatLogGrammar(64), cfg)
+	ga := newGate(1)
+	ga.install(a)
+	b := New(flatLogGrammar(64), cfg)
+
+	// Degrade a store until its policy fires; with the gated compressor
+	// installed, a spawned run parks inside the compressor and holds the
+	// shared gate slot.
+	degrade := func(s *Store, n int) {
+		for i := 0; i < n; i++ {
+			ts, err := s.TreeSize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			op := update.Op{Kind: update.Insert, Pos: ts - 1, Frag: xmltree.NewUnranked("rec")}
+			if err := s.Apply(op); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	degrade(a, 12)
+	<-ga.entered // A's run is in flight, gate slot taken
+
+	// B degrades: its policy fires but must defer on the saturated gate.
+	degrade(b, 24)
+	if st := b.Stats(); st.DeferredRecompressions == 0 {
+		t.Fatalf("B never deferred: %+v", st)
+	} else if st.AsyncRecompressions != 0 {
+		t.Fatalf("B recompressed through a saturated gate: %+v", st)
+	}
+
+	// Release A; its run completes and frees the gate. B's next batch
+	// boundary fires for real.
+	close(ga.release)
+	a.Wait()
+	degrade(b, 12)
+	b.Wait()
+	if st := b.Stats(); st.Recompressions == 0 {
+		t.Fatalf("B never recompressed after the gate freed: %+v", st)
+	}
+}
+
+// TestShardedSharedGate pins the fleet wiring: MaxConcurrentRecompressions
+// materializes one shared gate for every document of a Sharded store,
+// and the deferred counter aggregates into ShardedStats.
+func TestShardedSharedGate(t *testing.T) {
+	ss := NewSharded(2, Config{
+		Ratio: 1.01, MinSize: 1, Async: true,
+		MaxConcurrentRecompressions: 1,
+	})
+	defer ss.Close()
+	if ss.cfg.Gate == nil {
+		t.Fatal("NewSharded did not materialize the shared gate")
+	}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if _, err := ss.Open(id, flatLogGrammar(48)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 10; round++ {
+		for _, id := range ss.Docs() {
+			st, _ := ss.Get(id)
+			ts, err := st.TreeSize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			op := update.Op{Kind: update.Insert, Pos: ts - 1, Frag: xmltree.NewUnranked("rec")}
+			if err := ss.Apply(id, op); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ss.Quiesce()
+	agg := ss.Stats()
+	var perDoc int64
+	for _, id := range ss.Docs() {
+		st, _ := ss.Get(id)
+		perDoc += st.Stats().DeferredRecompressions
+	}
+	if agg.DeferredRecompressions != perDoc {
+		t.Fatalf("aggregate deferred %d, per-doc sum %d", agg.DeferredRecompressions, perDoc)
+	}
+	if agg.Recompressions == 0 {
+		t.Fatalf("fleet never recompressed: %+v", agg)
+	}
+}

@@ -71,6 +71,12 @@ type shardJob struct {
 // NewSharded returns a multi-document store with the given shard count
 // (n <= 0 selects GOMAXPROCS) whose documents all use cfg. One worker
 // goroutine per shard is started; call Close to stop them.
+//
+// With Config.MaxConcurrentRecompressions > 0 (and no explicit Gate)
+// the fleet shares one RecompressGate of that width: however many
+// documents degrade at once, at most that many background GrammarRePair
+// runs execute concurrently — the rest defer and fire at a later batch
+// boundary (summed in ShardedStats.DeferredRecompressions).
 func NewSharded(n int, cfg ...Config) *Sharded {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -78,6 +84,9 @@ func NewSharded(n int, cfg ...Config) *Sharded {
 	var c Config
 	if len(cfg) > 0 {
 		c = cfg[0]
+	}
+	if c.Gate == nil && c.MaxConcurrentRecompressions > 0 {
+		c.Gate = NewRecompressGate(c.MaxConcurrentRecompressions)
 	}
 	s := &Sharded{cfg: c, shards: make([]*shard, n)}
 	for i := range s.shards {
@@ -291,6 +300,11 @@ type ShardedStats struct {
 	AsyncRecompressions     int64
 	DiscardedRecompressions int64
 	ReplayedTailOps         int64
+	CostRecompressions      int64
+	DeferredRecompressions  int64 // policy firings deferred by the shared gate
+	Refolds                 int64
+	RefoldedNodes           int64
+	RefoldRules             int64
 	StallNanos              int64
 
 	Size     int // Σ |G| over all documents
@@ -316,6 +330,11 @@ func (s *Sharded) Stats() ShardedStats {
 			out.AsyncRecompressions += ds.AsyncRecompressions
 			out.DiscardedRecompressions += ds.DiscardedRecompressions
 			out.ReplayedTailOps += ds.ReplayedTailOps
+			out.CostRecompressions += ds.CostRecompressions
+			out.DeferredRecompressions += ds.DeferredRecompressions
+			out.Refolds += ds.Refolds
+			out.RefoldedNodes += ds.RefoldedNodes
+			out.RefoldRules += ds.RefoldRules
 			out.StallNanos += ds.StallNanos
 			out.Size += ds.Size
 			out.PeakSize += ds.PeakSize

@@ -103,7 +103,62 @@ type Config struct {
 	// past the bound the run is discarded instead (0 = DefaultMaxTail,
 	// negative = never replay).
 	MaxTail int
+	// CostStepsPerOp triggers recompression from observed isolation cost
+	// rather than grammar growth: when the average naive descent work per
+	// operation since the last recompression exceeds this many walk
+	// steps, the grammar's unfolded shape has degraded enough to be worth
+	// recompressing even though |G| is within Ratio. 0 selects
+	// DefaultCostStepsPerOp; negative disables the cost trigger.
+	// Inactive (like the whole policy) when Ratio < 0.
+	CostStepsPerOp int
+	// RefoldSpine triggers incremental re-folding at batch boundaries
+	// once the isolation frontier indexes at least this many spine
+	// entries: cold segments (untouched for RefoldColdOps operations)
+	// are folded back into fresh rules, shrinking the explicit start RHS
+	// without a recompression. 0 selects DefaultRefoldSpine; negative
+	// disables re-folding. Inactive when Ratio < 0.
+	RefoldSpine int
+	// RefoldColdOps is how many operations a spine segment must go
+	// untouched before it counts as cold (0 = DefaultRefoldColdOps).
+	RefoldColdOps int
+	// Gate, when non-nil, bounds how many background GrammarRePair runs
+	// may execute concurrently across every Store sharing the gate — the
+	// fleet-wide recompression scheduler. A policy firing while the gate
+	// is saturated is deferred (Stats.DeferredRecompressions) and simply
+	// fires again at a later batch boundary. Only asynchronous runs
+	// consult the gate.
+	Gate *RecompressGate
+	// MaxConcurrentRecompressions, when > 0 and Gate is nil, makes
+	// NewSharded create one shared gate of that width for the whole
+	// fleet. Ignored by single-document Stores (set Gate directly there).
+	MaxConcurrentRecompressions int
 }
+
+// RecompressGate is a semaphore shared between Stores that bounds
+// fleet-wide concurrent background recompressions; see Config.Gate.
+type RecompressGate struct {
+	sem chan struct{}
+}
+
+// NewRecompressGate returns a gate admitting n concurrent background
+// recompressions (n < 1 is clamped to 1).
+func NewRecompressGate(n int) *RecompressGate {
+	if n < 1 {
+		n = 1
+	}
+	return &RecompressGate{sem: make(chan struct{}, n)}
+}
+
+func (g *RecompressGate) tryAcquire() bool {
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (g *RecompressGate) release() { <-g.sem }
 
 // Policy defaults; see Config.
 const (
@@ -111,6 +166,20 @@ const (
 	DefaultMaxRatio = 4.0
 	DefaultMinSize  = 64
 	DefaultMaxTail  = 128
+	// DefaultCostStepsPerOp: a healthy indexed descent does a few dozen
+	// naive steps; thousands per op mean the walk is grinding through
+	// degraded unfold material the index cannot cover.
+	DefaultCostStepsPerOp = 4096
+	// DefaultRefoldSpine/DefaultRefoldColdOps: re-fold once the index
+	// holds a few thousand entries, folding segments no op has touched
+	// for a few hundred operations.
+	DefaultRefoldSpine   = 4096
+	DefaultRefoldColdOps = 256
+	// refoldMaxChunks bounds one batch boundary's folding work.
+	refoldMaxChunks = 8
+	// costTriggerMinOps: the cost trigger needs a sample this large
+	// before the steps/op average is trustworthy.
+	costTriggerMinOps = 32
 )
 
 // payoffThreshold is the minimum shrink factor (size before / size after)
@@ -130,6 +199,8 @@ type Stats struct {
 	AsyncRecompressions     int64 // of those, runs compressed off the write lock
 	DiscardedRecompressions int64 // async runs thrown away (tail overflow / raced)
 	ReplayedTailOps         int64 // ops replayed onto async results before swap
+	CostRecompressions      int64 // runs fired by the isolation-cost trigger
+	DeferredRecompressions  int64 // async runs deferred by a saturated Gate
 	// StallNanos is the cumulative write-lock time spent on
 	// recompression work: the whole GrammarRePair pass for synchronous
 	// runs, only the snapshot clone and the swap for asynchronous ones —
@@ -145,6 +216,20 @@ type Stats struct {
 	UsageCacheMisses int64 // usage-vector recomputations
 	GCRuns           int64 // garbage-collection passes
 	RulesCollected   int64 // rules removed by those passes
+
+	// Isolation-frontier counters (internal/isolate's spine index).
+	// IsolationSteps is the naive descent work the cost trigger watches;
+	// IsolationJumps/IsolationSkipped are the seeks that replaced walks
+	// and the entries they skipped; SpineNodes/Spines gauge the live
+	// index; the Refold counters record incremental re-folding activity.
+	IsolationSteps   int64
+	IsolationJumps   int64
+	IsolationSkipped int64
+	SpineNodes       int
+	Spines           int
+	Refolds          int64 // batch boundaries that folded ≥ 1 segment
+	RefoldedNodes    int64 // spine entries folded back into rules
+	RefoldRules      int64 // fresh rules those folds created
 
 	Size               int     // current |G|
 	PeakSize           int     // max |G| observed at any batch boundary
@@ -206,12 +291,21 @@ type Store struct {
 	// instrumented compressor to pin the swap protocol deterministically.
 	compress func(*grammar.Grammar, core.Options) (*grammar.Grammar, *core.Stats)
 
+	// Cost-trigger baseline: the frontier counters at the last
+	// recompression, so the trigger watches steps/op since then.
+	costBaseSteps int64
+	costBaseOps   int64
+
 	ops, renames, inserts, deletes int64
 	batches                        int64
 	recompressions                 int64
 	asyncRecompressions            int64
 	discardedRecompressions        int64
 	replayedTailOps                int64
+	costRecompressions             int64
+	deferredRecompressions         int64
+	refolds, refoldedNodes         int64
+	refoldRules                    int64
 	stallNanos                     int64
 	gcRuns, rulesCollected         int64
 }
@@ -347,7 +441,7 @@ func (s *Store) cachedUsage() ([]float64, error) {
 }
 
 // finishBatchLocked runs the deferred garbage collection and the
-// recompression policy at a batch boundary.
+// recompression/re-fold policy at a batch boundary.
 func (s *Store) finishBatchLocked() {
 	// Every applied op rewrites the start rule (isolation unfolds calls
 	// into it), which shifts usage counts — the cached vector is stale.
@@ -360,12 +454,87 @@ func (s *Store) finishBatchLocked() {
 	if s.cfg.Ratio < 0 {
 		return
 	}
-	if size >= s.cfg.MinSize && float64(size) > s.effRatio*float64(s.lastCompressed) {
+	fire := size >= s.cfg.MinSize && float64(size) > s.effRatio*float64(s.lastCompressed)
+	costFired := false
+	if !fire && s.costTriggerLocked() {
+		// The grammar is within the size budget but its unfolded shape
+		// makes isolation grind: recompress anyway.
+		fire = true
+		costFired = true
+	}
+	if fire {
+		started := true
 		if s.cfg.Async {
-			s.startAsyncRecompressLocked()
+			// A firing can be absorbed (run already inflight, or the
+			// fleet gate is saturated); only a launched run counts as a
+			// cost-triggered recompression, or the counter would inflate
+			// by one per batch boundary until the inflight run lands.
+			started = s.startAsyncRecompressLocked()
 		} else {
 			s.recompressLocked()
 		}
+		if started && costFired {
+			s.costRecompressions++
+		}
+		return
+	}
+	s.refoldLocked()
+}
+
+// costTriggerLocked reports whether observed isolation cost — naive
+// descent steps per operation since the last recompression — exceeds
+// the configured budget.
+func (s *Store) costTriggerLocked() bool {
+	if s.cfg.CostStepsPerOp < 0 {
+		return false
+	}
+	budget := int64(s.cfg.CostStepsPerOp)
+	if budget == 0 {
+		budget = DefaultCostStepsPerOp
+	}
+	opsSince := s.ops - s.costBaseOps
+	if opsSince < costTriggerMinOps {
+		return false
+	}
+	stepsSince := s.cache.FrontierStats().Steps - s.costBaseSteps
+	return stepsSince/opsSince > budget
+}
+
+// resetCostBaselineLocked re-anchors the cost trigger after a
+// recompression (the unfolded shape it measured is gone).
+func (s *Store) resetCostBaselineLocked() {
+	s.costBaseSteps = s.cache.FrontierStats().Steps
+	s.costBaseOps = s.ops
+}
+
+// refoldLocked runs one bounded incremental re-folding pass when the
+// isolation frontier has grown past the configured spine budget: cold
+// indexed segments fold back into fresh rules, shrinking the explicit
+// start RHS (and every future clone and recompression input) without
+// a GrammarRePair run. Document content is untouched, so no epoch bump
+// — an in-flight asynchronous recompression swaps in regardless, which
+// simply discards the fold's rules along with the rest of the degraded
+// grammar.
+func (s *Store) refoldLocked() {
+	if s.cfg.RefoldSpine < 0 {
+		return
+	}
+	minSpine := s.cfg.RefoldSpine
+	if minSpine == 0 {
+		minSpine = DefaultRefoldSpine
+	}
+	if s.cache.FrontierStats().Entries < minSpine {
+		return
+	}
+	coldOps := int64(s.cfg.RefoldColdOps)
+	if coldOps == 0 {
+		coldOps = DefaultRefoldColdOps
+	}
+	chunks, entries := s.cache.Refold(s.g, coldOps, refoldMaxChunks)
+	if chunks > 0 {
+		s.refolds++
+		s.refoldRules += int64(chunks)
+		s.refoldedNodes += int64(entries)
 	}
 }
 
@@ -374,9 +543,15 @@ func (s *Store) finishBatchLocked() {
 // compress the clone and pre-compute its size vectors off the lock. At
 // most one run is in flight per Store; while the policy keeps firing the
 // grammar just keeps growing until the swap lands.
-func (s *Store) startAsyncRecompressLocked() {
+func (s *Store) startAsyncRecompressLocked() bool {
 	if s.inflight {
-		return
+		return false
+	}
+	if s.cfg.Gate != nil && !s.cfg.Gate.tryAcquire() {
+		// The fleet's recompression budget is spent; defer — the policy
+		// fires again at a later batch boundary.
+		s.deferredRecompressions++
+		return false
 	}
 	start := time.Now()
 	snap := s.g.Clone()
@@ -388,10 +563,14 @@ func (s *Store) startAsyncRecompressLocked() {
 	epoch := snap.Epoch()
 	s.activeRuns++
 	go func() {
+		if s.cfg.Gate != nil {
+			defer s.cfg.Gate.release()
+		}
 		g2, st := s.compress(snap, core.Options{MaxRank: s.cfg.MaxRank})
 		sizes, szErr := g2.ValSizes()
 		s.completeAsync(gen, epoch, g2, st, sizes, szErr)
 	}()
+	return true
 }
 
 // completeAsync is the swap protocol: called from the background
@@ -458,6 +637,7 @@ func (s *Store) completeAsync(gen, epoch uint64, g2 *grammar.Grammar, st *core.S
 	s.gen++
 	s.pendingGC = stranded
 	s.invalidateUsageLocked()
+	s.resetCostBaselineLocked()
 	s.recompressions++
 	s.asyncRecompressions++
 	// The policy baseline is what actually went live — including any
@@ -512,6 +692,7 @@ func (s *Store) recompressLocked() *core.Stats {
 	// aggregates on a write-idle Store must not each pay a full
 	// ValSizes pass.
 	s.cache.Sizes(g2)
+	s.resetCostBaselineLocked()
 	s.recompressions++
 	s.lastCompressed = g2.Size()
 	if st.MaxIntermediate > s.peakSize {
@@ -664,18 +845,29 @@ func (s *Store) Stats() Stats {
 		AsyncRecompressions:     s.asyncRecompressions,
 		DiscardedRecompressions: s.discardedRecompressions,
 		ReplayedTailOps:         s.replayedTailOps,
+		CostRecompressions:      s.costRecompressions,
+		DeferredRecompressions:  s.deferredRecompressions,
 		StallNanos:              s.stallNanos,
 		RecompressionInflight:   s.inflight,
 		SizeCacheHits:           s.cache.Hits,
 		SizeCacheMisses:         s.cache.Misses,
 		GCRuns:                  s.gcRuns,
 		RulesCollected:          s.rulesCollected,
+		Refolds:                 s.refolds,
+		RefoldedNodes:           s.refoldedNodes,
+		RefoldRules:             s.refoldRules,
 
 		Size:               s.g.Size(),
 		PeakSize:           s.peakSize,
 		LastCompressedSize: s.lastCompressed,
 		EffectiveRatio:     s.effRatio,
 	}
+	fs := s.cache.FrontierStats()
+	st.IsolationSteps = fs.Steps
+	st.IsolationJumps = fs.Jumps
+	st.IsolationSkipped = fs.Skipped
+	st.SpineNodes = fs.Entries
+	st.Spines = fs.Spines
 	s.usageMu.Lock()
 	st.UsageCacheHits = s.usageHits
 	st.UsageCacheMisses = s.usageMisses

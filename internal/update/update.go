@@ -59,14 +59,48 @@ func (k Kind) String() string {
 // invalidated whenever any non-start rule changes — in practice, after
 // recompression (which builds a new grammar anyway).
 //
+// The memo the cache owns is more than the subtree-size store: it also
+// carries the persistent isolation frontier (internal/isolate's spine
+// index over the explicit sibling spines of the start RHS). ApplyCached
+// keeps that index exact by committing every op's node delta to it
+// after the mutation, so repeat isolations seek across long unfolded
+// chains instead of walking them.
+//
 // A Cache serves exactly one grammar; Hits/Misses count warm vs cold
 // Sizes calls and feed Store.Stats.
 type Cache struct {
 	sizes *grammar.SizeTable
-	memo  *isolate.Memo // subtree sizes of start-RHS nodes across ops
+	memo  *isolate.Memo // subtree sizes + spine index across ops
+
+	// Naive disables the spine index on memos this cache creates, so
+	// descents walk every explicit node. Differential tests pin
+	// byte-identical output of the indexed and the naive engine with it;
+	// it must be set before the first ApplyCached call.
+	Naive bool
 
 	Hits   int64 // Sizes calls served from the warm cache
 	Misses int64 // Sizes calls that recomputed all vectors
+
+	// fstats accumulates the frontier counters of retired memos
+	// (Invalidate/Install drop the memo with the grammar they served).
+	fstats isolate.FrontierStats
+}
+
+// FrontierStats returns the cache's cumulative spine-index counters —
+// retired memos' history plus the live memo's state.
+func (c *Cache) FrontierStats() isolate.FrontierStats {
+	return c.fstats.AddCounters(c.memo.Frontier())
+}
+
+// retireMemo folds the live memo's counters into the cumulative totals
+// before the memo is dropped.
+func (c *Cache) retireMemo() {
+	if c.memo != nil {
+		c.fstats = c.fstats.AddCounters(c.memo.Frontier())
+		c.fstats.Entries = 0
+		c.fstats.Spines = 0
+	}
+	c.memo = nil
 }
 
 // Sizes returns the cached size-vector table, computing it on first use.
@@ -89,11 +123,11 @@ func (c *Cache) Sizes(g *grammar.Grammar) (*grammar.SizeTable, error) {
 // callers that hold only a read lock over the owning structure.
 func (c *Cache) Peek() *grammar.SizeTable { return c.sizes }
 
-// Invalidate drops the cached vectors and the subtree-size memo; the
-// next Sizes call recomputes.
+// Invalidate drops the cached vectors and the memo (subtree sizes and
+// spine index); the next Sizes call recomputes.
 func (c *Cache) Invalidate() {
 	c.sizes = nil
-	c.memo = nil
+	c.retireMemo()
 }
 
 // Install hands the cache a precomputed size-vector table for the
@@ -105,7 +139,7 @@ func (c *Cache) Invalidate() {
 // hit nor miss — the work happened, just elsewhere.
 func (c *Cache) Install(sizes *grammar.SizeTable) {
 	c.sizes = sizes
-	c.memo = nil
+	c.retireMemo()
 }
 
 // RefreshStart recomputes only the start rule's vector from the cached
@@ -176,6 +210,9 @@ func ApplyCached(g *grammar.Grammar, op Op, c *Cache) (stranded bool, err error)
 	}
 	if c.memo == nil {
 		c.memo = isolate.NewMemo()
+		if c.Naive {
+			c.memo.DisableIndex()
+		}
 	}
 	pos, err := isolate.IsolateMemo(g, op.Pos, sizes, c.memo)
 	if err != nil {
@@ -190,7 +227,8 @@ func ApplyCached(g *grammar.Grammar, op Op, c *Cache) (stranded bool, err error)
 		pos.Node.Label = xmltree.Term(id)
 		g.BumpEpoch()
 		// Renames (and the isolation unfolding itself) do not change any
-		// val size, so the cached start vector stays valid.
+		// val size, so the cached start vector — and every spine weight —
+		// stays valid.
 		return false, nil
 	case Insert:
 		if op.Frag == nil {
@@ -200,11 +238,13 @@ func ApplyCached(g *grammar.Grammar, op Op, c *Cache) (stranded bool, err error)
 		// currently rooted at u (for u = ⊥ this degenerates to t[u/s]).
 		// A fragment of k elements becomes a binary tree of 2k+1 nodes
 		// whose right-most ⊥ is replaced by the existing subtree: exactly
-		// 2k nodes join val_G(S).
+		// 2k nodes join val_G(S) — which is also the fresh chain head's
+		// spine weight (itself plus its first-child subtree).
 		fragNodes := int64(op.Frag.Nodes())
 		sub := op.Frag.BinaryInto(g.Syms, pos.Node)
 		pos.Replace(g, sub)
 		g.BumpEpoch()
+		c.memo.CommitInsert(pos, sub, 2*fragNodes)
 		return false, c.adjustStartTotal(g, 2*fragNodes)
 	case Delete:
 		if pos.Node.Label.IsBottom() {
@@ -213,6 +253,7 @@ func ApplyCached(g *grammar.Grammar, op Op, c *Cache) (stranded bool, err error)
 		// t[u / u.2]: drop the element and its first-child subtree, keep
 		// the next-sibling chain — exactly 1 + |val(u.1)| nodes leave.
 		removed := grammar.SatAdd(1, grammar.SubtreeValSize(pos.Node.Children[0], sizes))
+		c.memo.CommitDelete(pos, removed)
 		pos.Replace(g, pos.Node.Children[1])
 		g.BumpEpoch()
 		if grammar.Saturated(removed) {
@@ -223,10 +264,27 @@ func ApplyCached(g *grammar.Grammar, op Op, c *Cache) (stranded bool, err error)
 	return false, fmt.Errorf("update: unknown op kind %v", op.Kind)
 }
 
+// Refold runs one bounded incremental re-folding pass (see
+// isolate.Memo.Refold): spine segments no op has touched for coldOps
+// operations are folded back into fresh rank-1 rules, shrinking the
+// explicit start RHS without a recompression. The cache stays warm —
+// the new rules' size vectors are known exactly from the folded
+// weights — and the derived document is untouched, so no epoch bump.
+// Returns the number of segments and spine entries folded.
+func (c *Cache) Refold(g *grammar.Grammar, coldOps int64, maxChunks int) (chunks, entries int) {
+	if c.memo == nil || c.sizes == nil {
+		return 0, 0
+	}
+	return c.memo.Refold(g, c.sizes, isolate.RefoldOptions{MinAge: coldOps, MaxChunks: maxChunks})
+}
+
 // Apply performs the operation on the grammar via path isolation. Only
 // the start rule is modified (plus garbage collection after deletes).
+// The one-shot cache descends naively: the spine index only pays when
+// its state persists across operations, so registering spines a
+// throwaway cache immediately discards would be pure overhead.
 func Apply(g *grammar.Grammar, op Op) error {
-	var c Cache
+	c := Cache{Naive: true}
 	stranded, err := ApplyCached(g, op, &c)
 	if err != nil {
 		return err
