@@ -144,6 +144,19 @@ func BenchmarkStoreUpdateStream(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreUpdateStreamDurable is the same workload through a
+// durable Store: WAL-encode + append (and under fsync=batch, an fsync)
+// per acked batch. The delta against BenchmarkStoreUpdateStream is the
+// durability overhead recorded in BENCH_<n>.json.
+func BenchmarkStoreUpdateStreamDurable(b *testing.B) {
+	for _, short := range benchsuite.MicroShorts {
+		c, _ := datasets.ByShort(short)
+		for _, m := range benchsuite.DurableFsyncModes {
+			b.Run(c.Name+"/fsync="+m.Name, benchsuite.StoreUpdateStreamDurableBench(short, m.Fsync))
+		}
+	}
+}
+
 // BenchmarkPerOpUpdateStream is the baseline: a fresh ValSizes pass per
 // operation and a garbage collection after every delete.
 func BenchmarkPerOpUpdateStream(b *testing.B) {

@@ -205,6 +205,12 @@ func writeBenchJSON(n int, cfg experiments.Config) error {
 	for _, short := range benchsuite.MicroShorts {
 		add("PerOpUpdateStream/"+short, benchsuite.PerOpUpdateStreamBench(short))
 	}
+	for _, short := range benchsuite.MicroShorts {
+		for _, m := range benchsuite.DurableFsyncModes {
+			add(fmt.Sprintf("StoreUpdateStreamDurable/%s/fsync=%s", short, m.Name),
+				benchsuite.StoreUpdateStreamDurableBench(short, m.Fsync))
+		}
+	}
 	for _, shards := range benchsuite.ShardedShardCounts {
 		add(fmt.Sprintf("UpdateStreamSharded/XM/docs=%d/shards=%d", benchsuite.ShardedDocs, shards),
 			benchsuite.ShardedUpdateStreamBench("XM", shards, benchsuite.ShardedDocs))

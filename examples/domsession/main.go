@@ -99,7 +99,11 @@ func multiDoc(serve *examples.Serve) {
 	fmt.Printf("serving %d DOMs on %d shards, %d ops each\n",
 		serve.Docs, serve.Shards, serve.Ops)
 
-	ss := sltgrammar.NewShardedStore(serve.Shards, sltgrammar.StoreConfig{Ratio: 1.3, Async: true})
+	cfg := sltgrammar.StoreConfig{Ratio: 1.3, Async: true}
+	ss, err := serve.OpenStore(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer ss.Close()
 	for _, ses := range sessions {
 		if _, err := ss.Open(ses.ID, ses.Grammar); err != nil {
@@ -144,7 +148,31 @@ func multiDoc(serve *examples.Serve) {
 		agg.Ops, agg.Docs, agg.Size,
 		agg.Recompressions, agg.AsyncRecompressions, agg.DiscardedRecompressions,
 		agg.ReplayedTailOps, float64(agg.StallNanos)/1e6)
+	if line := examples.DurabilityLine(agg); line != "" {
+		fmt.Println(line)
+	}
 	fmt.Println("all sessions converged to their target documents")
+
+	if serve.WALDir != "" {
+		// The kill-and-reopen audit: recover every DOM from its WAL
+		// directory and re-verify convergence on the recovered state.
+		re, err := serve.Reopen(ss, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer re.Close()
+		for _, ses := range sessions {
+			st, ok := re.Get(ses.ID)
+			if !ok {
+				log.Fatalf("%s lost across reopen", ses.ID)
+			}
+			verifyConverged(st, ses)
+		}
+		fmt.Printf("reopened from %s: all %d sessions recovered converged\n", serve.WALDir, serve.Docs)
+		if line := examples.DurabilityLine(re.Stats()); line != "" {
+			fmt.Println(line)
+		}
+	}
 }
 
 // verifyConverged checks a session landed exactly on its target

@@ -107,7 +107,11 @@ func singleLog() {
 func multiLog(serve *examples.Serve) {
 	fmt.Printf("streaming into %d logs on %d shards, %d appends each\n",
 		serve.Docs, serve.Shards, serve.Ops)
-	ss := sltgrammar.NewShardedStore(serve.Shards, sltgrammar.StoreConfig{Ratio: 1.5, Async: true})
+	cfg := sltgrammar.StoreConfig{Ratio: 1.5, Async: true}
+	ss, err := serve.OpenStore(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer ss.Close()
 	for d := 0; d < serve.Docs; d++ {
 		if _, err := ss.Open(examples.DocID(d), seedLog()); err != nil {
@@ -154,7 +158,37 @@ func multiLog(serve *examples.Serve) {
 		agg.Ops, agg.Docs, agg.Size,
 		agg.Recompressions, agg.AsyncRecompressions, agg.DiscardedRecompressions,
 		agg.ReplayedTailOps, float64(agg.StallNanos)/1e6)
+	if line := examples.DurabilityLine(agg); line != "" {
+		fmt.Println(line)
+	}
 	fmt.Printf("every log holds exactly %d elements, compressed\n", want)
+
+	if serve.WALDir != "" {
+		// The kill-and-reopen audit: close the fleet, recover it from the
+		// WAL directory, and re-count every log.
+		re, err := serve.Reopen(ss, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer re.Close()
+		for d := 0; d < serve.Docs; d++ {
+			st, ok := re.Get(examples.DocID(d))
+			if !ok {
+				log.Fatalf("%s lost across reopen", examples.DocID(d))
+			}
+			elems, err := st.Elements()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if elems != want {
+				log.Fatalf("%s: %d elements after reopen, want %d", examples.DocID(d), elems, want)
+			}
+		}
+		fmt.Printf("reopened from %s: all %d logs recovered intact\n", serve.WALDir, serve.Docs)
+		if line := examples.DurabilityLine(re.Stats()); line != "" {
+			fmt.Println(line)
+		}
+	}
 }
 
 func record() *sltgrammar.Unranked {

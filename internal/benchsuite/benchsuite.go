@@ -12,7 +12,9 @@ import (
 
 	sltgrammar "repro"
 	"repro/internal/datasets"
+	"repro/internal/store"
 	"repro/internal/update"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -145,6 +147,57 @@ func StoreUpdateStreamBench(short string) func(b *testing.B) {
 				if err := st.ApplyAll(ops[done:end]); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}
+	}
+}
+
+// DurableFsyncModes are the fsync policies the durable update-stream
+// track sweeps: "batch" is the no-loss contract (one fsync per acked
+// batch — the dominant cost), "off" isolates the WAL encode+write
+// overhead itself.
+var DurableFsyncModes = []struct {
+	Name  string
+	Fsync wal.FsyncPolicy
+}{
+	{"batch", wal.FsyncBatch},
+	{"off", wal.FsyncOff},
+}
+
+// StoreUpdateStreamDurableBench measures the same pinned workload as
+// StoreUpdateStreamBench through a durable Store: every batch is
+// op-encoded and appended to the write-ahead log (and, under
+// fsync=batch, fsynced) before the ack. The delta against the
+// in-memory track is the price of durability; snapshots are disabled
+// so the number isolates the append path.
+func StoreUpdateStreamDurableBench(short string, fsync wal.FsyncPolicy) func(b *testing.B) {
+	g, ops := updateStream(short)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cp := g.Clone()
+			dir := b.TempDir()
+			b.StartTimer()
+			st, err := store.CreateDurable("bench", cp, store.Config{
+				Ratio: -1,
+				Durability: &store.Durability{
+					Dir:              dir,
+					Fsync:            fsync,
+					SnapshotEveryOps: -1,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for done := 0; done < len(ops); done += UpdateStreamBatch {
+				end := min(done+UpdateStreamBatch, len(ops))
+				if err := st.ApplyAll(ops[done:end]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
 			}
 		}
 	}

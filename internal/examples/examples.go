@@ -23,6 +23,10 @@ type Serve struct {
 	Docs   int
 	Ops    int
 	Seed   int64
+	// WALDir, when non-empty, serves the fleet durably: per-document
+	// write-ahead logs and grammar snapshots under this directory, and a
+	// kill-and-reopen audit at the end of the run.
+	WALDir string
 }
 
 // ServeFlags registers the shared -shards/-docs/-ops/-seed flags with
@@ -33,6 +37,7 @@ func ServeFlags(defaultOps int, defaultSeed int64) *Serve {
 	flag.IntVar(&s.Docs, "docs", 1, "documents to serve (1 = single-document mode)")
 	flag.IntVar(&s.Ops, "ops", defaultOps, "update operations per document")
 	flag.Int64Var(&s.Seed, "seed", defaultSeed, "base RNG seed (document d varies it by d)")
+	flag.StringVar(&s.WALDir, "wal", "", "serve durably: WAL + snapshot directory (must be fresh; empty = in-memory)")
 	return s
 }
 
@@ -52,6 +57,51 @@ func (s *Serve) Parse() {
 
 // DocID names document d consistently across the examples.
 func DocID(d int) string { return fmt.Sprintf("doc-%02d", d) }
+
+// storeConfig wires the -wal flag into a StoreConfig.
+func (s *Serve) storeConfig(cfg sltgrammar.StoreConfig) sltgrammar.StoreConfig {
+	if s.WALDir != "" {
+		cfg.Durability = &sltgrammar.Durability{Dir: s.WALDir, Fsync: sltgrammar.FsyncBatch}
+	}
+	return cfg
+}
+
+// OpenStore opens the fleet the flags describe: in-memory when -wal is
+// empty, durable otherwise (documents Opened afterwards are created
+// under WALDir; any documents already on disk are recovered).
+func (s *Serve) OpenStore(cfg sltgrammar.StoreConfig) (*sltgrammar.ShardedStore, error) {
+	cfg = s.storeConfig(cfg)
+	if cfg.Durability == nil {
+		return sltgrammar.NewShardedStore(s.Shards, cfg), nil
+	}
+	return sltgrammar.OpenShardedStore(s.Shards, cfg)
+}
+
+// Reopen closes a durable fleet and recovers it from disk — the
+// kill-and-reopen audit the -wal examples end with. The returned fleet
+// holds exactly the state the closed one acked.
+func (s *Serve) Reopen(ss *sltgrammar.ShardedStore, cfg sltgrammar.StoreConfig) (*sltgrammar.ShardedStore, error) {
+	if err := ss.Close(); err != nil {
+		return nil, err
+	}
+	return sltgrammar.OpenShardedStore(s.Shards, s.storeConfig(cfg))
+}
+
+// DurabilityLine formats a durable fleet's WAL counters; "" for an
+// in-memory fleet.
+func DurabilityLine(agg sltgrammar.ShardedStats) string {
+	if agg.WALAppends == 0 && agg.RecoveredOps == 0 {
+		return ""
+	}
+	line := fmt.Sprintf("durability: %d WAL appends (%.1f KB, %d fsyncs, %.2fms), %d snapshots",
+		agg.WALAppends, float64(agg.WALBytes)/1024, agg.WALSyncs,
+		float64(agg.FsyncNanos)/1e6, agg.Snapshots)
+	if agg.RecoveredOps > 0 || agg.TruncatedTailRecords > 0 || agg.SnapshotsCorrupt > 0 {
+		line += fmt.Sprintf("; recovered %d ops from WAL tails (%d torn records dropped, %d corrupt snapshots skipped)",
+			agg.RecoveredOps, agg.TruncatedTailRecords, agg.SnapshotsCorrupt)
+	}
+	return line
+}
 
 // Session is one document's serving input: its compressed seed grammar,
 // the update stream replaying it toward the target document, and the

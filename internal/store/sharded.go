@@ -22,12 +22,14 @@ package store
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/grammar"
 	"repro/internal/update"
+	"repro/internal/wal"
 )
 
 // Errors returned by the sharded layer.
@@ -35,7 +37,9 @@ var (
 	// ErrUnknownDoc reports an operation addressed to a document ID that
 	// was never opened (or has been dropped).
 	ErrUnknownDoc = errors.New("store: unknown document")
-	// ErrClosed reports a write against a closed Sharded store.
+	// ErrClosed reports a mutation against a closed Store or Sharded
+	// store: Apply/ApplyAll/Open after Close fail with it
+	// deterministically (reads keep working on the final state).
 	ErrClosed = errors.New("store: closed")
 )
 
@@ -97,6 +101,45 @@ func NewSharded(n int, cfg ...Config) *Sharded {
 	return s
 }
 
+// OpenSharded is the durable fleet constructor: it creates (or reuses)
+// cfg.Durability.Dir and recovers every document directory found under
+// it — newest valid snapshot, WAL tail replay, torn tails truncated —
+// before returning. A fleet killed at any moment reopens here to
+// exactly the acked prefix of every document's update stream. New
+// documents are then added with Open as usual.
+func OpenSharded(n int, cfg Config) (*Sharded, error) {
+	if cfg.Durability == nil {
+		return nil, fmt.Errorf("store: OpenSharded without Config.Durability")
+	}
+	if err := os.MkdirAll(cfg.Durability.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: durability root: %w", err)
+	}
+	ents, err := os.ReadDir(cfg.Durability.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: durability root: %w", err)
+	}
+	s := NewSharded(n, cfg)
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		id, ok := wal.ParseDocDir(e.Name())
+		if !ok {
+			continue
+		}
+		st, err := OpenDurable(id, s.cfg)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		sh.docs[id] = st
+		sh.mu.Unlock()
+	}
+	return s, nil
+}
+
 // work drains one shard's update batches until Close.
 func (sh *shard) work() {
 	for j := range sh.jobs {
@@ -121,7 +164,11 @@ func (s *Sharded) shardFor(id string) *shard {
 
 // Open registers a new document under id, wrapping g in a Store with the
 // Sharded store's Config (taking ownership of g), and returns the Store.
-// Opening an existing ID is an error — use Get for lookups.
+// Opening an existing ID is an error — use Get for lookups. On a durable
+// fleet (Config.Durability) the document directory and its base snapshot
+// are created before Open returns, so even a document that crashes
+// before its first update recovers its seed grammar; directories from a
+// previous process are reopened by OpenSharded, not Open.
 func (s *Sharded) Open(id string, g *grammar.Grammar) (*Store, error) {
 	sh := s.shardFor(id)
 	sh.sendMu.RLock()
@@ -135,7 +182,15 @@ func (s *Sharded) Open(id string, g *grammar.Grammar) (*Store, error) {
 	if _, ok := sh.docs[id]; ok {
 		return nil, fmt.Errorf("store: document %q already open", id)
 	}
-	st := New(g, s.cfg)
+	var st *Store
+	if s.cfg.Durability != nil {
+		var err error
+		if st, err = CreateDurable(id, g, s.cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		st = New(g, s.cfg)
+	}
 	sh.docs[id] = st
 	return st, nil
 }
@@ -273,10 +328,14 @@ func (s *Sharded) Quiesce() {
 	}
 }
 
-// Close stops the shard workers. Writes after Close fail with ErrClosed;
-// reads keep working. Close does not wait for in-flight recompressions —
-// use Quiesce first if their results matter.
-func (s *Sharded) Close() {
+// Close stops the shard workers and closes every document Store:
+// pending background work (asynchronous recompressions, snapshot
+// publication) completes, and on a durable fleet each document's WAL
+// tail is fsynced and closed — a clean Close loses nothing even under
+// FsyncOff. Writes after Close fail with ErrClosed deterministically;
+// reads keep working on the final state. Close is idempotent and
+// returns the first per-document close error.
+func (s *Sharded) Close() error {
 	for _, sh := range s.shards {
 		sh.sendMu.Lock()
 		if !sh.closed {
@@ -285,6 +344,21 @@ func (s *Sharded) Close() {
 		}
 		sh.sendMu.Unlock()
 	}
+	var err error
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		stores := make([]*Store, 0, len(sh.docs))
+		for _, st := range sh.docs {
+			stores = append(stores, st)
+		}
+		sh.mu.RUnlock()
+		for _, st := range stores {
+			if cerr := st.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
 }
 
 // ShardedStats aggregates the per-document Store counters across every
@@ -309,6 +383,20 @@ type ShardedStats struct {
 
 	Size     int // Σ |G| over all documents
 	PeakSize int // Σ per-document peaks
+
+	// Durability counters summed over the fleet (zero when in-memory).
+	WALAppends           int64
+	WALBytes             int64
+	WALSyncs             int64
+	FsyncNanos           int64
+	Snapshots            int64
+	SnapshotFailures     int64
+	RecoveredOps         int64
+	TruncatedTailRecords int64
+	SnapshotsCorrupt     int64
+	// BrokenDocs counts documents whose WAL write path has failed;
+	// they serve reads but reject writes until reopened.
+	BrokenDocs int
 }
 
 // Stats sums the counters of every open document.
@@ -338,6 +426,18 @@ func (s *Sharded) Stats() ShardedStats {
 			out.StallNanos += ds.StallNanos
 			out.Size += ds.Size
 			out.PeakSize += ds.PeakSize
+			out.WALAppends += ds.WALAppends
+			out.WALBytes += ds.WALBytes
+			out.WALSyncs += ds.WALSyncs
+			out.FsyncNanos += ds.FsyncNanos
+			out.Snapshots += ds.Snapshots
+			out.SnapshotFailures += ds.SnapshotFailures
+			out.RecoveredOps += ds.RecoveredOps
+			out.TruncatedTailRecords += ds.TruncatedTailRecords
+			out.SnapshotsCorrupt += ds.SnapshotsCorrupt
+			if ds.WALBroken {
+				out.BrokenDocs++
+			}
 		}
 	}
 	return out

@@ -76,6 +76,7 @@ import (
 	"repro/internal/grammar"
 	"repro/internal/navigate"
 	"repro/internal/update"
+	"repro/internal/wal"
 )
 
 // Config tunes a Store. The zero value selects the defaults below.
@@ -132,6 +133,12 @@ type Config struct {
 	// NewSharded create one shared gate of that width for the whole
 	// fleet. Ignored by single-document Stores (set Gate directly there).
 	MaxConcurrentRecompressions int
+	// Durability, when non-nil, arms the write-ahead log: committed
+	// batches hit disk before ApplyAll acks and snapshots roll in the
+	// background (see the Durability type). Durable Stores are built
+	// with CreateDurable/OpenDurable (or the Sharded layer's
+	// OpenSharded); plain New ignores this field.
+	Durability *Durability
 }
 
 // RecompressGate is a semaphore shared between Stores that bounds
@@ -241,6 +248,23 @@ type Stats struct {
 	// is true and Elements is 0 — never a bogus huge number.
 	Elements  int64
 	Saturated bool
+
+	// Durability counters; all zero for in-memory Stores.
+	Durable    bool
+	WALAppends int64 // acked batches appended to the log
+	WALBytes   int64 // their framed on-disk size
+	WALSyncs   int64 // fsyncs on the append + snapshot paths
+	FsyncNanos int64 // wall time inside those fsyncs
+	Snapshots  int64 // snapshots published over this Store's lifetime
+	// WALBroken reports a write-path durability failure: applied state
+	// and disk have diverged and every later write fails fast until
+	// the document is reopened through recovery.
+	WALBroken        bool
+	SnapshotFailures int64
+	// Recovery results, set once at OpenDurable time.
+	RecoveredOps         int64 // WAL tail ops replayed at open
+	TruncatedTailRecords int64 // unacked torn records dropped at open
+	SnapshotsCorrupt     int64 // corrupt snapshots skipped at open
 }
 
 // Store is a grammar-compressed document under a stream of updates. See
@@ -295,6 +319,24 @@ type Store struct {
 	// recompression, so the trigger watches steps/op since then.
 	costBaseSteps int64
 	costBaseOps   int64
+
+	// Durability state (all guarded by mu; nil wl = in-memory Store).
+	// walPos counts ops durably appended; it tracks the grammar's
+	// update epoch through epochBase (walPos == epoch + epochBase while
+	// the log is healthy — snapshot-decoded grammars restart their
+	// epoch at zero, the base reconciles them). walBroken is the sticky
+	// first WAL failure: applied memory and disk have diverged, so
+	// every later write fails fast until reopen-through-recovery.
+	closed           bool
+	wl               *wal.Log
+	walPos           int64
+	epochBase        int64
+	walBroken        error
+	lastSnapPos      int64 // walPos covered by the newest published snapshot
+	snapEvery        int64
+	snapInflight     bool
+	snapshotFailures int64
+	recovered        wal.RecoveryStats
 
 	ops, renames, inserts, deletes int64
 	batches                        int64
@@ -365,24 +407,46 @@ func (s *Store) Apply(op update.Op) error {
 
 // ApplyAll performs a batch of operations: one shared size-vector cache
 // across the batch, one garbage collection at the end, one
-// recompression-policy check at the batch boundary.
+// recompression-policy check at the batch boundary. On a durable Store
+// the committed prefix is appended to the write-ahead log — and, per
+// the fsync policy, on disk — before the call returns: a batch that
+// acks survives a crash. A WAL failure outranks an in-batch apply
+// error in the return value (whatever applied in memory, the batch is
+// NOT durable) and breaks the write path until the document is
+// reopened through recovery.
 func (s *Store) ApplyAll(ops []update.Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.walBroken != nil {
+		// Fail fast BEFORE applying: memory already diverged from disk
+		// once; applying more ops would widen the divergence.
+		return fmt.Errorf("store: wal broken (reopen to recover): %w", s.walBroken)
+	}
 	s.batches++
+	var applyErr error
+	committed := len(ops)
 	for i := range ops {
 		if err := s.applyLocked(ops[i]); err != nil {
-			s.finishBatchLocked()
 			// Ops before i are committed (and batch maintenance ran);
 			// the index makes the partial state diagnosable.
-			return fmt.Errorf("store: op %d of %d: %w", i, len(ops), err)
+			applyErr = fmt.Errorf("store: op %d of %d: %w", i, len(ops), err)
+			committed = i
+			break
 		}
 	}
+	if err := s.appendWALLocked(ops[:committed]); err != nil {
+		s.finishBatchLocked()
+		return err
+	}
 	s.finishBatchLocked()
-	return nil
+	s.maybeSnapshotLocked()
+	return applyErr
 }
 
 func (s *Store) applyLocked(op update.Op) error {
@@ -872,6 +936,20 @@ func (s *Store) Stats() Stats {
 	st.UsageCacheHits = s.usageHits
 	st.UsageCacheMisses = s.usageMisses
 	s.usageMu.Unlock()
+	if s.wl != nil {
+		ctr := s.wl.Counters()
+		st.Durable = true
+		st.WALAppends = ctr.Appends
+		st.WALBytes = ctr.AppendedBytes
+		st.WALSyncs = ctr.Syncs
+		st.FsyncNanos = ctr.SyncNanos
+		st.Snapshots = ctr.Snapshots
+		st.WALBroken = s.walBroken != nil
+		st.SnapshotFailures = s.snapshotFailures
+		st.RecoveredOps = s.recovered.RecoveredOps
+		st.TruncatedTailRecords = s.recovered.TruncatedTailRecords
+		st.SnapshotsCorrupt = s.recovered.SnapshotsCorrupt
+	}
 	if st.Size > st.PeakSize {
 		st.PeakSize = st.Size
 	}

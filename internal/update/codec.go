@@ -1,0 +1,233 @@
+package update
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/xmltree"
+)
+
+// Binary op codec — the WAL's record payload format. Update operations
+// are tiny (Kind/Pos/Label/Frag), so the encoding is a plain varint
+// stream:
+//
+//	op     := kind uvarint | pos uvarint | body
+//	rename := label string
+//	insert := frag
+//	delete := (empty)
+//	frag   := nodeCount uvarint | node*          (preorder)
+//	node   := label string | childCount uvarint
+//	string := len uvarint | bytes
+//
+// A decoded stream is untrusted input (a WAL on disk can be torn or
+// hostile), so every count that sizes an allocation is bounded before
+// it is trusted: label lengths, the fragment's declared node count,
+// and per-node child counts against the remaining node budget. The
+// fragment decoder is iterative — a deeply nested fragment can never
+// exhaust the stack.
+const (
+	// MaxOpLabel bounds label byte lengths (matches the grammar
+	// decoder's string cap).
+	MaxOpLabel = 1 << 20
+	// MaxFragNodes bounds one insert fragment's element count. A real
+	// fragment is a handful of nodes; a WAL record is CRC-framed, so a
+	// count near this bound is hostile input, not data.
+	MaxFragNodes = 1 << 22
+	// maxChildPrealloc caps the children capacity allocated before the
+	// children actually decode, so a lying child count cannot demand
+	// more memory than the bytes backing it.
+	maxChildPrealloc = 1 << 10
+)
+
+// AppendOp appends the binary encoding of op to dst and returns the
+// extended slice. Ops with a negative position, a rename label past
+// MaxOpLabel, or an insert without (or with an oversized) fragment are
+// rejected — they could never be applied, so they must not be logged.
+func AppendOp(dst []byte, op Op) ([]byte, error) {
+	if op.Pos < 0 {
+		return dst, fmt.Errorf("update: encode: negative position %d", op.Pos)
+	}
+	dst = binary.AppendUvarint(dst, uint64(op.Kind))
+	dst = binary.AppendUvarint(dst, uint64(op.Pos))
+	switch op.Kind {
+	case Rename:
+		if len(op.Label) > MaxOpLabel {
+			return dst, fmt.Errorf("update: encode: label of %d bytes", len(op.Label))
+		}
+		dst = appendString(dst, op.Label)
+	case Insert:
+		if op.Frag == nil {
+			return dst, fmt.Errorf("update: encode: insert without fragment")
+		}
+		n := op.Frag.Nodes()
+		if n > MaxFragNodes {
+			return dst, fmt.Errorf("update: encode: fragment of %d nodes", n)
+		}
+		dst = binary.AppendUvarint(dst, uint64(n))
+		var err error
+		dst, err = appendFrag(dst, op.Frag)
+		if err != nil {
+			return dst, err
+		}
+	case Delete:
+	default:
+		return dst, fmt.Errorf("update: encode: unknown op kind %v", op.Kind)
+	}
+	return dst, nil
+}
+
+func appendFrag(dst []byte, u *xmltree.Unranked) ([]byte, error) {
+	if len(u.Label) > MaxOpLabel {
+		return dst, fmt.Errorf("update: encode: label of %d bytes", len(u.Label))
+	}
+	dst = appendString(dst, u.Label)
+	dst = binary.AppendUvarint(dst, uint64(len(u.Children)))
+	for _, c := range u.Children {
+		var err error
+		dst, err = appendFrag(dst, c)
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// DecodeOp decodes one op from the front of data and returns it with
+// the number of bytes consumed. The input is untrusted: any
+// malformation — a truncated varint, an unknown kind, a count past its
+// bound, a fragment whose shape contradicts its declared node count —
+// is an error, never a panic or an oversized allocation.
+func DecodeOp(data []byte) (Op, int, error) {
+	var op Op
+	n := 0
+	kind, err := readUvarint(data, &n)
+	if err != nil {
+		return op, n, fmt.Errorf("update: decode kind: %w", err)
+	}
+	pos, err := readUvarint(data, &n)
+	if err != nil {
+		return op, n, fmt.Errorf("update: decode pos: %w", err)
+	}
+	if pos > math.MaxInt64 {
+		return op, n, fmt.Errorf("update: decode: position %d out of range", pos)
+	}
+	op.Pos = int64(pos)
+	switch Kind(kind) {
+	case Rename:
+		op.Kind = Rename
+		op.Label, err = readString(data, &n)
+		if err != nil {
+			return op, n, fmt.Errorf("update: decode label: %w", err)
+		}
+	case Insert:
+		op.Kind = Insert
+		op.Frag, err = readFrag(data, &n)
+		if err != nil {
+			return op, n, fmt.Errorf("update: decode fragment: %w", err)
+		}
+	case Delete:
+		op.Kind = Delete
+	default:
+		return op, n, fmt.Errorf("update: decode: unknown op kind %d", kind)
+	}
+	return op, n, nil
+}
+
+// readFrag decodes a fragment iteratively (an explicit stack instead of
+// recursion, so hostile nesting depth costs memory it pays for in input
+// bytes, never goroutine stack).
+func readFrag(data []byte, n *int) (*xmltree.Unranked, error) {
+	declared, err := readUvarint(data, n)
+	if err != nil {
+		return nil, err
+	}
+	if declared == 0 || declared > MaxFragNodes {
+		return nil, fmt.Errorf("fragment node count %d out of range", declared)
+	}
+	budget := int64(declared)
+	readNode := func() (*xmltree.Unranked, int, error) {
+		if budget <= 0 {
+			return nil, 0, fmt.Errorf("fragment exceeds declared %d nodes", declared)
+		}
+		budget--
+		label, err := readString(data, n)
+		if err != nil {
+			return nil, 0, err
+		}
+		kids, err := readUvarint(data, n)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Compare unsigned: a hostile varint can exceed MaxInt64, and
+		// converting it to int64 first would wrap negative and pass.
+		if kids > uint64(budget) {
+			return nil, 0, fmt.Errorf("child count %d exceeds remaining node budget %d", kids, budget)
+		}
+		u := &xmltree.Unranked{Label: label}
+		if kids > 0 {
+			u.Children = make([]*xmltree.Unranked, 0, min(int(kids), maxChildPrealloc))
+		}
+		return u, int(kids), nil
+	}
+	root, kids, err := readNode()
+	if err != nil {
+		return nil, err
+	}
+	// stack holds nodes still owed children; want the number owed.
+	type pending struct {
+		node *xmltree.Unranked
+		want int
+	}
+	stack := []pending{{root, kids}}
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.want == 0 {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		top.want--
+		child, kids, err := readNode()
+		if err != nil {
+			return nil, err
+		}
+		top.node.Children = append(top.node.Children, child)
+		if kids > 0 {
+			stack = append(stack, pending{child, kids})
+		}
+	}
+	if budget != 0 {
+		return nil, fmt.Errorf("fragment declared %d nodes, encoded %d", declared, int64(declared)-budget)
+	}
+	return root, nil
+}
+
+func readUvarint(data []byte, n *int) (uint64, error) {
+	v, w := binary.Uvarint(data[*n:])
+	if w <= 0 {
+		return 0, fmt.Errorf("truncated varint at offset %d", *n)
+	}
+	*n += w
+	return v, nil
+}
+
+func readString(data []byte, n *int) (string, error) {
+	l, err := readUvarint(data, n)
+	if err != nil {
+		return "", err
+	}
+	if l > MaxOpLabel {
+		return "", fmt.Errorf("string of %d bytes at offset %d", l, *n)
+	}
+	if uint64(len(data)-*n) < l {
+		return "", fmt.Errorf("truncated string at offset %d", *n)
+	}
+	s := string(data[*n : *n+int(l)])
+	*n += int(l)
+	return s, nil
+}

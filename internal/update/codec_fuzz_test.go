@@ -1,0 +1,69 @@
+// FuzzOpDecode locks in the op codec's hostile-input hardening: WAL
+// records come off disk, so no byte stream — torn, bit-flipped, or
+// adversarial — may panic the decoder, demand an allocation larger
+// than the bytes backing it, or decode into an op the encoder would
+// refuse to produce. Any op that does decode must re-encode into a
+// stream that decodes to the same op again (the codec reaches a fixed
+// point after one round trip; non-minimal varints in the input may
+// shorten, nothing else may change).
+package update
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzOpDecode(f *testing.F) {
+	addOp := func(op Op) {
+		b, err := AppendOp(nil, op)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	for _, op := range codecOps() {
+		addOp(op)
+	}
+	// Two ops back to back: the decoder must consume exact lengths.
+	two, _ := AppendOp(nil, Op{Kind: Rename, Pos: 5, Label: "ab"})
+	two, _ = AppendOp(two, Op{Kind: Delete, Pos: 1})
+	f.Add(two)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0xff, 0xff, 0x7f})       // lying fragment count
+	f.Add([]byte{1, 0, 2, 1, 'a', 5})           // child count past budget
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80}) // torn varint
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		op, n, err := DecodeOp(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		enc, err := AppendOp(nil, op)
+		if err != nil {
+			t.Fatalf("decoded op does not re-encode: %v", err)
+		}
+		op2, n2, err := DecodeOp(enc)
+		if err != nil {
+			t.Fatalf("re-encoded op does not decode: %v", err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(enc))
+		}
+		if op2.Kind != op.Kind || op2.Pos != op.Pos || op2.Label != op.Label || !fragEqual(op.Frag, op2.Frag) {
+			t.Fatal("round trip changed the op")
+		}
+		enc2, err := AppendOp(nil, op2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}

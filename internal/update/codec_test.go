@@ -1,0 +1,179 @@
+package update
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// codecOps is a representative op mix: every kind, empty and deep and
+// wide fragments, unicode and empty labels.
+func codecOps() []Op {
+	deep := xmltree.NewUnranked("d0")
+	tip := deep
+	for i := 0; i < 40; i++ {
+		next := xmltree.NewUnranked("d")
+		tip.Children = []*xmltree.Unranked{next}
+		tip = next
+	}
+	wide := xmltree.NewUnranked("w")
+	for i := 0; i < 64; i++ {
+		wide.Children = append(wide.Children, xmltree.NewUnranked("c"))
+	}
+	return []Op{
+		{Kind: Rename, Pos: 0, Label: "a"},
+		{Kind: Rename, Pos: 1<<40 + 7, Label: ""},
+		{Kind: Rename, Pos: 3, Label: "röôt→"},
+		{Kind: Delete, Pos: 12345},
+		{Kind: Insert, Pos: 2, Frag: xmltree.NewUnranked("leaf")},
+		{Kind: Insert, Pos: 9, Frag: xmltree.NewUnranked("r",
+			xmltree.NewUnranked("x", xmltree.NewUnranked("y")),
+			xmltree.NewUnranked("z"))},
+		{Kind: Insert, Pos: 0, Frag: deep},
+		{Kind: Insert, Pos: 77, Frag: wide},
+	}
+}
+
+func fragEqual(a, b *xmltree.Unranked) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Label != b.Label || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !fragEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOpCodecRoundTrip(t *testing.T) {
+	var buf []byte
+	ops := codecOps()
+	for _, op := range ops {
+		var err error
+		buf, err = AppendOp(buf, op)
+		if err != nil {
+			t.Fatalf("AppendOp(%v): %v", op.Kind, err)
+		}
+	}
+	off := 0
+	for i, want := range ops {
+		got, n, err := DecodeOp(buf[off:])
+		if err != nil {
+			t.Fatalf("DecodeOp op %d: %v", i, err)
+		}
+		off += n
+		if got.Kind != want.Kind || got.Pos != want.Pos || got.Label != want.Label {
+			t.Fatalf("op %d: got %+v want %+v", i, got, want)
+		}
+		if !fragEqual(got.Frag, want.Frag) {
+			t.Fatalf("op %d: fragment mismatch", i)
+		}
+	}
+	if off != len(buf) {
+		t.Fatalf("decoded %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestOpCodecRejectsInvalidEncodes(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Op
+	}{
+		{"negative pos", Op{Kind: Delete, Pos: -1}},
+		{"insert without fragment", Op{Kind: Insert, Pos: 0}},
+		{"unknown kind", Op{Kind: Kind(9), Pos: 0}},
+		{"oversized label", Op{Kind: Rename, Pos: 0, Label: strings.Repeat("x", MaxOpLabel+1)}},
+	}
+	for _, c := range cases {
+		if _, err := AppendOp(nil, c.op); err == nil {
+			t.Errorf("%s: encode succeeded", c.name)
+		}
+	}
+}
+
+func TestOpCodecRejectsHostileDecodes(t *testing.T) {
+	enc := func(op Op) []byte {
+		b, err := AppendOp(nil, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	valid := enc(Op{Kind: Insert, Pos: 1, Frag: xmltree.NewUnranked("a", xmltree.NewUnranked("b"))})
+	// Every strict prefix of a valid op must fail cleanly, never panic.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, _, err := DecodeOp(valid[cut:cut]); err == nil && cut != len(valid) {
+			t.Fatalf("empty decode at %d succeeded", cut)
+		}
+		if _, _, err := DecodeOp(valid[:cut]); err == nil {
+			t.Fatalf("truncated decode at %d succeeded", cut)
+		}
+	}
+	hostile := [][]byte{
+		{},     // empty
+		{0x80}, // torn varint
+		{9, 0}, // unknown kind
+		{0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0}, // pos > MaxInt64
+		append([]byte{0, 0, 0xff, 0xff, 0xff, 0x7f}, make([]byte, 64)...),  // label length lies past cap? (within cap but truncated)
+		{1, 0, 0},                       // insert with zero-node fragment
+		{1, 0, 0xff, 0xff, 0x7f},        // fragment node count huge vs bytes
+		{1, 0, 2, 1, 'a', 5},            // child count exceeds node budget
+		{1, 0, 3, 1, 'a', 1, 1, 'b', 0}, // declared 3 nodes, encoded 2
+	}
+	for i, data := range hostile {
+		if _, _, err := DecodeOp(data); err == nil {
+			t.Errorf("hostile stream %d decoded", i)
+		}
+	}
+}
+
+func TestOpCodecAppliesIdentically(t *testing.T) {
+	// A decoded op must drive the update engine exactly like the
+	// original: replay both against the same plain tree.
+	st := xmltree.NewSymbolTable()
+	mk := func() *xmltree.Node {
+		return xmltree.NewUnranked("r",
+			xmltree.NewUnranked("a", xmltree.NewUnranked("b")),
+			xmltree.NewUnranked("c")).BinaryInto(st, xmltree.NewBottom())
+	}
+	ops := []Op{
+		{Kind: Rename, Pos: 2, Label: "q"},
+		{Kind: Insert, Pos: 4, Frag: xmltree.NewUnranked("n", xmltree.NewUnranked("m"))},
+		{Kind: Delete, Pos: 1},
+	}
+	var buf []byte
+	for _, op := range ops {
+		var err error
+		if buf, err = AppendOp(buf, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var decoded []Op
+	for off := 0; off < len(buf); {
+		op, n, err := DecodeOp(buf[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded = append(decoded, op)
+		off += n
+	}
+	want, err := ApplyTreeAll(st, mk(), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ApplyTreeAll(st, mk(), decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(want, got) {
+		t.Fatal("decoded ops diverged from originals")
+	}
+}

@@ -1,0 +1,174 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Inspection is strictly read-only: unlike Recover it never truncates,
+// deletes, or repairs — walinspect must be safe to run against a live
+// or evidence directory.
+
+// SegmentInfo describes one WAL segment as found on disk.
+type SegmentInfo struct {
+	Name    string
+	Start   int64 // stream position of the first op (from the header)
+	End     int64 // stream position after the last valid op
+	Records int
+	Ops     int64
+	Bytes   int64 // file size
+	// TornBytes is the byte count after the last valid record; 0 for a
+	// clean segment. Err explains the defect.
+	TornBytes int64
+	Err       string
+}
+
+// SnapshotInfo describes one snapshot file.
+type SnapshotInfo struct {
+	Name  string
+	Pos   int64
+	Bytes int64
+	// Valid reports whether the snapshot fully validates (CRC, position
+	// agreement, grammar decode); Err explains a failure.
+	Valid bool
+	Err   string
+}
+
+// DocInfo describes one document directory.
+type DocInfo struct {
+	Dir       string
+	ID        string // decoded document ID ("" if the name is foreign)
+	Segments  []SegmentInfo
+	Snapshots []SnapshotInfo
+	// DurablePos is the stream position recovery would reach: the
+	// newest valid snapshot's position plus the contiguous WAL chain on
+	// top of it. -1 when no snapshot validates (recovery would refuse).
+	DurablePos int64
+	// TailOps is how many ops that chain replays past the snapshot.
+	TailOps int64
+}
+
+// InspectDoc reads one document directory without modifying it.
+func InspectDoc(dir string) (*DocInfo, error) {
+	info := &DocInfo{Dir: dir, DurablePos: -1}
+	if id, ok := ParseDocDir(filepath.Base(dir)); ok {
+		info.ID = id
+	}
+	snaps, err := listNums(dir, parseSnapName)
+	if err != nil {
+		return nil, err
+	}
+	snapPos := int64(-1)
+	for _, pos := range snaps {
+		path := filepath.Join(dir, snapName(pos))
+		si := SnapshotInfo{Name: snapName(pos), Pos: pos}
+		if fi, err := os.Stat(path); err == nil {
+			si.Bytes = fi.Size()
+		}
+		if _, err := readSnapshot(path, pos); err != nil {
+			si.Err = err.Error()
+		} else {
+			si.Valid = true
+			if pos > snapPos {
+				snapPos = pos
+			}
+		}
+		info.Snapshots = append(info.Snapshots, si)
+	}
+
+	starts, err := listNums(dir, parseSegName)
+	if err != nil {
+		return nil, err
+	}
+	for _, start := range starts {
+		path := filepath.Join(dir, segName(start))
+		si := SegmentInfo{Name: segName(start), Start: start, End: start}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			si.Err = err.Error()
+			info.Segments = append(info.Segments, si)
+			continue
+		}
+		si.Bytes = int64(len(data))
+		hdrStart, recs, used, perr := parseSegment(data)
+		if used == 0 && perr != nil {
+			si.Err = perr.Error()
+			si.TornBytes = si.Bytes
+			info.Segments = append(info.Segments, si)
+			continue
+		}
+		si.Start = hdrStart
+		si.End = hdrStart
+		for _, r := range recs {
+			si.Records++
+			si.Ops += int64(len(r.ops))
+			si.End = r.start + int64(len(r.ops))
+		}
+		if used < len(data) {
+			si.TornBytes = int64(len(data) - used)
+			if perr != nil {
+				si.Err = perr.Error()
+			}
+		}
+		info.Segments = append(info.Segments, si)
+	}
+
+	if snapPos >= 0 {
+		info.DurablePos = snapPos
+		// Walk the chain exactly like recovery plans it, read-only.
+		expect := snapPos
+	chain:
+		for _, si := range info.Segments {
+			if si.Err != "" && si.Records == 0 && si.TornBytes == si.Bytes {
+				break // corrupt header stops the chain
+			}
+			data, err := os.ReadFile(filepath.Join(dir, si.Name))
+			if err != nil {
+				break
+			}
+			_, recs, _, _ := parseSegment(data)
+			for _, r := range recs {
+				recEnd := r.start + int64(len(r.ops))
+				switch {
+				case recEnd <= expect:
+				case r.start <= expect:
+					info.TailOps += recEnd - expect
+					expect = recEnd
+				default:
+					break chain
+				}
+			}
+			if si.TornBytes > 0 {
+				break
+			}
+		}
+		info.DurablePos = expect
+	}
+	return info, nil
+}
+
+// InspectFleet inspects every document directory under root.
+func InspectFleet(root string) ([]*DocInfo, error) {
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("wal: inspect %s: %w", root, err)
+	}
+	var out []*DocInfo
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		if _, ok := ParseDocDir(e.Name()); !ok {
+			continue
+		}
+		info, err := InspectDoc(filepath.Join(root, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

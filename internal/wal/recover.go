@@ -1,0 +1,253 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/grammar"
+	"repro/internal/update"
+)
+
+// RecoveryStats describes what Recover found and discarded.
+type RecoveryStats struct {
+	// SnapshotsCorrupt counts snapshot files that failed validation and
+	// were skipped (and deleted) before one loaded.
+	SnapshotsCorrupt int64
+	// RecoveredOps is the WAL tail length replayed on top of the
+	// snapshot — ops that were acked after the snapshot was cut.
+	RecoveredOps int64
+	// TruncatedTailRecords counts records dropped from the log tail:
+	// parsed records past a break in the chain, plus one for a torn
+	// final record. These were never acked (or were acked under
+	// FsyncOff, which trades exactly this away).
+	TruncatedTailRecords int64
+	// TruncatedTailBytes is the byte count truncated or removed.
+	TruncatedTailBytes int64
+}
+
+// Recovered is the result of reopening a document directory.
+type Recovered struct {
+	// Grammar is the snapshot state; the caller replays Tail on it to
+	// reach the durable head.
+	Grammar *grammar.Grammar
+	// SnapshotPos is the op position the snapshot covers.
+	SnapshotPos int64
+	// Tail holds the ops in (SnapshotPos, Log.Pos()], in order.
+	Tail []update.Op
+	// BatchLens splits Tail back into the batches that were appended:
+	// Tail[0:BatchLens[0]] was one AppendBatch call, and so on. Replaying
+	// batch-by-batch reproduces the original maintenance cadence
+	// (per-batch garbage collection), which batch-oblivious replay would
+	// not.
+	BatchLens []int
+	// Log is open and ready to append at Log.Pos().
+	Log   *Log
+	Stats RecoveryStats
+}
+
+// segRecord is one parsed, CRC-valid batch record.
+type segRecord struct {
+	start int64 // stream position of the batch's first op
+	ops   []update.Op
+	end   int // byte offset just past this record's frame
+}
+
+// parseSegment parses as many valid records as the segment holds. used
+// is the byte offset after the last good record; a non-nil err with
+// used < len(data) explains why parsing stopped there (torn tail, bad
+// CRC, undecodable batch). A header failure returns used == 0.
+func parseSegment(data []byte) (hdrStart int64, recs []segRecord, used int, err error) {
+	hdrStart, used, err = parseHeader(data, segMagic)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	for used < len(data) {
+		payload, end, rerr := nextRecord(data, used)
+		if rerr != nil {
+			return hdrStart, recs, used, rerr
+		}
+		start, ops, derr := decodeBatch(payload)
+		if derr != nil {
+			return hdrStart, recs, used, derr
+		}
+		recs = append(recs, segRecord{start: start, ops: ops, end: end})
+		used = end
+	}
+	return hdrStart, recs, used, nil
+}
+
+// Recover reopens a document directory after a crash (or a clean
+// close — the two are deliberately indistinguishable here). It loads
+// the newest snapshot that validates, falling back to older ones;
+// replans the WAL tail, keeping records only while they chain
+// contiguously from the snapshot position; and truncates everything
+// past the first defect — a torn record, a CRC mismatch, a gap in the
+// chain, a corrupt segment header. It never fails open: no byte past a
+// defect is ever replayed. The returned Log appends where the
+// recovered stream ends.
+func Recover(dir string, opts Options) (*Recovered, error) {
+	if err := removeStaleTemps(dir); err != nil {
+		return nil, err
+	}
+	g, snapPos, corrupt, err := loadNewestSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recovered{Grammar: g, SnapshotPos: snapPos}
+	rec.Stats.SnapshotsCorrupt = corrupt
+
+	starts, err := listNums(dir, parseSegName)
+	if err != nil {
+		return nil, err
+	}
+
+	expect := snapPos // next op position the chain must produce
+	activeStart := int64(-1)
+	activeOff := 0 // valid byte length of the surviving last segment
+	stopped := false
+	for _, segStart := range starts {
+		path := filepath.Join(dir, segName(segStart))
+		if stopped {
+			// Everything past the stop point is discarded whole.
+			if fi, err := os.Stat(path); err == nil {
+				rec.Stats.TruncatedTailBytes += fi.Size()
+			}
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("wal: recover: drop segment: %w", err)
+			}
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: recover: %w", err)
+		}
+		hdrStart, recs, used, perr := parseSegment(data)
+		if used == 0 && perr != nil {
+			// Corrupt header: the file is unusable. Stop the chain here.
+			stopped = true
+			rec.Stats.TruncatedTailBytes += int64(len(data))
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("wal: recover: drop segment: %w", err)
+			}
+			continue
+		}
+		if hdrStart != segStart {
+			// File name and header disagree — treat like a bad header.
+			stopped = true
+			rec.Stats.TruncatedTailBytes += int64(len(data))
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("wal: recover: drop segment: %w", err)
+			}
+			continue
+		}
+		keepOff := headerLen(data)
+		for i, r := range recs {
+			recEnd := r.start + int64(len(r.ops))
+			switch {
+			case recEnd <= expect:
+				// Fully below the snapshot: already covered.
+				keepOff = r.end
+			case r.start <= expect:
+				// Chains (possibly straddling the snapshot position).
+				take := r.ops[expect-r.start:]
+				rec.Tail = append(rec.Tail, take...)
+				rec.BatchLens = append(rec.BatchLens, len(take))
+				expect = recEnd
+				keepOff = r.end
+			default:
+				// Gap: this record's ops do not chain. Everything from
+				// here on is past a hole and must go.
+				stopped = true
+				rec.Stats.TruncatedTailRecords += int64(len(recs) - i)
+				rec.Stats.TruncatedTailBytes += int64(len(data) - keepOff)
+			}
+			if stopped {
+				break
+			}
+		}
+		if !stopped && used < len(data) {
+			// Torn or corrupt final record.
+			stopped = true
+			rec.Stats.TruncatedTailRecords++
+			rec.Stats.TruncatedTailBytes += int64(len(data) - used)
+			keepOff = used
+		}
+		if keepOff < len(data) {
+			if err := os.Truncate(path, int64(keepOff)); err != nil {
+				return nil, fmt.Errorf("wal: recover: truncate tail: %w", err)
+			}
+		}
+		activeStart, activeOff = segStart, keepOff
+	}
+
+	l := &Log{dir: dir, opts: opts, pos: expect}
+	if activeStart >= 0 {
+		path := filepath.Join(dir, segName(activeStart))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: recover: reopen segment: %w", err)
+		}
+		l.w = NewWriter(f, FileWAL, opts.Injector, int64(activeOff))
+		l.segStart = activeStart
+	} else if err := l.openSegmentLocked(expect); err != nil {
+		return nil, err
+	}
+	if err := l.syncDir(); err != nil {
+		return nil, err
+	}
+	rec.Log = l
+	rec.Stats.RecoveredOps = int64(len(rec.Tail))
+	return rec, nil
+}
+
+// headerLen returns the byte length of a segment's (already validated)
+// header.
+func headerLen(data []byte) int {
+	_, end, _ := parseHeader(data, segMagic)
+	return end
+}
+
+// removeStaleTemps deletes .tmp staging files a crash abandoned.
+func removeStaleTemps(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("wal: recover: %w", err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("wal: recover: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// loadNewestSnapshot tries snapshots newest-first, deleting each
+// corrupt one it skips, and returns the first that validates.
+func loadNewestSnapshot(dir string) (*grammar.Grammar, int64, int64, error) {
+	snaps, err := listNums(dir, parseSnapName)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var corrupt int64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, snapName(snaps[i]))
+		g, err := readSnapshot(path, snaps[i])
+		if err == nil {
+			return g, snaps[i], corrupt, nil
+		}
+		corrupt++
+		if err := os.Remove(path); err != nil {
+			return nil, 0, 0, fmt.Errorf("wal: recover: drop snapshot: %w", err)
+		}
+	}
+	return nil, 0, 0, fmt.Errorf("%w in %s", ErrNoSnapshot, dir)
+}
+
+// IsNoSnapshot reports whether err means the directory held no
+// loadable snapshot.
+func IsNoSnapshot(err error) bool { return errors.Is(err, ErrNoSnapshot) }

@@ -1,0 +1,139 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/grammar"
+)
+
+// snapRetain is how many snapshots a document keeps. Two, not one: if
+// the newest is corrupt (crash mid-publish escapes the rename barrier
+// on some filesystems), recovery falls back to the previous — and
+// truncation only ever deletes segments below the OLDER retained
+// snapshot, so the fallback always has full WAL coverage up to the
+// present.
+const snapRetain = 2
+
+// WriteSnapshot publishes a snapshot: encodedGrammar is the document's
+// grammar.Encode bytes with every op below pos applied. The file is
+// staged as a temp, fsynced, renamed into place, and the directory
+// synced — a crash at any point leaves either the old snapshot set or
+// the new one, never a half-visible file under the real name. After
+// publishing, older snapshots beyond the retention pair are pruned and
+// fully covered WAL segments are truncated.
+//
+// The heavy file work runs off the append mutex, so a concurrent
+// AppendBatch never waits on snapshot IO.
+func (l *Log) WriteSnapshot(pos int64, encodedGrammar []byte) error {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+	if pos < 0 {
+		return fmt.Errorf("wal: snapshot at negative position %d", pos)
+	}
+	if err := l.publishSnapshot(pos, encodedGrammar); err != nil {
+		return err
+	}
+	// Prune beyond the retention pair, oldest first.
+	snaps, err := listNums(l.dir, parseSnapName)
+	if err != nil {
+		return err
+	}
+	for len(snaps) > snapRetain {
+		if err := l.remove(FileSnapshot, filepath.Join(l.dir, snapName(snaps[0]))); err != nil {
+			return err
+		}
+		snaps = snaps[1:]
+	}
+	if err := l.syncDir(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.ctr.Snapshots++
+	l.ctr.SnapshotBytes += int64(len(encodedGrammar))
+	l.mu.Unlock()
+	// Segments below the older retained snapshot are covered twice
+	// over; drop them.
+	return l.truncateBefore(snaps[0])
+}
+
+// publishSnapshot stages and renames one snapshot file.
+func (l *Log) publishSnapshot(pos int64, encodedGrammar []byte) error {
+	payload := binary.AppendUvarint(nil, uint64(pos))
+	payload = append(payload, encodedGrammar...)
+	tmp := filepath.Join(l.dir, snapName(pos)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: stage snapshot: %w", err)
+	}
+	w := NewWriter(f, FileSnapshot, l.opts.Injector, 0)
+	err = w.WriteHeader(snapMagic, pos)
+	if err == nil {
+		_, err = w.AppendRecord(payload)
+	}
+	if err == nil {
+		err = w.Sync()
+	}
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if l.opts.Injector != nil {
+		if _, err := l.opts.Injector.Inject(FileSnapshot, OpRename, nil); err != nil {
+			return fmt.Errorf("wal: publish snapshot: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName(pos))); err != nil {
+		return fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot loads and fully validates one snapshot file: header,
+// record CRC, position agreement with the file name, grammar decode,
+// and no trailing bytes. Any defect is an error — the caller treats
+// the file as corrupt and falls back.
+func readSnapshot(path string, wantPos int64) (*grammar.Grammar, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parseSnapshot(data, wantPos)
+}
+
+// parseSnapshot is the pure validation core of readSnapshot (and the
+// fuzz target's entry point).
+func parseSnapshot(data []byte, wantPos int64) (*grammar.Grammar, error) {
+	start, off, err := parseHeader(data, snapMagic)
+	if err != nil {
+		return nil, err
+	}
+	if start != wantPos {
+		return nil, fmt.Errorf("wal: snapshot header position %d, file name says %d", start, wantPos)
+	}
+	payload, end, err := nextRecord(data, off)
+	if err != nil {
+		return nil, err
+	}
+	if end != len(data) {
+		return nil, fmt.Errorf("wal: %d trailing bytes after snapshot record", len(data)-end)
+	}
+	pos, w := binary.Uvarint(payload)
+	if w <= 0 || int64(pos) != wantPos {
+		return nil, fmt.Errorf("wal: snapshot payload position mismatch")
+	}
+	r := bytes.NewReader(payload[w:])
+	g, err := grammar.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot grammar: %w", err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes after snapshot grammar", r.Len())
+	}
+	return g, nil
+}

@@ -1,0 +1,523 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/grammar"
+	"repro/internal/treerepair"
+	"repro/internal/update"
+	"repro/internal/workload"
+)
+
+// testWorkload compresses a small corpus seed and returns its grammar
+// plus a realistic op stream (renames, inserts, deletes).
+func testWorkload(t *testing.T, nOps int) (*grammar.Grammar, []update.Op) {
+	t.Helper()
+	c, ok := datasets.ByShort("EW")
+	if !ok {
+		t.Fatal("no EW corpus")
+	}
+	seq, err := workload.Updates(c.Generate(0.05, 3), nOps, 80, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := treerepair.Compress(seq.Seed, treerepair.Options{})
+	return g, seq.Ops
+}
+
+func encodeGrammar(t *testing.T, g *grammar.Grammar) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := grammar.Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// opsBytes canonically encodes an op slice, so two slices compare as
+// byte strings.
+func opsBytes(t *testing.T, ops []update.Op) []byte {
+	t.Helper()
+	var buf []byte
+	for _, op := range ops {
+		var err error
+		if buf, err = update.AppendOp(buf, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+// appendAll writes ops to the log in fixed-size batches, returning how
+// many ops were acked.
+func appendAll(t *testing.T, l *Log, ops []update.Op, batch int) int {
+	t.Helper()
+	base := l.Pos()
+	for off := 0; off < len(ops); off += batch {
+		end := min(off+batch, len(ops))
+		if err := l.AppendBatch(base+int64(off), ops[off:end]); err != nil {
+			return off
+		}
+	}
+	return len(ops)
+}
+
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := filepath.Join(t.TempDir(), filepath.Base(src))
+	if err := os.Mkdir(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func TestLogAppendRecoverRoundTrip(t *testing.T) {
+	g, ops := testWorkload(t, 60)
+	seed := encodeGrammar(t, g)
+	dir := filepath.Join(t.TempDir(), DocDir("doc"))
+	l, err := Create(dir, seed, Options{Fsync: FsyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := appendAll(t, l, ops[:40], 7); n != 40 {
+		t.Fatalf("acked %d of 40 ops", n)
+	}
+	ctr := l.Counters()
+	if ctr.Appends != 6 || ctr.Syncs < 6 || ctr.AppendedBytes == 0 {
+		t.Fatalf("counters: %+v", ctr)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotPos != 0 || rec.Log.Pos() != 40 {
+		t.Fatalf("recovered snapshotPos=%d pos=%d", rec.SnapshotPos, rec.Log.Pos())
+	}
+	if !bytes.Equal(encodeGrammar(t, rec.Grammar), seed) {
+		t.Fatal("snapshot grammar differs from seed")
+	}
+	if !bytes.Equal(opsBytes(t, rec.Tail), opsBytes(t, ops[:40])) {
+		t.Fatal("recovered tail differs from appended ops")
+	}
+	if rec.Stats.TruncatedTailRecords != 0 || rec.Stats.SnapshotsCorrupt != 0 {
+		t.Fatalf("clean reopen reported damage: %+v", rec.Stats)
+	}
+
+	// The recovered log must keep appending where the stream ended.
+	if err := rec.Log.AppendBatch(40, ops[40:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := Recover(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Log.Close()
+	if !bytes.Equal(opsBytes(t, rec2.Tail), opsBytes(t, ops)) {
+		t.Fatal("second recovery lost ops")
+	}
+}
+
+func TestAppendRejectsGapAndStaysUsable(t *testing.T) {
+	g, ops := testWorkload(t, 10)
+	dir := filepath.Join(t.TempDir(), DocDir("gap"))
+	l, err := Create(dir, encodeGrammar(t, g), Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.AppendBatch(5, ops[5:]); err == nil {
+		t.Fatal("gapped batch accepted")
+	}
+	if err := l.AppendBatch(0, ops[:5]); err != nil {
+		t.Fatalf("log unusable after rejected gap: %v", err)
+	}
+}
+
+// TestRecoverEveryTruncationPoint is the exhaustive torn-tail test:
+// the active segment cut at every byte boundary must recover to some
+// acked batch prefix — never an error, never an op past the cut, never
+// a half-applied batch.
+func TestRecoverEveryTruncationPoint(t *testing.T) {
+	g, ops := testWorkload(t, 36)
+	seed := encodeGrammar(t, g)
+	master := filepath.Join(t.TempDir(), DocDir("torn"))
+	l, err := Create(master, seed, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 6
+	if n := appendAll(t, l, ops, batch); n != len(ops) {
+		t.Fatalf("acked %d of %d", n, len(ops))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(master, segName(0))
+	full, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := copyDir(t, master)
+		if err := os.Truncate(filepath.Join(dir, segName(0)), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recover(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		n := len(rec.Tail)
+		if n%batch != 0 {
+			t.Fatalf("cut %d: recovered %d ops, not a batch multiple", cut, n)
+		}
+		if !bytes.Equal(opsBytes(t, rec.Tail), opsBytes(t, ops[:n])) {
+			t.Fatalf("cut %d: recovered tail is not the stream prefix", cut)
+		}
+		if rec.Log.Pos() != int64(n) {
+			t.Fatalf("cut %d: pos %d, tail %d", cut, rec.Log.Pos(), n)
+		}
+		// Recovery must leave the directory clean: a second recovery
+		// sees the same state and reports no further damage.
+		if err := rec.Log.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rec2, err := Recover(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: re-recovery failed: %v", cut, err)
+		}
+		if len(rec2.Tail) != n || rec2.Stats.TruncatedTailRecords != 0 {
+			t.Fatalf("cut %d: recovery not idempotent: %d ops, stats %+v", cut, len(rec2.Tail), rec2.Stats)
+		}
+		// The reopened log must accept the rest of the stream.
+		if n < len(ops) {
+			if err := rec2.Log.AppendBatch(int64(n), ops[n:]); err != nil {
+				t.Fatalf("cut %d: append after recovery: %v", cut, err)
+			}
+		}
+		rec2.Log.Close()
+	}
+}
+
+func TestCrashPlanTearsWritesAndSticks(t *testing.T) {
+	g, ops := testWorkload(t, 30)
+	seed := encodeGrammar(t, g)
+	dir := filepath.Join(t.TempDir(), DocDir("crash"))
+
+	// Probe the exact on-disk size of the first two batches, so the
+	// byte budget tears precisely inside the third record.
+	clean, err := Create(filepath.Join(t.TempDir(), DocDir("probe")), seed, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.AppendBatch(0, ops[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.AppendBatch(5, ops[5:10]); err != nil {
+		t.Fatal(err)
+	}
+	probe := clean.Counters().AppendedBytes
+	clean.Close()
+
+	plan := NewCrashPlan()
+	// Budget covers the segment header, two full batch records, and a
+	// few bytes of the third — the third write tears.
+	hdr := int64(len(segMagic)) + 2 // magic + version + start varints
+	plan.WALWriteBytes = hdr + probe + 3
+	l, err := Create(dir, seed, Options{Fsync: FsyncOff, Injector: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(0, ops[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(5, ops[5:10]); err != nil {
+		t.Fatal(err)
+	}
+	err = l.AppendBatch(10, ops[10:15])
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write returned %v", err)
+	}
+	if !plan.Tripped() {
+		t.Fatal("plan did not trip")
+	}
+	// The log is broken: nothing else may be acked.
+	if err := l.AppendBatch(15, ops[15:20]); !errors.Is(err, ErrLogBroken) {
+		t.Fatalf("append on broken log returned %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrLogBroken) {
+		t.Fatalf("sync on broken log returned %v", err)
+	}
+	l.Close() // crash: close without sync
+
+	rec, err := Recover(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Log.Close()
+	if !bytes.Equal(opsBytes(t, rec.Tail), opsBytes(t, ops[:10])) {
+		t.Fatalf("recovered %d ops; want exactly the 10 acked", len(rec.Tail))
+	}
+	if rec.Stats.TruncatedTailRecords != 1 {
+		t.Fatalf("want 1 truncated record (the torn one), got %+v", rec.Stats)
+	}
+}
+
+func TestCrashPlanFsyncAndMetaBudgets(t *testing.T) {
+	g, ops := testWorkload(t, 10)
+	seed := encodeGrammar(t, g)
+
+	plan := NewCrashPlan()
+	// Create costs two syncs (base snapshot file + directory); the
+	// first batch's fsync is the third, the second batch's fails.
+	plan.Syncs = 3
+	dir := filepath.Join(t.TempDir(), DocDir("fsync"))
+	l, err := Create(dir, seed, Options{Fsync: FsyncBatch, Injector: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(0, ops[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(3, ops[3:6]); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fsync budget: got %v", err)
+	}
+	l.Close()
+	rec, err := Recover(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second batch's bytes may be on disk (the write succeeded, the
+	// fsync failed) — recovery may surface at most those, never more.
+	if len(rec.Tail) != 3 && len(rec.Tail) != 6 {
+		t.Fatalf("recovered %d ops, want 3 (acked) or 6 (written, unacked)", len(rec.Tail))
+	}
+	rec.Log.Close()
+
+	// Meta budget: snapshot publish rename fails.
+	plan2 := NewCrashPlan()
+	plan2.MetaOps = 1 // Create's base-snapshot rename passes, next fails
+	dir2 := filepath.Join(t.TempDir(), DocDir("meta"))
+	l2, err := Create(dir2, seed, Options{Fsync: FsyncOff, Injector: plan2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.AppendBatch(0, ops[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.WriteSnapshot(5, seed); !errors.Is(err, ErrInjected) {
+		t.Fatalf("snapshot rename: got %v", err)
+	}
+	l2.Close()
+	rec2, err := Recover(dir2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Log.Close()
+	if rec2.SnapshotPos != 0 || len(rec2.Tail) != 5 {
+		t.Fatalf("mid-publish crash recovery: snap=%d tail=%d", rec2.SnapshotPos, len(rec2.Tail))
+	}
+}
+
+func TestSnapshotRollPruneTruncate(t *testing.T) {
+	g, ops := testWorkload(t, 60)
+	dir := filepath.Join(t.TempDir(), DocDir("roll"))
+	// Tiny segments so truncation has files to delete.
+	l, err := Create(dir, encodeGrammar(t, g), Options{Fsync: FsyncOff, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapAt := func(pos int) {
+		gg := g.Clone()
+		if err := update.ApplyAll(gg, ops[:pos]); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.WriteSnapshot(int64(pos), encodeGrammar(t, gg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := appendAll(t, l, ops[:30], 5); n != 30 {
+		t.Fatal("append failed")
+	}
+	snapAt(30)
+	if n := appendAll(t, l, ops[30:], 5); n != 30 {
+		t.Fatal("append failed")
+	}
+	snapAt(60)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, err := listNums(dir, parseSnapName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0] != 30 || snaps[1] != 60 {
+		t.Fatalf("retained snapshots %v, want [30 60]", snaps)
+	}
+	segs, err := listNums(dir, parseSegName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 || segs[0] > 30 {
+		t.Fatalf("segments %v must still cover the fallback snapshot at 30", segs)
+	}
+	if ctr := l.Counters(); ctr.SegmentsRemoved == 0 || ctr.Snapshots != 2 {
+		t.Fatalf("counters %+v: want truncation and 2 snapshots", ctr)
+	}
+
+	// Clean recovery rides the newest snapshot.
+	rec, err := Recover(copyDir(t, dir), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotPos != 60 || len(rec.Tail) != 0 || rec.Log.Pos() != 60 {
+		t.Fatalf("snap=%d tail=%d pos=%d", rec.SnapshotPos, len(rec.Tail), rec.Log.Pos())
+	}
+	wantG := g.Clone()
+	if err := update.ApplyAll(wantG, ops); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeGrammar(t, rec.Grammar), encodeGrammar(t, wantG)) {
+		t.Fatal("recovered grammar differs from replayed state")
+	}
+	rec.Log.Close()
+
+	// Corrupt the newest snapshot: recovery falls back to pos 30 and
+	// replays the retained segments — full coverage, same final state.
+	dir2 := copyDir(t, dir)
+	snapPath := filepath.Join(dir2, snapName(60))
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := Recover(dir2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.SnapshotPos != 30 || rec2.Stats.SnapshotsCorrupt != 1 {
+		t.Fatalf("fallback: snap=%d stats=%+v", rec2.SnapshotPos, rec2.Stats)
+	}
+	if !bytes.Equal(opsBytes(t, rec2.Tail), opsBytes(t, ops[30:])) {
+		t.Fatal("fallback tail is not ops[30:]")
+	}
+	rec2.Log.Close()
+
+	// Corrupt both snapshots: recovery must refuse, not fail open.
+	dir3 := copyDir(t, dir)
+	for _, pos := range []int64{30, 60} {
+		p := filepath.Join(dir3, snapName(pos))
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-3] ^= 0xff
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Recover(dir3, Options{}); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("double corruption recovered: %v", err)
+	}
+}
+
+func TestDocDirNaming(t *testing.T) {
+	ids := []string{"", "a", "doc-1", "π/..\\weird\x00id", "UPPER.lower"}
+	for _, id := range ids {
+		name := DocDir(id)
+		if name != filepath.Base(name) || name == "." || name == ".." {
+			t.Fatalf("DocDir(%q) = %q is not a safe file name", id, name)
+		}
+		got, ok := ParseDocDir(name)
+		if !ok || got != id {
+			t.Fatalf("ParseDocDir(DocDir(%q)) = %q, %v", id, got, ok)
+		}
+	}
+	for _, foreign := range []string{"doc", "doc-ABC!", "snap-0", ""} {
+		if _, ok := ParseDocDir(foreign); ok {
+			t.Fatalf("ParseDocDir accepted %q", foreign)
+		}
+	}
+}
+
+func TestInspectDocMatchesRecovery(t *testing.T) {
+	g, ops := testWorkload(t, 24)
+	master := filepath.Join(t.TempDir(), DocDir("inspect"))
+	l, err := Create(master, encodeGrammar(t, g), Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, ops, 4)
+	l.Close()
+
+	info, err := InspectDoc(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "inspect" || info.DurablePos != 24 || info.TailOps != 24 {
+		t.Fatalf("clean inspect: %+v", info)
+	}
+	if len(info.Snapshots) != 1 || !info.Snapshots[0].Valid {
+		t.Fatalf("snapshots: %+v", info.Snapshots)
+	}
+
+	// Tear the tail; inspect must agree with what recovery would keep,
+	// and must not modify the directory.
+	segPath := filepath.Join(master, segName(0))
+	fi, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segPath, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.ReadFile(segPath)
+	info2, err := InspectDoc(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.DurablePos != 20 || info2.Segments[0].TornBytes == 0 {
+		t.Fatalf("torn inspect: %+v", info2)
+	}
+	after, _ := os.ReadFile(segPath)
+	if !bytes.Equal(before, after) {
+		t.Fatal("inspect modified the segment")
+	}
+	rec, err := Recover(master, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Log.Close()
+	if int64(len(rec.Tail)) != info2.TailOps {
+		t.Fatalf("inspect said %d tail ops, recovery found %d", info2.TailOps, len(rec.Tail))
+	}
+}

@@ -1,0 +1,206 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/update"
+)
+
+// Segment and snapshot file headers. Both start with a 4-byte magic
+// and a uvarint version so walinspect (and future format bumps) can
+// tell the files apart without trusting extensions.
+const (
+	segMagic   = "SLTW"
+	snapMagic  = "SLTS"
+	walVersion = 1
+)
+
+// castagnoli is the CRC32C table every record checksum uses.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer appends framed records to one file, routing every byte
+// through the fault injector. It is the single funnel all durable
+// bytes pass through: segments and snapshots alike, so one injection
+// point covers every crash surface.
+type Writer struct {
+	f    *os.File
+	kind FileKind
+	inj  Injector
+	off  int64
+
+	scratch []byte // frame assembly buffer, reused across records
+}
+
+// NewWriter wraps an open file. off must be the current append offset
+// (0 for a fresh file, the valid size for a recovered one).
+func NewWriter(f *os.File, kind FileKind, inj Injector, off int64) *Writer {
+	return &Writer{f: f, kind: kind, inj: inj, off: off}
+}
+
+// Offset returns the bytes written so far (including a torn prefix of
+// a failed write — exactly what is on disk).
+func (w *Writer) Offset() int64 { return w.off }
+
+// write pushes p through the injector and then to the file. On an
+// injected torn write the surviving prefix really reaches the file
+// before the error returns — the disk state a crash would leave.
+func (w *Writer) write(p []byte) error {
+	n := len(p)
+	var injErr error
+	if w.inj != nil {
+		n, injErr = w.inj.Inject(w.kind, OpWrite, p)
+	}
+	if n > 0 {
+		m, err := w.f.Write(p[:n])
+		w.off += int64(m)
+		if err != nil {
+			return err
+		}
+		if m < n {
+			return io.ErrShortWrite
+		}
+	}
+	return injErr
+}
+
+// WriteHeader writes a file header (magic, version, start position).
+func (w *Writer) WriteHeader(magic string, start int64) error {
+	w.scratch = append(w.scratch[:0], magic...)
+	w.scratch = binary.AppendUvarint(w.scratch, walVersion)
+	w.scratch = binary.AppendUvarint(w.scratch, uint64(start))
+	return w.write(w.scratch)
+}
+
+// AppendRecord frames payload (uvarint length, payload, CRC32C) and
+// writes it as one write call, so injected byte budgets tear records
+// at byte-precise boundaries. Returns the framed size.
+func (w *Writer) AppendRecord(payload []byte) (int64, error) {
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: record payload of %d bytes exceeds %d", len(payload), maxRecordBytes)
+	}
+	w.scratch = binary.AppendUvarint(w.scratch[:0], uint64(len(payload)))
+	w.scratch = append(w.scratch, payload...)
+	w.scratch = binary.LittleEndian.AppendUint32(w.scratch, crc32.Checksum(payload, castagnoli))
+	n := int64(len(w.scratch))
+	if err := w.write(w.scratch); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Sync fsyncs the file (through the injector).
+func (w *Writer) Sync() error {
+	if w.inj != nil {
+		if _, err := w.inj.Inject(w.kind, OpSync, nil); err != nil {
+			return err
+		}
+	}
+	return w.f.Sync()
+}
+
+// Close closes the underlying file without syncing.
+func (w *Writer) Close() error { return w.f.Close() }
+
+// nextRecord parses the framed record at data[off:]. A clean parse
+// returns the payload and the offset past the record. Any defect —
+// torn length varint, length past maxRecordBytes, short payload or
+// checksum, CRC mismatch — is returned as an error; the caller treats
+// off as the truncation point.
+func nextRecord(data []byte, off int) (payload []byte, end int, err error) {
+	ln, w := binary.Uvarint(data[off:])
+	if w <= 0 {
+		return nil, off, fmt.Errorf("wal: torn record length at offset %d", off)
+	}
+	if ln > maxRecordBytes {
+		return nil, off, fmt.Errorf("wal: record length %d at offset %d exceeds %d", ln, off, maxRecordBytes)
+	}
+	body := off + w
+	if uint64(len(data)-body) < ln+4 {
+		return nil, off, fmt.Errorf("wal: short record at offset %d (%d of %d+4 bytes)", off, len(data)-body, ln)
+	}
+	payload = data[body : body+int(ln)]
+	want := binary.LittleEndian.Uint32(data[body+int(ln):])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, off, fmt.Errorf("wal: CRC mismatch at offset %d (got %08x want %08x)", off, got, want)
+	}
+	return payload, body + int(ln) + 4, nil
+}
+
+// parseHeader validates a file header and returns the declared start
+// position and the offset past the header.
+func parseHeader(data []byte, magic string) (start int64, end int, err error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return 0, 0, fmt.Errorf("wal: bad magic (want %q)", magic)
+	}
+	off := len(magic)
+	ver, w := binary.Uvarint(data[off:])
+	if w <= 0 || ver != walVersion {
+		return 0, 0, fmt.Errorf("wal: unsupported version %d", ver)
+	}
+	off += w
+	s, w := binary.Uvarint(data[off:])
+	if w <= 0 {
+		return 0, 0, fmt.Errorf("wal: torn header")
+	}
+	if s > 1<<62 {
+		return 0, 0, fmt.Errorf("wal: header start position %d out of range", s)
+	}
+	return int64(s), off + w, nil
+}
+
+// encodeBatch builds a record payload for a committed batch: the
+// batch's stream start position, its op count, then the ops.
+func encodeBatch(dst []byte, start int64, ops []update.Op) ([]byte, error) {
+	if len(ops) == 0 {
+		return dst, fmt.Errorf("wal: empty batch")
+	}
+	if start < 0 {
+		return dst, fmt.Errorf("wal: negative batch start %d", start)
+	}
+	dst = binary.AppendUvarint(dst, uint64(start))
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	for i := range ops {
+		var err error
+		dst, err = update.AppendOp(dst, ops[i])
+		if err != nil {
+			return dst, fmt.Errorf("wal: batch op %d: %w", i, err)
+		}
+	}
+	return dst, nil
+}
+
+// decodeBatch parses a record payload. The payload passed CRC, but a
+// hostile or version-skewed file can still frame garbage, so every
+// count is validated and trailing bytes are an error.
+func decodeBatch(payload []byte) (start int64, ops []update.Op, err error) {
+	s, w := binary.Uvarint(payload)
+	if w <= 0 || s > 1<<62 {
+		return 0, nil, fmt.Errorf("wal: bad batch start position")
+	}
+	off := w
+	n, w := binary.Uvarint(payload[off:])
+	if w <= 0 {
+		return 0, nil, fmt.Errorf("wal: torn batch op count")
+	}
+	if n == 0 || n > maxBatchOps {
+		return 0, nil, fmt.Errorf("wal: batch op count %d out of range", n)
+	}
+	off += w
+	ops = make([]update.Op, 0, min(int(n), 1024))
+	for i := uint64(0); i < n; i++ {
+		op, used, err := update.DecodeOp(payload[off:])
+		if err != nil {
+			return 0, nil, fmt.Errorf("wal: batch op %d: %w", i, err)
+		}
+		off += used
+		ops = append(ops, op)
+	}
+	if off != len(payload) {
+		return 0, nil, fmt.Errorf("wal: %d trailing bytes after batch", len(payload)-off)
+	}
+	return int64(s), ops, nil
+}

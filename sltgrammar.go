@@ -58,6 +58,7 @@ import (
 	"repro/internal/treerepair"
 	"repro/internal/udc"
 	"repro/internal/update"
+	"repro/internal/wal"
 	"repro/internal/xmltree"
 )
 
@@ -100,6 +101,25 @@ type (
 	// ShardedStats aggregates Store counters across all documents of a
 	// ShardedStore.
 	ShardedStats = store.ShardedStats
+	// Durability makes a Store or ShardedStore durable: set it on a
+	// StoreConfig and every acked update batch is appended to a
+	// per-document write-ahead log (per the fsync policy) before the
+	// write returns, with encoded-grammar snapshots rolling in the
+	// background to bound recovery replay. See repro/internal/wal for
+	// the on-disk format and crash-tolerance contract.
+	Durability = store.Durability
+	// FsyncPolicy selects when the write-ahead log reaches stable
+	// storage: FsyncBatch (every acked batch survives any crash),
+	// FsyncInterval (bounded loss window), or FsyncOff (the OS decides;
+	// a clean Close still loses nothing).
+	FsyncPolicy = wal.FsyncPolicy
+)
+
+// Fsync policies for Durability.
+const (
+	FsyncBatch    = wal.FsyncBatch
+	FsyncInterval = wal.FsyncInterval
+	FsyncOff      = wal.FsyncOff
 )
 
 // Errors of the multi-document layer.
@@ -138,6 +158,17 @@ func NewStore(g *Grammar, cfg ...StoreConfig) *Store { return store.New(g, cfg..
 //	_ = n
 func NewShardedStore(shards int, cfg ...StoreConfig) *ShardedStore {
 	return store.NewSharded(shards, cfg...)
+}
+
+// OpenShardedStore reopens a durable multi-document fleet from disk:
+// every document directory under cfg.Durability.Dir is recovered —
+// newest valid snapshot plus write-ahead-log tail replay, truncating
+// any torn tail a crash left behind — and registered under its
+// original ID. The directory may be empty or absent (a fresh fleet).
+// cfg.Durability must be set; documents opened afterwards with Open
+// are created durable in the same directory.
+func OpenShardedStore(shards int, cfg StoreConfig) (*ShardedStore, error) {
+	return store.OpenSharded(shards, cfg)
 }
 
 // NewCursor returns a cursor at the root of the derived tree. Every move
