@@ -157,6 +157,24 @@ func BenchmarkStoreUpdateStreamDurable(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreReadStream measures serving one read (zero-copy cursor
+// + label count over a pinned generation) while a background writer
+// ingests continuously; see benchsuite.StoreReadStreamBench.
+func BenchmarkStoreReadStream(b *testing.B) {
+	for _, short := range benchsuite.MicroShorts {
+		c, _ := datasets.ByShort(short)
+		b.Run(c.Name, benchsuite.StoreReadStreamBench(short))
+	}
+}
+
+// BenchmarkShardedTiered measures a 256-document fleet under a memory
+// budget a quarter of its unbounded resident footprint, driven by the
+// pinned Zipf schedule; ns/op includes evictions and rehydrations.
+func BenchmarkShardedTiered(b *testing.B) {
+	b.Run(fmt.Sprintf("XM/docs=%d", benchsuite.TieredDocs),
+		benchsuite.ShardedTieredBench("XM", benchsuite.TieredDocs))
+}
+
 // BenchmarkPerOpUpdateStream is the baseline: a fresh ValSizes pass per
 // operation and a garbage collection after every delete.
 func BenchmarkPerOpUpdateStream(b *testing.B) {

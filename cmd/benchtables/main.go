@@ -215,6 +215,11 @@ func writeBenchJSON(n int, cfg experiments.Config) error {
 		add(fmt.Sprintf("UpdateStreamSharded/XM/docs=%d/shards=%d", benchsuite.ShardedDocs, shards),
 			benchsuite.ShardedUpdateStreamBench("XM", shards, benchsuite.ShardedDocs))
 	}
+	for _, short := range benchsuite.MicroShorts {
+		add("StoreReadStream/"+short, benchsuite.StoreReadStreamBench(short))
+	}
+	add(fmt.Sprintf("ShardedTiered/XM/docs=%d", benchsuite.TieredDocs),
+		benchsuite.ShardedTieredBench("XM", benchsuite.TieredDocs))
 
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -86,12 +86,24 @@ func printDoc(d *wal.DocInfo, verbose bool) {
 		segBytes += s.Bytes
 		torn += s.TornBytes
 	}
+	// Cold footprint: what rehydrating this document costs a memory-tiered
+	// fleet — decode the newest valid snapshot, replay the WAL tail.
+	coldBytes, coldPos := int64(-1), int64(-1)
+	for _, s := range d.Snapshots {
+		if s.Valid && s.Pos > coldPos {
+			coldBytes, coldPos = s.Bytes, s.Pos
+		}
+	}
 	fmt.Printf("%-20s durable=%d tail=%d ops  snapshots=%d  segments=%d (%d B", id,
 		d.DurablePos, d.TailOps, len(d.Snapshots), len(d.Segments), segBytes)
 	if torn > 0 {
 		fmt.Printf(", %d B torn", torn)
 	}
-	fmt.Println(")")
+	fmt.Print(")")
+	if coldBytes >= 0 {
+		fmt.Printf("  cold=%d B + %d ops replay", coldBytes, d.TailOps)
+	}
+	fmt.Println()
 	if !verbose {
 		return
 	}

@@ -151,6 +151,9 @@ func multiDoc(serve *examples.Serve) {
 	if line := examples.DurabilityLine(agg); line != "" {
 		fmt.Println(line)
 	}
+	if line := examples.ResidencyLine(agg); line != "" {
+		fmt.Println(line)
+	}
 	fmt.Println("all sessions converged to their target documents")
 
 	if serve.WALDir != "" {

@@ -161,6 +161,9 @@ func multiLog(serve *examples.Serve) {
 	if line := examples.DurabilityLine(agg); line != "" {
 		fmt.Println(line)
 	}
+	if line := examples.ResidencyLine(agg); line != "" {
+		fmt.Println(line)
+	}
 	fmt.Printf("every log holds exactly %d elements, compressed\n", want)
 
 	if serve.WALDir != "" {

@@ -47,6 +47,44 @@ const (
 	ShardedDocs = 8
 )
 
+// Read-stream track: the zero-copy read path measured against a live
+// writer (generational reads — see repro/internal/store).
+const (
+	// ReadStreamRenames is the length of the position-stable rename
+	// cycle the background writer replays for the duration of the
+	// measured loop. Renames never move preorder positions, so the
+	// cycle can repeat forever against the same document.
+	ReadStreamRenames = 64
+	// ReadStreamSeed drives that rename cycle.
+	ReadStreamSeed = 13
+	// ReadStreamLabel is the element label the measured query counts.
+	// The writer's first cycle renames a node to it, so the query runs
+	// against label-usage state the writer keeps republishing.
+	ReadStreamLabel = "fresh0"
+)
+
+// Tiered-fleet track: many documents under a memory budget a fraction
+// of the fleet's resident footprint, driven by a Zipf-skewed schedule —
+// the regime the ShardedStore memory tier exists for.
+const (
+	// TieredDocs is the fleet size.
+	TieredDocs = 256
+	// TieredPoolDocs is the number of distinct pinned documents the
+	// fleet is cloned from: setup cost stays tractable at TieredDocs
+	// documents while the fleet still mixes genuinely different
+	// grammars and streams.
+	TieredPoolDocs = 8
+	// TieredBatch, TieredSkew and TieredSeed pin the ZipfFleet
+	// schedule interleaving the per-document streams.
+	TieredBatch = 10
+	TieredSkew  = 1.4
+	TieredSeed  = 17
+	// TieredBudgetDiv sets the memory budget: the unbounded fleet's
+	// initial resident bytes divided by this, forcing the cold tail to
+	// evict while the Zipf head stays resident.
+	TieredBudgetDiv = 4
+)
+
 // ShardedShardCounts are the shard configurations the multi-document
 // track sweeps; aggregate throughput across them is the scaling record.
 var ShardedShardCounts = []int{1, 2, 4}
@@ -288,6 +326,122 @@ func ShardedUpdateStreamBench(short string, shards, docs int) func(b *testing.B)
 			}
 			wg.Wait()
 			ss.Close()
+		}
+	}
+}
+
+// StoreReadStreamBench measures the generational read path against a
+// live writer: a background goroutine keeps replaying the pinned
+// position-stable rename cycle in UpdateStreamBatch-sized batches while
+// the measured loop opens a cursor over a zero-copy snapshot, descends
+// to a leaf, and counts a label. With reads pinning published
+// generations instead of holding a lock, ns/op is the cost of serving
+// one read during ingestion — it must not scale with writer throughput
+// (the pre-generational read path serialized against the write lock).
+func StoreReadStreamBench(short string) func(b *testing.B) {
+	d := doc(short)
+	g0, _ := sltgrammar.Compress(d)
+	renames := workload.Renames(d, ReadStreamRenames, ReadStreamSeed)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		st := sltgrammar.NewStore(g0.Clone(), sltgrammar.StoreConfig{Ratio: -1})
+		// First cycle before the clock starts: ReadStreamLabel exists
+		// from here on, and the steady state is re-renames only.
+		if err := st.ApplyAll(renames); err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				for off := 0; off < len(renames); off += UpdateStreamBatch {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					end := min(off+UpdateStreamBatch, len(renames))
+					if err := st.ApplyAll(renames[off:end]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cur, err := st.Cursor()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for cur.FirstChild() == nil {
+			}
+			if _, err := st.CountLabel(ReadStreamLabel); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		<-done
+	}
+}
+
+// ShardedTieredBench measures the memory-tiered fleet: TieredDocs
+// documents (cloned from TieredPoolDocs distinct pinned pool entries)
+// opened under a memory budget of 1/TieredBudgetDiv of the unbounded
+// fleet's initial resident bytes, then driven sequentially through the
+// pinned ZipfFleet schedule. One benchmark iteration ingests the whole
+// schedule, so ns/op folds in the tier's full cost — evicting cold
+// documents to encoded bytes and rehydrating them when the schedule's
+// tail comes back around — on top of the updates themselves.
+func ShardedTieredBench(short string, docs int) func(b *testing.B) {
+	pool := shardedStream(short, TieredPoolDocs)
+	ids := make([]string, docs)
+	streams := make([][]sltgrammar.Op, docs)
+	for d := 0; d < docs; d++ {
+		ids[d] = fmt.Sprintf("tier-%03d", d)
+		streams[d] = pool.opss[d%TieredPoolDocs]
+	}
+	// The budget is pinned relative to the unbounded fleet: per pool
+	// entry, what one freshly opened Store of it keeps resident.
+	var unbounded int64
+	for _, g := range pool.gs {
+		st := store.New(g.Clone(), store.Config{Ratio: -1})
+		unbounded += st.ResidentBytes() * int64(docs/TieredPoolDocs)
+	}
+	budget := unbounded / TieredBudgetDiv
+	sched := workload.ZipfFleet(streams, TieredBatch, TieredSkew, TieredSeed)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			clones := make([]*sltgrammar.Grammar, docs)
+			for d := range clones {
+				clones[d] = pool.gs[d%TieredPoolDocs].Clone()
+			}
+			b.StartTimer()
+			ss := sltgrammar.NewShardedStore(4, sltgrammar.StoreConfig{
+				Ratio:        -1,
+				MemoryBudget: budget,
+			})
+			for d, g := range clones {
+				if _, err := ss.Open(ids[d], g); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, fb := range sched {
+				if err := ss.ApplyAll(ids[fb.Doc], fb.Ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+			fs := ss.Stats()
+			if err := ss.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if fs.Evictions == 0 {
+				b.Fatal("tiered bench never evicted: budget no longer binding")
+			}
 		}
 	}
 }

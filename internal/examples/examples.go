@@ -27,6 +27,10 @@ type Serve struct {
 	// write-ahead logs and grammar snapshots under this directory, and a
 	// kill-and-reopen audit at the end of the run.
 	WALDir string
+	// MemBudget, when > 0, caps the fleet's resident bytes: cold
+	// documents evict to their encoded form (or, durably, to disk) and
+	// rehydrate on their next access.
+	MemBudget int64
 }
 
 // ServeFlags registers the shared -shards/-docs/-ops/-seed flags with
@@ -38,6 +42,7 @@ func ServeFlags(defaultOps int, defaultSeed int64) *Serve {
 	flag.IntVar(&s.Ops, "ops", defaultOps, "update operations per document")
 	flag.Int64Var(&s.Seed, "seed", defaultSeed, "base RNG seed (document d varies it by d)")
 	flag.StringVar(&s.WALDir, "wal", "", "serve durably: WAL + snapshot directory (must be fresh; empty = in-memory)")
+	flag.Int64Var(&s.MemBudget, "membudget", 0, "resident-bytes budget of the fleet: cold documents evict (0 = unbounded)")
 	return s
 }
 
@@ -58,10 +63,13 @@ func (s *Serve) Parse() {
 // DocID names document d consistently across the examples.
 func DocID(d int) string { return fmt.Sprintf("doc-%02d", d) }
 
-// storeConfig wires the -wal flag into a StoreConfig.
+// storeConfig wires the -wal and -membudget flags into a StoreConfig.
 func (s *Serve) storeConfig(cfg sltgrammar.StoreConfig) sltgrammar.StoreConfig {
 	if s.WALDir != "" {
 		cfg.Durability = &sltgrammar.Durability{Dir: s.WALDir, Fsync: sltgrammar.FsyncBatch}
+	}
+	if s.MemBudget > 0 {
+		cfg.MemoryBudget = s.MemBudget
 	}
 	return cfg
 }
@@ -101,6 +109,18 @@ func DurabilityLine(agg sltgrammar.ShardedStats) string {
 			agg.RecoveredOps, agg.TruncatedTailRecords, agg.SnapshotsCorrupt)
 	}
 	return line
+}
+
+// ResidencyLine formats a memory-tiered fleet's residency counters; ""
+// for a fleet the tier never touched (unbounded, or budget never
+// exceeded).
+func ResidencyLine(agg sltgrammar.ShardedStats) string {
+	if agg.Evicted == 0 && agg.Evictions == 0 && agg.Hydrations == 0 {
+		return ""
+	}
+	return fmt.Sprintf("residency: %d resident / %d evicted (%.1f KB resident), %d evictions, %d rehydrations",
+		agg.Resident, agg.Evicted, float64(agg.ResidentBytes)/1024,
+		agg.Evictions, agg.Hydrations)
 }
 
 // Session is one document's serving input: its compressed seed grammar,

@@ -73,6 +73,17 @@ func (g *Grammar) Usage() ([]float64, error) {
 // returns the number of rules removed. Updates that delete subtrees can
 // strand rules; experiments call this after each update batch.
 func (g *Grammar) GarbageCollect() int {
+	removed, _, _ := g.GarbageCollectSized()
+	return removed
+}
+
+// GarbageCollectSized is GarbageCollect plus the surviving grammar size
+// |G| (summed RHS edge count) and the start rule's share of it, both
+// measured during the reachability walk itself: the walk already visits
+// every node of every surviving rule, so callers that need the
+// post-collection sizes (the Store's batch policy) get them without a
+// second pass over any rule.
+func (g *Grammar) GarbageCollectSized() (removed, size, startEdges int) {
 	reach := make([]bool, g.nextNT)
 	var mark func(id int32)
 	mark = func(id int32) {
@@ -81,23 +92,28 @@ func (g *Grammar) GarbageCollect() int {
 		}
 		reach[id] = true
 		if r := g.Rule(id); r != nil {
+			nodes := 0
 			r.RHS.Walk(func(v *xmltree.Node) bool {
+				nodes++
 				if v.Label.Kind == xmltree.Nonterminal {
 					mark(v.Label.ID)
 				}
 				return true
 			})
+			size += nodes - 1
+			if id == g.Start {
+				startEdges = nodes - 1
+			}
 		}
 	}
 	mark(g.Start)
-	removed := 0
 	for _, id := range g.RuleIDs() {
 		if !reach[id] {
 			g.DeleteRule(id)
 			removed++
 		}
 	}
-	return removed
+	return removed, size, startEdges
 }
 
 // SizeVectors holds, for one rule A of rank k, the paper's

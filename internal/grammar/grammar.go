@@ -48,6 +48,14 @@ type Grammar struct {
 	// in. Rule surgery that preserves the document (GC, inlining,
 	// recompression itself) does not bump it.
 	epoch uint64
+
+	// frozen marks a published (shared, immutable) grammar: the store's
+	// generational read path hands the same Grammar instance to any
+	// number of lock-free readers, so the writer freezes it at publish
+	// time and every mutation entry point asserts against the flag. The
+	// assertion is a development tripwire, not a synchronization
+	// mechanism — correctness comes from the store's publish protocol.
+	frozen bool
 }
 
 // Epoch returns the grammar's update epoch. See the field comment.
@@ -57,8 +65,31 @@ func (g *Grammar) Epoch() uint64 { return g.epoch }
 // epoch. Callers that mutate val(G) outside the update path must bump,
 // or epoch-guarded snapshot swaps would resurrect overwritten content.
 func (g *Grammar) BumpEpoch() uint64 {
+	g.assertMutable()
 	g.epoch++
 	return g.epoch
+}
+
+// Freeze marks the grammar published: from now on any structural
+// mutation or epoch bump panics. Freezing is idempotent; Clone always
+// returns an unfrozen copy, and the owner that published the grammar
+// may Unfreeze it again once it has proven no reader shares it (the
+// store's generation-reclaim path).
+func (g *Grammar) Freeze() { g.frozen = true }
+
+// Unfreeze re-arms mutation on a frozen grammar. Only the publisher may
+// call it, and only while it can prove no reader holds the instance.
+func (g *Grammar) Unfreeze() { g.frozen = false }
+
+// Frozen reports whether the grammar is in published/immutable mode.
+func (g *Grammar) Frozen() bool { return g.frozen }
+
+// assertMutable panics on mutation of a published grammar — the debug
+// tripwire of the store's generational read protocol.
+func (g *Grammar) assertMutable() {
+	if g.frozen {
+		panic("grammar: mutation of a frozen (published) grammar")
+	}
 }
 
 // New returns an empty grammar over the given symbol table with a start
@@ -91,6 +122,7 @@ func FromDocument(d *xmltree.Document) *Grammar {
 // NewRule creates a fresh nonterminal of the given rank with the given
 // right-hand side and registers its rule.
 func (g *Grammar) NewRule(rank int, rhs *xmltree.Node) *Rule {
+	g.assertMutable()
 	id := g.nextNT
 	g.nextNT++
 	r := &Rule{ID: id, Rank: rank, RHS: rhs}
@@ -101,6 +133,7 @@ func (g *Grammar) NewRule(rank int, rhs *xmltree.Node) *Rule {
 
 // setRule grows the dense rule slice to cover id and stores r there.
 func (g *Grammar) setRule(id int32, r *Rule) {
+	g.assertMutable()
 	g.rules = GrowTo(g.rules, int(id)+1)
 	g.rules[id] = r
 }
@@ -137,6 +170,7 @@ func (g *Grammar) StartRule() *Rule { return g.Rule(g.Start) }
 // DeleteRule removes the rule for id. The caller must ensure no remaining
 // right-hand side references id.
 func (g *Grammar) DeleteRule(id int32) {
+	g.assertMutable()
 	if g.Rule(id) == nil {
 		return
 	}
@@ -185,6 +219,9 @@ func (g *Grammar) NodeCount() int {
 }
 
 // Clone returns a deep copy of the grammar (rules and symbol table).
+// The copy preserves the epoch and every rule ID but is always unfrozen:
+// cloning is how a writer obtains a private mutable working copy of a
+// published generation.
 func (g *Grammar) Clone() *Grammar {
 	cp := &Grammar{
 		Syms:   g.Syms.Clone(),

@@ -161,10 +161,14 @@ func (s *Store) appendWALLocked(ops []update.Op) error {
 }
 
 // maybeSnapshotLocked rolls a snapshot once enough ops have been
-// logged past the last one. The clone happens under the write lock
-// (after the batch's garbage collection, so no stranded rule is ever
-// frozen into a snapshot); the encode and all file IO run in a
-// background goroutine so writers never wait on snapshot publication.
+// logged past the last one. ApplyAll publishes the batch's generation
+// right before calling this (after garbage collection, so no stranded
+// rule is ever frozen into a snapshot), so instead of cloning the
+// grammar we pin that generation shared and encode it off the lock —
+// snapshot publication costs the writer no copy at all, only a
+// possible copy-on-write at the NEXT batch's first op. The encode and
+// all file IO run in a background goroutine so writers never wait on
+// snapshot publication.
 func (s *Store) maybeSnapshotLocked() {
 	if s.wl == nil || s.snapInflight || s.walBroken != nil || s.closed {
 		return
@@ -179,11 +183,17 @@ func (s *Store) maybeSnapshotLocked() {
 		return
 	}
 	pos := s.walPos
-	clone := s.g.Clone()
+	gn := s.pub.Load()
+	if gn.g != s.g || !gn.tryAcquire() {
+		// Unreachable while the ApplyAll ordering holds (publish, then
+		// snapshot check, all under the write lock): refuse rather than
+		// encode a grammar the writer may keep mutating.
+		return
+	}
 	s.snapInflight = true
 	s.activeRuns++ // Wait/Quiesce/Close cover snapshot publication too
 	go func() {
-		enc, err := encodeGrammar(clone)
+		enc, err := encodeGrammar(gn.g)
 		if err == nil {
 			err = s.wl.WriteSnapshot(pos, enc)
 		}

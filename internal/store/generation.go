@@ -1,0 +1,208 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/grammar"
+)
+
+// A generation is one published, immutable state of a Store's document:
+// the grammar as of some batch boundary, plus the lazily-filled read
+// caches that serve aggregate queries against exactly that state. The
+// writer publishes a fresh generation at the end of every mutation
+// critical section (ApplyAll batch, recompression swap, manual
+// Recompress), and readers grab the current one with a single atomic
+// pointer load — no lock, no copy.
+//
+// # Lifecycle and the reclaim protocol
+//
+// A generation is born free (no reader has seen it). The first reader
+// to touch it compare-and-swaps it to shared, which pins the wrapped
+// grammar immutable forever: later generations wrap fresh clones. If no
+// reader touched it by the time the writer mutates again, the writer
+// CASes free → reclaimed and keeps mutating the same grammar in place —
+// so a write-only document never clones at all, and a document under
+// mixed read/write traffic clones at most once per batch.
+//
+//	          reader CAS            writer CAS
+//	free ────────────────▶ shared   free ─────▶ reclaimed
+//	        (immutable forever)     (mutated in place, unpublished)
+//
+// The race between those two CASes is the whole synchronization story:
+// exactly one side wins, and each side's invariant holds from its win
+// onwards. A reader that loses (finds the generation reclaimed) falls
+// back to the store's read lock, under which the writer — who always
+// republishes before releasing the write lock — is guaranteed to have
+// published a fresh acquirable generation.
+type generation struct {
+	g *grammar.Grammar
+	// epoch is g.Epoch() frozen at publish time: readable without
+	// pinning the generation (the field never changes after publish).
+	epoch uint64
+
+	state atomic.Int32
+
+	// treeSize/hasTreeSize are prefilled by the writer before publish
+	// when the size-vector cache was warm — immutable afterwards, so the
+	// O(1) TreeSize fast path needs no lock at all.
+	treeSize    int64
+	hasTreeSize bool
+
+	// Lazily-computed per-generation read caches, guarded by cmu. They
+	// move the Store's old usage/size caching into the generation so a
+	// hot query stream never invalidates another generation's caches —
+	// each generation computes each aggregate at most once, ever.
+	cmu          sync.Mutex
+	usage        []float64
+	usageErr     error
+	usageDone    bool
+	lazyTreeSize int64
+	lazyTreeErr  error
+	lazyTreeDone bool
+	size         int
+	sizeDone     bool
+}
+
+// Generation states. Transitions: free → shared (reader acquire) or
+// free → reclaimed (writer takeback); both are terminal.
+const (
+	genFree int32 = iota
+	genShared
+	genReclaimed
+)
+
+// tryAcquire pins the generation shared, making its grammar immutable
+// from the caller's point of view. It fails only when the writer
+// already reclaimed the generation — the caller must then re-load the
+// published pointer under the store's read lock.
+func (gn *generation) tryAcquire() bool {
+	for {
+		switch gn.state.Load() {
+		case genShared:
+			return true
+		case genReclaimed:
+			return false
+		default:
+			if gn.state.CompareAndSwap(genFree, genShared) {
+				return true
+			}
+		}
+	}
+}
+
+// cachedUsage returns the generation's usage vector, computing it on
+// first use. The caller must have acquired the generation. hits/misses
+// are the owning Store's fleet-visible counters.
+func (gn *generation) cachedUsage(hits, misses *atomic.Int64) ([]float64, error) {
+	gn.cmu.Lock()
+	defer gn.cmu.Unlock()
+	if gn.usageDone {
+		hits.Add(1)
+		return gn.usage, gn.usageErr
+	}
+	gn.usage, gn.usageErr = gn.g.Usage()
+	gn.usageDone = true
+	misses.Add(1)
+	return gn.usage, gn.usageErr
+}
+
+// cachedTreeSize returns the derived tree's node count for this
+// generation. O(1) when the writer prefilled it at publish (any time
+// the size-vector cache was warm); otherwise one ValNodeCount pass,
+// cached for the generation's lifetime. The caller must have acquired
+// the generation.
+func (gn *generation) cachedTreeSize() (int64, error) {
+	if gn.hasTreeSize {
+		return gn.treeSize, nil
+	}
+	gn.cmu.Lock()
+	defer gn.cmu.Unlock()
+	if !gn.lazyTreeDone {
+		gn.lazyTreeSize, gn.lazyTreeErr = gn.g.ValNodeCount()
+		gn.lazyTreeDone = true
+	}
+	return gn.lazyTreeSize, gn.lazyTreeErr
+}
+
+// cachedSize returns |G| of this generation, computed once. The caller
+// must have acquired the generation.
+func (gn *generation) cachedSize() int {
+	gn.cmu.Lock()
+	defer gn.cmu.Unlock()
+	if !gn.sizeDone {
+		gn.size = gn.g.Size()
+		gn.sizeDone = true
+	}
+	return gn.size
+}
+
+// acquireGen returns the current published generation, pinned shared:
+// the grammar it wraps is immutable from here on. The fast path is one
+// atomic load plus one CAS; the slow path (the writer reclaimed the
+// published generation between our load and acquire) retries under the
+// read lock, where acquisition cannot fail — every writer critical
+// section republishes a fresh free generation before unlocking.
+func (s *Store) acquireGen() *generation {
+	if gn := s.pub.Load(); gn.tryAcquire() {
+		return gn
+	}
+	s.mu.RLock()
+	gn := s.pub.Load()
+	ok := gn.tryAcquire()
+	s.mu.RUnlock()
+	if !ok {
+		// Unreachable while the publish protocol holds: under the read
+		// lock no writer is mid-critical-section, and every completed
+		// critical section ends with a fresh acquirable generation.
+		panic("store: published generation reclaimed under read lock")
+	}
+	return gn
+}
+
+// ensurePrivateLocked makes s.g safe to mutate. Called (under the write
+// lock) by every mutation path before its first grammar mutation. If no
+// reader pinned the published generation, the writer reclaims it and
+// mutates in place — the write-only fast path, zero copies. Otherwise
+// the published grammar is immutable forever and the writer moves to a
+// fresh clone. The size-vector table survives a clone (it is keyed by
+// rule ID and every vector is identical on the copy); the isolation
+// memo must not — its spine index holds node pointers into the shared
+// grammar, and a later Refold would splice those foreign nodes into the
+// private copy.
+func (s *Store) ensurePrivateLocked() {
+	gn := s.pub.Load()
+	if gn == nil || gn.g != s.g {
+		// Already on a private working copy (cloned earlier in this
+		// critical section, or never published yet).
+		return
+	}
+	if gn.state.Load() == genReclaimed {
+		return // reclaimed earlier in this critical section
+	}
+	if gn.state.CompareAndSwap(genFree, genReclaimed) {
+		s.g.Unfreeze()
+		return
+	}
+	s.g = s.g.Clone()
+	s.cache.Install(s.cache.Peek())
+}
+
+// publishLocked freezes the writer's working grammar and publishes it
+// as a fresh generation, prefilling the O(1) tree-size fast path from
+// the warm size-vector cache. Every mutation critical section must end
+// with a publish (even one that mutated nothing — publishing the same
+// grammar again is harmless), or the reader slow path's guarantee
+// breaks.
+func (s *Store) publishLocked() {
+	g := s.g
+	g.Freeze()
+	gn := &generation{g: g, epoch: g.Epoch()}
+	if sizes := s.cache.Peek(); sizes != nil {
+		if sv := sizes.Get(g.Start); sv != nil {
+			gn.treeSize = sv.Total
+			gn.hasTreeSize = true
+		}
+	}
+	s.pub.Store(gn)
+}

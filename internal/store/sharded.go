@@ -3,7 +3,7 @@
 // worker goroutine that applies that shard's update batches. Updates to
 // documents in different shards therefore never contend — neither on a
 // lock nor on a queue — while reads go straight to the per-document
-// Store under its read lock and never touch a worker at all.
+// Store's lock-free generation and never touch a worker at all.
 //
 // The shard is deliberately the unit of write parallelism AND of write
 // backpressure: one worker per shard bounds the number of grammars
@@ -16,16 +16,34 @@
 // the write path of a shard is never stalled by GrammarRePair either:
 // the worker keeps draining batches while compressions run beside it
 // and swap in under the epoch protocol.
-
+//
+// # Memory tiering
+//
+// With Config.MemoryBudget > 0 the fleet additionally bounds its
+// resident footprint. Every document tracks a last-use clock (bumped by
+// worker batches and direct reads) and a ResidentBytes estimate; when
+// the fleet total exceeds the budget, the coldest documents are
+// evicted: an in-memory fleet freezes them to their grammar.Encode
+// bytes (typically 1–2 orders of magnitude smaller than the live
+// arenas + caches), a durable fleet drops them entirely — the WAL
+// already holds everything — and rehydrates through wal.Recover. The
+// next Apply/Get/Query on an evicted document reopens it transparently.
+// Eviction closes the document's Store first, so a caller still
+// holding a direct *Store handle across an eviction observes
+// deterministic behavior: reads keep serving the final pre-eviction
+// state, writes fail with ErrClosed (route writes through
+// Sharded.ApplyAll, which always targets the live incarnation).
 package store
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/grammar"
 	"repro/internal/update"
@@ -48,6 +66,42 @@ var (
 type Sharded struct {
 	cfg    Config
 	shards []*shard
+	closed atomic.Bool
+
+	// Memory-tier state. useClock is a fleet-wide logical clock stamped
+	// into each document's lastUse on every touch; residentBytes sums
+	// the footprint estimates of the resident documents.
+	useClock      atomic.Int64
+	residentBytes atomic.Int64
+	evictions     atomic.Int64
+	hydrations    atomic.Int64
+	evictFailures atomic.Int64
+	// evictMu admits one evictor at a time (TryLock — a concurrent
+	// over-budget signal just lets the incumbent finish the job).
+	evictMu sync.Mutex
+
+	// retired accumulates the monotonic counters of evicted Stores so
+	// fleet totals survive eviction: a rehydrated document restarts its
+	// Store counters from zero, but Stats() starts from this.
+	retiredMu sync.Mutex
+	retired   ShardedStats
+}
+
+// docEntry is one document's slot in the fleet: a stable identity that
+// survives evictions, pointing at the live Store while resident and at
+// the frozen encoded bytes while evicted (durable fleets keep neither —
+// the WAL is the cold copy). mu serializes state transitions
+// (hydrate/evict) and worker writes; reads load st without it.
+type docEntry struct {
+	id string
+	mu sync.Mutex
+	st atomic.Pointer[Store]
+	// frozen is the encoded grammar of an evicted in-memory document;
+	// nil while resident and always nil on durable fleets.
+	frozen []byte
+
+	lastUse   atomic.Int64
+	footprint atomic.Int64 // resident-bytes estimate last accounted
 }
 
 // shard is one hash bucket: its documents, and the worker serializing
@@ -58,7 +112,7 @@ type Sharded struct {
 // close and a blocked sender never delays a reader.
 type shard struct {
 	mu   sync.RWMutex
-	docs map[string]*Store
+	docs map[string]*docEntry
 
 	sendMu sync.RWMutex
 	jobs   chan shardJob
@@ -67,7 +121,7 @@ type shard struct {
 
 // shardJob is one update batch handed to a shard worker.
 type shardJob struct {
-	st   *Store
+	e    *docEntry
 	ops  []update.Op
 	done chan<- error
 }
@@ -94,9 +148,9 @@ func NewSharded(n int, cfg ...Config) *Sharded {
 	}
 	s := &Sharded{cfg: c, shards: make([]*shard, n)}
 	for i := range s.shards {
-		sh := &shard{docs: make(map[string]*Store), jobs: make(chan shardJob)}
+		sh := &shard{docs: make(map[string]*docEntry), jobs: make(chan shardJob)}
 		s.shards[i] = sh
-		go sh.work()
+		go s.work(sh)
 	}
 	return s
 }
@@ -106,7 +160,9 @@ func NewSharded(n int, cfg ...Config) *Sharded {
 // it — newest valid snapshot, WAL tail replay, torn tails truncated —
 // before returning. A fleet killed at any moment reopens here to
 // exactly the acked prefix of every document's update stream. New
-// documents are then added with Open as usual.
+// documents are then added with Open as usual. Under a MemoryBudget
+// the recovered fleet is trimmed to the budget before the first
+// request is served.
 func OpenSharded(n int, cfg Config) (*Sharded, error) {
 	if cfg.Durability == nil {
 		return nil, fmt.Errorf("store: OpenSharded without Config.Durability")
@@ -132,19 +188,204 @@ func OpenSharded(n int, cfg Config) (*Sharded, error) {
 			s.Close()
 			return nil, err
 		}
+		de := &docEntry{id: id}
+		de.st.Store(st)
+		s.accountResident(de, st)
 		sh := s.shardFor(id)
 		sh.mu.Lock()
-		sh.docs[id] = st
+		sh.docs[id] = de
 		sh.mu.Unlock()
 	}
+	s.maybeEvict()
 	return s, nil
 }
 
-// work drains one shard's update batches until Close.
-func (sh *shard) work() {
+// work drains one shard's update batches until Close. The over-budget
+// check runs after the ack is sent, so eviction work (encode + close)
+// never sits on a writer's latency.
+func (s *Sharded) work(sh *shard) {
 	for j := range sh.jobs {
-		j.done <- j.st.ApplyAll(j.ops)
+		j.done <- s.applyEntry(j.e, j.ops)
+		if s.cfg.MemoryBudget > 0 {
+			s.maybeEvict()
+		}
 	}
+}
+
+// applyEntry applies one batch to a document, rehydrating it first if
+// it was evicted. Holding e.mu across the ApplyAll makes writes
+// eviction-transparent: the evictor's TryLock fails while a batch is in
+// flight, so a worker-path write can never land on a closing Store.
+func (s *Sharded) applyEntry(e *docEntry, ops []update.Op) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, err := s.hydrateLocked(e)
+	if err != nil {
+		return err
+	}
+	err = st.ApplyAll(ops)
+	if s.cfg.MemoryBudget > 0 {
+		s.touch(e)
+		s.refreshFootprintLocked(e, st)
+	}
+	return err
+}
+
+// touch stamps the document with the fleet's logical use clock.
+func (s *Sharded) touch(e *docEntry) {
+	e.lastUse.Store(s.useClock.Add(1))
+}
+
+// accountResident records a newly resident Store's footprint. Only
+// budgeted fleets pay the O(|G|) estimate walk; an unbudgeted fleet
+// computes footprints on demand in Stats.
+func (s *Sharded) accountResident(e *docEntry, st *Store) {
+	if s.cfg.MemoryBudget <= 0 {
+		return
+	}
+	s.touch(e)
+	fp := st.ResidentBytes()
+	s.residentBytes.Add(fp - e.footprint.Swap(fp))
+}
+
+// refreshFootprintLocked re-estimates a resident document's footprint
+// after a write batch (grammar growth, recompression shrink, frontier
+// churn all move it). Caller holds e.mu and MemoryBudget > 0.
+func (s *Sharded) refreshFootprintLocked(e *docEntry, st *Store) {
+	fp := st.ResidentBytes()
+	s.residentBytes.Add(fp - e.footprint.Swap(fp))
+}
+
+// hydrateLocked returns the document's live Store, reopening it if it
+// was evicted: durable fleets recover from the WAL (newest snapshot +
+// tail replay), in-memory fleets decode the frozen bytes. Caller holds
+// e.mu.
+func (s *Sharded) hydrateLocked(e *docEntry) (*Store, error) {
+	if st := e.st.Load(); st != nil {
+		return st, nil
+	}
+	if s.closed.Load() {
+		return nil, fmt.Errorf("%w: %q", ErrClosed, e.id)
+	}
+	var st *Store
+	if s.cfg.Durability != nil {
+		var err error
+		if st, err = OpenDurable(e.id, s.cfg); err != nil {
+			return nil, fmt.Errorf("store: rehydrate %q: %w", e.id, err)
+		}
+	} else {
+		g, err := grammar.Decode(bytes.NewReader(e.frozen))
+		if err != nil {
+			// Unreachable: frozen came from encoding our own grammar.
+			return nil, fmt.Errorf("store: rehydrate %q: %w", e.id, err)
+		}
+		st = New(g, s.cfg)
+	}
+	e.frozen = nil
+	e.st.Store(st)
+	s.hydrations.Add(1)
+	s.accountResident(e, st)
+	return st, nil
+}
+
+// stForRead resolves a docEntry to its live Store for the read path:
+// alloc-free while resident, transparent rehydration when evicted.
+func (s *Sharded) stForRead(e *docEntry) (*Store, error) {
+	if st := e.st.Load(); st != nil {
+		if s.cfg.MemoryBudget > 0 {
+			s.touch(e)
+		}
+		return st, nil
+	}
+	e.mu.Lock()
+	st, err := s.hydrateLocked(e)
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s.maybeEvict()
+	return st, nil
+}
+
+// maybeEvict trims the fleet back under MemoryBudget, coldest documents
+// first. One evictor runs at a time; documents whose entry lock is held
+// (a write batch or hydration in flight — by definition hot) are
+// skipped. Callers must not hold any entry lock.
+func (s *Sharded) maybeEvict() {
+	if s.cfg.MemoryBudget <= 0 || s.residentBytes.Load() <= s.cfg.MemoryBudget {
+		return
+	}
+	if !s.evictMu.TryLock() {
+		return
+	}
+	defer s.evictMu.Unlock()
+	type victim struct {
+		e    *docEntry
+		used int64
+	}
+	var victims []victim
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, e := range sh.docs {
+			if e.st.Load() != nil {
+				victims = append(victims, victim{e, e.lastUse.Load()})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].used < victims[j].used })
+	for _, v := range victims {
+		if s.residentBytes.Load() <= s.cfg.MemoryBudget || s.closed.Load() {
+			return
+		}
+		s.evictEntry(v.e)
+	}
+}
+
+// evictEntry freezes one document out of residency. Caller holds
+// evictMu. Returns false when the entry was busy (skip it — it is hot)
+// or the freeze failed (counted in EvictFailures; the document stays
+// resident and serviceable).
+func (s *Sharded) evictEntry(e *docEntry) bool {
+	if !e.mu.TryLock() {
+		return false
+	}
+	defer e.mu.Unlock()
+	st := e.st.Load()
+	if st == nil {
+		return false
+	}
+	// Close first: it waits out in-flight background work (async
+	// recompressions, snapshot publication), then fsyncs and closes a
+	// durable WAL. Afterwards the Store serves exactly its final state
+	// to any reader still holding the handle and rejects writes with
+	// ErrClosed — so the frozen bytes encoded below can never miss a
+	// racing direct-handle write.
+	if err := st.Close(); err != nil {
+		// The WAL close failed; dropping the Store could orphan acked
+		// data. Keep it resident (reads fine, writes already broken) and
+		// let the operator see the counter.
+		s.evictFailures.Add(1)
+		return false
+	}
+	if s.cfg.Durability == nil {
+		enc, err := encodeGrammar(st.Snapshot())
+		if err != nil {
+			// Unreachable for a valid grammar; keep the document
+			// resident rather than lose it.
+			s.evictFailures.Add(1)
+			return false
+		}
+		e.frozen = enc
+	}
+	ds := st.Stats()
+	s.retiredMu.Lock()
+	addStats(&s.retired, ds)
+	s.retiredMu.Unlock()
+	e.st.Store(nil)
+	s.residentBytes.Add(-e.footprint.Swap(0))
+	s.evictions.Add(1)
+	return true
 }
 
 // shardFor hashes a document ID to its shard (FNV-1a, inlined so the
@@ -178,31 +419,61 @@ func (s *Sharded) Open(id string, g *grammar.Grammar) (*Store, error) {
 		return nil, ErrClosed
 	}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, ok := sh.docs[id]; ok {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("store: document %q already open", id)
 	}
 	var st *Store
 	if s.cfg.Durability != nil {
 		var err error
 		if st, err = CreateDurable(id, g, s.cfg); err != nil {
+			sh.mu.Unlock()
 			return nil, err
 		}
 	} else {
 		st = New(g, s.cfg)
 	}
-	sh.docs[id] = st
+	e := &docEntry{id: id}
+	e.st.Store(st)
+	s.accountResident(e, st)
+	sh.docs[id] = e
+	sh.mu.Unlock()
+	s.maybeEvict()
 	return st, nil
 }
 
 // Get returns the Store serving id, for direct reads (Query, CountLabel,
-// Snapshot, Stats, ...). The lookup is alloc-free.
+// Snapshot, Stats, ...). The lookup is alloc-free while the document is
+// resident; an evicted document is rehydrated first. The returned
+// handle is the document's current incarnation — after an eviction it
+// keeps serving its final state but rejects writes with ErrClosed, so
+// long-lived writers should go through Apply/ApplyAll by ID instead of
+// caching the handle.
 func (s *Sharded) Get(id string) (*Store, bool) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	st, ok := sh.docs[id]
+	e, ok := sh.docs[id]
 	sh.mu.RUnlock()
-	return st, ok
+	if !ok {
+		return nil, false
+	}
+	st, err := s.stForRead(e)
+	if err != nil {
+		return nil, false
+	}
+	return st, true
+}
+
+// get is Get with the error preserved for the read helpers.
+func (s *Sharded) get(id string) (*Store, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	e, ok := sh.docs[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDoc, id)
+	}
+	return s.stForRead(e)
 }
 
 // Drop removes the document from the store and reports whether it was
@@ -212,9 +483,12 @@ func (s *Sharded) Get(id string) (*Store, bool) {
 func (s *Sharded) Drop(id string) bool {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	_, ok := sh.docs[id]
+	e, ok := sh.docs[id]
 	delete(sh.docs, id)
+	sh.mu.Unlock()
+	if ok && e.st.Load() != nil {
+		s.residentBytes.Add(-e.footprint.Swap(0))
+	}
 	return ok
 }
 
@@ -227,14 +501,15 @@ func (s *Sharded) Apply(id string, op update.Op) error {
 // ApplyAll performs a batch of operations on document id. Batches are
 // serialized per shard (one worker each) and the call returns when the
 // batch has been applied; batches for documents in different shards run
-// in parallel.
+// in parallel. An evicted document is rehydrated by the worker before
+// the batch applies — eviction is invisible to writers on this path.
 func (s *Sharded) ApplyAll(id string, ops []update.Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	st, ok := sh.docs[id]
+	e, ok := sh.docs[id]
 	sh.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownDoc, id)
@@ -249,40 +524,43 @@ func (s *Sharded) ApplyAll(id string, ops []update.Op) error {
 		return fmt.Errorf("%w: %q", ErrClosed, id)
 	}
 	done := make(chan error, 1)
-	sh.jobs <- shardJob{st: st, ops: ops, done: done}
+	sh.jobs <- shardJob{e: e, ops: ops, done: done}
 	sh.sendMu.RUnlock()
 	return <-done
 }
 
-// Query runs fn on document id's live grammar under its read lock.
+// Query runs fn on document id's current published generation,
+// lock-free (see Store.Query).
 func (s *Sharded) Query(id string, fn func(*grammar.Grammar) error) error {
-	st, ok := s.Get(id)
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownDoc, id)
+	st, err := s.get(id)
+	if err != nil {
+		return err
 	}
 	return st.Query(fn)
 }
 
 // CountLabel counts label occurrences in document id (served from the
-// Store's cached usage vector).
+// generation's cached usage vector).
 func (s *Sharded) CountLabel(id, label string) (float64, error) {
-	st, ok := s.Get(id)
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownDoc, id)
+	st, err := s.get(id)
+	if err != nil {
+		return 0, err
 	}
 	return st.CountLabel(label)
 }
 
-// Snapshot returns an invalidation-safe deep copy of document id.
+// Snapshot returns an invalidation-safe immutable snapshot of document
+// id — an atomic generation grab, not a copy.
 func (s *Sharded) Snapshot(id string) (*grammar.Grammar, error) {
-	st, ok := s.Get(id)
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownDoc, id)
+	st, err := s.get(id)
+	if err != nil {
+		return nil, err
 	}
 	return st.Snapshot(), nil
 }
 
-// Docs returns the IDs of every open document, sorted.
+// Docs returns the IDs of every open document (resident or evicted),
+// sorted.
 func (s *Sharded) Docs() []string {
 	var ids []string
 	for _, sh := range s.shards {
@@ -296,7 +574,7 @@ func (s *Sharded) Docs() []string {
 	return ids
 }
 
-// NumDocs returns the number of open documents.
+// NumDocs returns the number of open documents (resident or evicted).
 func (s *Sharded) NumDocs() int {
 	n := 0
 	for _, sh := range s.shards {
@@ -310,32 +588,41 @@ func (s *Sharded) NumDocs() int {
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
-// Quiesce blocks until no document has an asynchronous recompression in
-// flight. Safe to call concurrently with writers (runs they start are
-// waited for too); call it after writers are done and before comparing
-// snapshots byte-for-byte.
-func (s *Sharded) Quiesce() {
+// residentStores snapshots the currently resident Stores.
+func (s *Sharded) residentStores() []*Store {
+	var stores []*Store
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		stores := make([]*Store, 0, len(sh.docs))
-		for _, st := range sh.docs {
-			stores = append(stores, st)
+		for _, e := range sh.docs {
+			if st := e.st.Load(); st != nil {
+				stores = append(stores, st)
+			}
 		}
 		sh.mu.RUnlock()
-		for _, st := range stores {
-			st.Wait()
-		}
+	}
+	return stores
+}
+
+// Quiesce blocks until no resident document has an asynchronous
+// recompression in flight. Safe to call concurrently with writers (runs
+// they start are waited for too); call it after writers are done and
+// before comparing snapshots byte-for-byte.
+func (s *Sharded) Quiesce() {
+	for _, st := range s.residentStores() {
+		st.Wait()
 	}
 }
 
-// Close stops the shard workers and closes every document Store:
-// pending background work (asynchronous recompressions, snapshot
+// Close stops the shard workers and closes every resident document
+// Store: pending background work (asynchronous recompressions, snapshot
 // publication) completes, and on a durable fleet each document's WAL
 // tail is fsynced and closed — a clean Close loses nothing even under
 // FsyncOff. Writes after Close fail with ErrClosed deterministically;
-// reads keep working on the final state. Close is idempotent and
-// returns the first per-document close error.
+// reads keep working on the final state of resident documents (evicted
+// documents no longer rehydrate). Close is idempotent and returns the
+// first per-document close error.
 func (s *Sharded) Close() error {
+	s.closed.Store(true)
 	for _, sh := range s.shards {
 		sh.sendMu.Lock()
 		if !sh.closed {
@@ -345,24 +632,19 @@ func (s *Sharded) Close() error {
 		sh.sendMu.Unlock()
 	}
 	var err error
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		stores := make([]*Store, 0, len(sh.docs))
-		for _, st := range sh.docs {
-			stores = append(stores, st)
-		}
-		sh.mu.RUnlock()
-		for _, st := range stores {
-			if cerr := st.Close(); err == nil {
-				err = cerr
-			}
+	for _, st := range s.residentStores() {
+		if cerr := st.Close(); err == nil {
+			err = cerr
 		}
 	}
 	return err
 }
 
 // ShardedStats aggregates the per-document Store counters across every
-// open document.
+// open document — including, via an internal retired-counter
+// accumulator, the lifetime counters of Store incarnations that have
+// since been evicted (Size/PeakSize/ResidentBytes always reflect only
+// the currently resident documents).
 type ShardedStats struct {
 	Shards int
 	Docs   int
@@ -381,8 +663,17 @@ type ShardedStats struct {
 	RefoldRules             int64
 	StallNanos              int64
 
-	Size     int // Σ |G| over all documents
-	PeakSize int // Σ per-document peaks
+	Size     int // Σ |G| over resident documents
+	PeakSize int // Σ resident per-document peaks
+
+	// Memory-tier gauges and counters (MemoryBudget fleets; an
+	// unbudgeted fleet reports Resident == Docs and live byte totals).
+	Resident      int   // documents currently live
+	Evicted       int   // documents currently frozen out
+	Evictions     int64 // lifetime eviction count
+	Hydrations    int64 // lifetime rehydration count
+	EvictFailures int64 // evictions abandoned (close/encode failure)
+	ResidentBytes int64 // Σ footprint estimate of resident documents
 
 	// Durability counters summed over the fleet (zero when in-memory).
 	WALAppends           int64
@@ -399,42 +690,70 @@ type ShardedStats struct {
 	BrokenDocs int
 }
 
-// Stats sums the counters of every open document.
+// addStats folds one Store's monotonic counters into a fleet total.
+// Point-in-time gauges (Size, PeakSize, ResidentBytes, broken state)
+// are deliberately excluded: they are summed over resident documents
+// only, by the caller.
+func addStats(out *ShardedStats, ds Stats) {
+	out.Ops += ds.Ops
+	out.Batches += ds.Batches
+	out.Recompressions += ds.Recompressions
+	out.AsyncRecompressions += ds.AsyncRecompressions
+	out.DiscardedRecompressions += ds.DiscardedRecompressions
+	out.ReplayedTailOps += ds.ReplayedTailOps
+	out.CostRecompressions += ds.CostRecompressions
+	out.DeferredRecompressions += ds.DeferredRecompressions
+	out.Refolds += ds.Refolds
+	out.RefoldedNodes += ds.RefoldedNodes
+	out.RefoldRules += ds.RefoldRules
+	out.StallNanos += ds.StallNanos
+	out.WALAppends += ds.WALAppends
+	out.WALBytes += ds.WALBytes
+	out.WALSyncs += ds.WALSyncs
+	out.FsyncNanos += ds.FsyncNanos
+	out.Snapshots += ds.Snapshots
+	out.SnapshotFailures += ds.SnapshotFailures
+	out.RecoveredOps += ds.RecoveredOps
+	out.TruncatedTailRecords += ds.TruncatedTailRecords
+	out.SnapshotsCorrupt += ds.SnapshotsCorrupt
+}
+
+// Stats sums the counters of every open document, starting from the
+// retired accumulator so fleet totals are monotonic across evictions.
+// It holds the evictor's lock for the duration so an eviction can never
+// be observed half-accounted (folded into retired but still resident);
+// an over-budget check racing a Stats call is simply deferred to the
+// next batch boundary.
 func (s *Sharded) Stats() ShardedStats {
-	out := ShardedStats{Shards: len(s.shards)}
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	s.retiredMu.Lock()
+	out := s.retired
+	s.retiredMu.Unlock()
+	out.Shards = len(s.shards)
+	out.Evictions = s.evictions.Load()
+	out.Hydrations = s.hydrations.Load()
+	out.EvictFailures = s.evictFailures.Load()
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		stores := make([]*Store, 0, len(sh.docs))
-		for _, st := range sh.docs {
-			stores = append(stores, st)
+		entries := make([]*docEntry, 0, len(sh.docs))
+		for _, e := range sh.docs {
+			entries = append(entries, e)
 		}
 		sh.mu.RUnlock()
-		for _, st := range stores {
-			ds := st.Stats()
+		for _, e := range entries {
 			out.Docs++
-			out.Ops += ds.Ops
-			out.Batches += ds.Batches
-			out.Recompressions += ds.Recompressions
-			out.AsyncRecompressions += ds.AsyncRecompressions
-			out.DiscardedRecompressions += ds.DiscardedRecompressions
-			out.ReplayedTailOps += ds.ReplayedTailOps
-			out.CostRecompressions += ds.CostRecompressions
-			out.DeferredRecompressions += ds.DeferredRecompressions
-			out.Refolds += ds.Refolds
-			out.RefoldedNodes += ds.RefoldedNodes
-			out.RefoldRules += ds.RefoldRules
-			out.StallNanos += ds.StallNanos
+			st := e.st.Load()
+			if st == nil {
+				out.Evicted++
+				continue
+			}
+			out.Resident++
+			ds := st.Stats()
+			addStats(&out, ds)
 			out.Size += ds.Size
 			out.PeakSize += ds.PeakSize
-			out.WALAppends += ds.WALAppends
-			out.WALBytes += ds.WALBytes
-			out.WALSyncs += ds.WALSyncs
-			out.FsyncNanos += ds.FsyncNanos
-			out.Snapshots += ds.Snapshots
-			out.SnapshotFailures += ds.SnapshotFailures
-			out.RecoveredOps += ds.RecoveredOps
-			out.TruncatedTailRecords += ds.TruncatedTailRecords
-			out.SnapshotsCorrupt += ds.SnapshotsCorrupt
+			out.ResidentBytes += ds.ResidentBytes
 			if ds.WALBroken {
 				out.BrokenDocs++
 			}

@@ -56,20 +56,30 @@
 //     (Stats.DiscardedRecompressions) and the policy simply fires again
 //     later.
 //
-// # Concurrency
+// # Concurrency: generational zero-copy reads
 //
-// A Store is safe for concurrent use: mutations take the write lock,
-// aggregate reads (Size, TreeSize, Elements, CountLabel, LabelHistogram,
-// Query, Stats) are served under the read lock during update ingestion.
-// Readers that must outlive a lock — DOM-style cursors — take a
-// Snapshot, a deep copy that later updates and recompressions can never
-// invalidate. For many documents, see Sharded in this package.
+// A Store is safe for concurrent use. Mutations take the write lock;
+// reads do not take it at all: every mutation critical section ends by
+// publishing an immutable grammar generation through an atomic pointer,
+// and Snapshot, Cursor, Query, Size, TreeSize, Elements, CountLabel and
+// LabelHistogram serve from the current generation lock-free — a
+// Snapshot is a pointer grab, not a copy, and it is invalidation-safe
+// forever because a generation any reader has touched is never mutated
+// again (the writer moves to a fresh clone; see generation.go for the
+// free/shared/reclaimed protocol). A write-only document is never
+// cloned at all: the writer reclaims each unread generation and keeps
+// mutating it in place. Per-generation aggregate caches (usage vector,
+// tree size, |G|) ride the generation, so hot query streams never
+// invalidate each other. Stats still takes the read lock — it reports
+// writer-side counters. For many documents, see Sharded in this
+// package.
 package store
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -133,6 +143,14 @@ type Config struct {
 	// NewSharded create one shared gate of that width for the whole
 	// fleet. Ignored by single-document Stores (set Gate directly there).
 	MaxConcurrentRecompressions int
+	// MemoryBudget, when > 0, bounds a Sharded fleet's resident
+	// footprint: once the summed ResidentBytes estimate of every live
+	// document exceeds the budget, the coldest documents (least recently
+	// written or queried) are evicted — in-memory fleets freeze them to
+	// their encoded bytes, durable fleets drop them entirely and
+	// rehydrate through WAL recovery — and reopen transparently on the
+	// next Apply/Get/Query. Ignored by single-document Stores.
+	MemoryBudget int64
 	// Durability, when non-nil, arms the write-ahead log: committed
 	// batches hit disk before ApplyAll acks and snapshots roll in the
 	// background (see the Durability type). Durable Stores are built
@@ -242,6 +260,9 @@ type Stats struct {
 	PeakSize           int     // max |G| observed at any batch boundary
 	LastCompressedSize int     // |G| right after the last recompression
 	EffectiveRatio     float64 // current self-tuned trigger ratio
+	// ResidentBytes is the memory-tier footprint estimate of the live
+	// document (see Store.ResidentBytes).
+	ResidentBytes int64
 
 	// Elements is the document's element count. When the derived tree is
 	// too large for int64 (exponentially compressing grammars) Saturated
@@ -274,24 +295,28 @@ type Store struct {
 	g     *grammar.Grammar
 	cache update.Cache
 
-	// usage caches the grammar's usage vector for the aggregate label
-	// queries (CountLabel, LabelHistogram): usage only changes when the
-	// grammar does, so a hot query stream pays one Usage pass per update
-	// batch instead of one per query. Guarded by its own mutex because
-	// readers fill it while holding only mu.RLock; invalidation happens
-	// under the write lock (finishBatchLocked / recompressLocked), so a
-	// cached vector can never outlive the grammar state it was computed
-	// from.
-	usageMu                sync.Mutex
-	usage                  []float64
-	usageHits, usageMisses int64
+	// pub is the read half of the Store: the current published
+	// generation (immutable grammar + generation-owned aggregate
+	// caches), replaced at the end of every mutation critical section
+	// and acquired by readers without the lock. See generation.go.
+	pub atomic.Pointer[generation]
+
+	// usageHits/usageMisses count label-query cache traffic across all
+	// generations; the cached vectors themselves live on the generation.
+	usageHits, usageMisses atomic.Int64
 
 	cfg      Config
 	effRatio float64 // current trigger; self-tunes within [base, MaxRatio]
 
 	lastCompressed int
 	peakSize       int
-	pendingGC      bool
+	// sizeRest is |G| minus the start rule's RHS edges. Between the
+	// events that mint or delete rules (GC, re-folding, recompression —
+	// each refreshes it) updates mutate only the start rule, so the
+	// batch policy reads |G| as sizeRest plus a walk of the start RHS
+	// alone instead of a full O(|G|) pass per batch.
+	sizeRest  int
+	pendingGC bool
 
 	// Asynchronous recompression state (all guarded by mu). gen counts
 	// grammar swaps (sync and async): a completion whose recorded gen no
@@ -392,11 +417,16 @@ func New(g *grammar.Grammar, cfg ...Config) *Store {
 		compress:       core.Compress,
 	}
 	s.runsDone = sync.NewCond(&s.mu)
+	s.sizeRest = size - s.startEdgesLocked()
 	// Warm the size-vector cache while no reader can hold the lock yet,
 	// so TreeSize/Elements/Stats are O(1) from the first call. On error
 	// (invalid grammar) the cache stays cold and the first Apply
 	// surfaces the problem.
 	s.cache.Sizes(g)
+	// Publish generation zero so readers never observe a nil pointer.
+	// New's ownership contract becomes load-bearing here: the caller's g
+	// is frozen from this point on.
+	s.publishLocked()
 	return s
 }
 
@@ -440,16 +470,22 @@ func (s *Store) ApplyAll(ops []update.Op) error {
 			break
 		}
 	}
-	if err := s.appendWALLocked(ops[:committed]); err != nil {
-		s.finishBatchLocked()
-		return err
-	}
+	walErr := s.appendWALLocked(ops[:committed])
 	s.finishBatchLocked()
+	// Publish before the snapshot check so the snapshot path can pin the
+	// just-published generation instead of cloning the grammar. The
+	// publish happens even on a WAL failure: whatever applied in memory
+	// is the state readers must see.
+	s.publishLocked()
+	if walErr != nil {
+		return walErr
+	}
 	s.maybeSnapshotLocked()
 	return applyErr
 }
 
 func (s *Store) applyLocked(op update.Op) error {
+	s.ensurePrivateLocked()
 	stranded, err := update.ApplyCached(s.g, op, &s.cache)
 	if err != nil {
 		return err
@@ -477,41 +513,15 @@ func (s *Store) applyLocked(op update.Op) error {
 	return nil
 }
 
-// invalidateUsageLocked drops the cached usage vector. Callers hold the
-// write lock, so no reader can be mid-fill.
-func (s *Store) invalidateUsageLocked() {
-	s.usageMu.Lock()
-	s.usage = nil
-	s.usageMu.Unlock()
-}
-
-// cachedUsage returns the usage vector, computing and caching it on first
-// use. Callers hold at least mu.RLock (the grammar is stable); concurrent
-// cold readers serialize on usageMu so only one pays the Usage pass.
-func (s *Store) cachedUsage() ([]float64, error) {
-	s.usageMu.Lock()
-	defer s.usageMu.Unlock()
-	if s.usage != nil {
-		s.usageHits++
-		return s.usage, nil
-	}
-	u, err := s.g.Usage()
-	if err != nil {
-		return nil, err
-	}
-	s.usage = u
-	s.usageMisses++
-	return u, nil
-}
-
 // finishBatchLocked runs the deferred garbage collection and the
-// recompression/re-fold policy at a batch boundary.
+// recompression/re-fold policy at a batch boundary. (Usage staleness
+// needs no handling here: usage vectors are cached per generation, and
+// the batch publishes a fresh generation right after this returns.)
 func (s *Store) finishBatchLocked() {
-	// Every applied op rewrites the start rule (isolation unfolds calls
-	// into it), which shifts usage counts — the cached vector is stale.
-	s.invalidateUsageLocked()
-	s.gcLocked()
-	size := s.g.Size()
+	size := s.gcLocked()
+	if size < 0 {
+		size = s.sizeRest + s.startEdgesLocked()
+	}
 	if size > s.peakSize {
 		s.peakSize = size
 	}
@@ -594,11 +604,18 @@ func (s *Store) refoldLocked() {
 	if coldOps == 0 {
 		coldOps = DefaultRefoldColdOps
 	}
+	// Folding mints fresh rules — a mutation. Normally applyLocked has
+	// already privatized the grammar this critical section; if not (and
+	// a reader forces a clone here) the clone retired the memo and
+	// Refold below is a harmless no-op.
+	s.ensurePrivateLocked()
 	chunks, entries := s.cache.Refold(s.g, coldOps, refoldMaxChunks)
 	if chunks > 0 {
 		s.refolds++
 		s.refoldRules += int64(chunks)
 		s.refoldedNodes += int64(entries)
+		// Folding minted rules, so the incremental |G| split moved.
+		s.sizeRest = s.g.Size() - s.startEdgesLocked()
 	}
 }
 
@@ -700,7 +717,11 @@ func (s *Store) completeAsync(gen, epoch uint64, g2 *grammar.Grammar, st *core.S
 	s.g = g2
 	s.gen++
 	s.pendingGC = stranded
-	s.invalidateUsageLocked()
+	// The swap is a mutation critical section like any other: readers
+	// must move to the compressed grammar, so publish it. Generations
+	// pinned on the pre-swap grammar keep deriving the old state —
+	// that grammar is frozen and untouched forever.
+	s.publishLocked()
 	s.resetCostBaselineLocked()
 	s.recompressions++
 	s.asyncRecompressions++
@@ -708,6 +729,7 @@ func (s *Store) completeAsync(gen, epoch uint64, g2 *grammar.Grammar, st *core.S
 	// growth the tail replay just added — or sustained racing writes
 	// would make every subsequent trigger fire earlier than Ratio says.
 	s.lastCompressed = g2.Size()
+	s.sizeRest = s.lastCompressed - s.startEdgesLocked()
 	if st.MaxIntermediate > s.peakSize {
 		s.peakSize = st.MaxIntermediate
 	}
@@ -728,17 +750,30 @@ func (s *Store) tunePolicy(before, after int) {
 	}
 }
 
-func (s *Store) gcLocked() {
+// gcLocked runs the deferred garbage collection; it returns the
+// post-collection |G| measured by the collector's reachability walk, or
+// -1 when no collection was pending (the caller falls back to the
+// incremental size).
+func (s *Store) gcLocked() int {
 	if !s.pendingGC {
-		return
+		return -1
 	}
 	s.pendingGC = false
-	removed := s.g.GarbageCollect()
+	s.ensurePrivateLocked()
+	removed, size, startEdges := s.g.GarbageCollectSized()
 	s.gcRuns++
 	s.rulesCollected += int64(removed)
 	if removed > 0 {
 		s.cache.DropDeleted(s.g)
 	}
+	s.sizeRest = size - startEdges
+	return size
+}
+
+// startEdgesLocked returns the start rule's RHS edge count — the only
+// per-batch size walk the incremental |G| accounting needs.
+func (s *Store) startEdgesLocked() int {
+	return s.g.Rule(s.g.Start).RHS.Edges()
 }
 
 // recompressLocked runs GrammarRePair synchronously under the write
@@ -751,14 +786,16 @@ func (s *Store) recompressLocked() *core.Stats {
 	s.g = g2
 	s.gen++
 	s.cache.Invalidate()
-	s.invalidateUsageLocked()
 	// Re-warm under the already-held write lock: readers polling
 	// aggregates on a write-idle Store must not each pay a full
-	// ValSizes pass.
+	// ValSizes pass. Publish after the warm-up so the new generation's
+	// O(1) tree-size fast path is prefilled.
 	s.cache.Sizes(g2)
+	s.publishLocked()
 	s.resetCostBaselineLocked()
 	s.recompressions++
 	s.lastCompressed = g2.Size()
+	s.sizeRest = s.lastCompressed - s.startEdgesLocked()
 	if st.MaxIntermediate > s.peakSize {
 		s.peakSize = st.MaxIntermediate
 	}
@@ -790,54 +827,55 @@ func (s *Store) Wait() {
 	s.mu.Unlock()
 }
 
-// Epoch returns the live grammar's update epoch: the number of update
-// operations applied to the document so far. This is the stamp the
-// asynchronous swap protocol compares; reading it is alloc-free.
+// Epoch returns the published grammar's update epoch: the number of
+// update operations applied to the document as of the last completed
+// batch. This is the stamp the asynchronous swap protocol compares;
+// reading it is a single atomic load — alloc-free and pin-free, so
+// monitoring polls never force the writer onto a clone.
 func (s *Store) Epoch() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.g.Epoch()
+	return s.pub.Load().epoch
 }
 
-// Query runs fn on the live grammar under the read lock, concurrently
-// with other readers. fn must treat the grammar as read-only and must
-// not retain it (or anything reachable from it) past the call; use
-// Snapshot for state that outlives the lock.
+// Query runs fn on the current published generation, lock-free and
+// concurrently with writers: fn observes the document as of the last
+// completed batch and never blocks (or is blocked by) ApplyAll. fn must
+// treat the grammar as strictly read-only — mutation entry points panic
+// on a published grammar — but unlike the old read-lock contract it MAY
+// retain the grammar past the call: a published generation is immutable
+// forever.
 func (s *Store) Query(fn func(*grammar.Grammar) error) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return fn(s.g)
+	return fn(s.acquireGen().g)
 }
 
-// Snapshot returns a deep copy of the current grammar. The copy is
-// invalidation-safe: later updates and recompressions never touch it, so
-// cursors built over it stay valid indefinitely.
+// Snapshot returns the current published generation's grammar: an
+// atomic pointer grab, not a copy. The grammar is immutable and
+// invalidation-safe — later updates and recompressions are applied to
+// fresh copies, never to a grammar a Snapshot handed out — so cursors
+// built over it stay valid indefinitely. Callers that need a private
+// mutable grammar (e.g. to feed a hand-rolled compression pass) must
+// Clone it themselves.
 func (s *Store) Snapshot() *grammar.Grammar {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.g.Clone()
+	return s.acquireGen().g
 }
 
 // Cursor returns a DOM-style cursor over a snapshot of the document.
+// Like Snapshot, opening it is O(depth) in the derived tree and does
+// not copy the grammar.
 func (s *Store) Cursor() (*navigate.Cursor, error) {
 	return navigate.NewCursor(s.Snapshot())
 }
 
-// Size returns the current grammar size |G|.
+// Size returns the current grammar size |G|, cached per generation.
 func (s *Store) Size() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.g.Size()
+	return s.acquireGen().cachedSize()
 }
 
 // TreeSize returns the node count of the derived binary tree, saturating
-// at math.MaxInt64 for exponentially compressing grammars. When the
-// size-vector cache is warm (any time after the first applied op) this
-// is O(1).
+// at math.MaxInt64 for exponentially compressing grammars. O(1) whenever
+// the size-vector cache was warm at publish time (any time after the
+// first applied op).
 func (s *Store) TreeSize() (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.treeSizeLocked()
+	return s.acquireGen().cachedTreeSize()
 }
 
 func (s *Store) treeSizeLocked() (int64, error) {
@@ -852,9 +890,14 @@ func (s *Store) treeSizeLocked() (int64, error) {
 // Elements returns the document's element count, or grammar.ErrSaturated
 // when the derived tree exceeds the int64 range.
 func (s *Store) Elements() (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.elementsLocked()
+	n, err := s.TreeSize()
+	if err != nil {
+		return 0, err
+	}
+	if grammar.Saturated(n) {
+		return 0, grammar.ErrSaturated
+	}
+	return (n - 1) / 2, nil
 }
 
 func (s *Store) elementsLocked() (int64, error) {
@@ -869,29 +912,56 @@ func (s *Store) elementsLocked() (int64, error) {
 }
 
 // CountLabel counts occurrences of an element label in the document
-// without decompressing. The usage vector is cached across queries and
-// invalidated by updates and recompressions, so a hot query stream pays
-// one Usage pass per update batch instead of one per query.
+// without decompressing. The usage vector is cached on the generation,
+// so a hot query stream pays one Usage pass per published generation
+// instead of one per query — and queries against an old pinned
+// generation never invalidate a newer one's cache.
 func (s *Store) CountLabel(label string) (float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	usage, err := s.cachedUsage()
+	gn := s.acquireGen()
+	usage, err := gn.cachedUsage(&s.usageHits, &s.usageMisses)
 	if err != nil {
 		return 0, err
 	}
-	return navigate.CountLabelUsage(s.g, usage, label), nil
+	return navigate.CountLabelUsage(gn.g, usage, label), nil
 }
 
 // LabelHistogram returns the occurrence count of every element label,
-// served from the same cached usage vector as CountLabel.
+// served from the same generation-cached usage vector as CountLabel.
 func (s *Store) LabelHistogram() (map[string]float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	usage, err := s.cachedUsage()
+	gn := s.acquireGen()
+	usage, err := gn.cachedUsage(&s.usageHits, &s.usageMisses)
 	if err != nil {
 		return nil, err
 	}
-	return navigate.LabelHistogramUsage(s.g, usage), nil
+	return navigate.LabelHistogramUsage(gn.g, usage), nil
+}
+
+// Memory-tier footprint coefficients: per-unit estimates of what one
+// grammar tree node (arena slot + child pointers + Aux), one rule
+// (header + registry slot + size vectors), and one isolation-frontier
+// spine entry cost resident. Accounting estimates for eviction
+// decisions, not exact heap measurements — what matters is that the
+// estimate scales with the real footprint.
+const (
+	bytesPerNode       = 96
+	bytesPerRule       = 112
+	bytesPerSpineEntry = 48
+)
+
+// ResidentBytes estimates the document's resident memory footprint —
+// grammar nodes, rule table, and the isolation-frontier index — the
+// quantity Config.MemoryBudget bounds fleet-wide. Cold documents evict
+// to their encoded bytes, typically 1–2 orders of magnitude smaller.
+func (s *Store) ResidentBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.residentBytesLocked()
+}
+
+func (s *Store) residentBytesLocked() int64 {
+	return int64(s.g.NodeCount())*bytesPerNode +
+		int64(s.g.NumRules())*bytesPerRule +
+		int64(s.cache.FrontierStats().Entries)*bytesPerSpineEntry
 }
 
 // Stats returns a snapshot of the Store's counters.
@@ -921,10 +991,11 @@ func (s *Store) Stats() Stats {
 		RefoldedNodes:           s.refoldedNodes,
 		RefoldRules:             s.refoldRules,
 
-		Size:               s.g.Size(),
+		Size:               s.sizeRest + s.startEdgesLocked(),
 		PeakSize:           s.peakSize,
 		LastCompressedSize: s.lastCompressed,
 		EffectiveRatio:     s.effRatio,
+		ResidentBytes:      s.residentBytesLocked(),
 	}
 	fs := s.cache.FrontierStats()
 	st.IsolationSteps = fs.Steps
@@ -932,10 +1003,8 @@ func (s *Store) Stats() Stats {
 	st.IsolationSkipped = fs.Skipped
 	st.SpineNodes = fs.Entries
 	st.Spines = fs.Spines
-	s.usageMu.Lock()
-	st.UsageCacheHits = s.usageHits
-	st.UsageCacheMisses = s.usageMisses
-	s.usageMu.Unlock()
+	st.UsageCacheHits = s.usageHits.Load()
+	st.UsageCacheMisses = s.usageMisses.Load()
 	if s.wl != nil {
 		ctr := s.wl.Counters()
 		st.Durable = true

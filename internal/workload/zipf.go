@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/update"
+)
+
+// FleetBatch is one step of a multi-document fleet workload: a batch of
+// operations addressed to one document.
+type FleetBatch struct {
+	Doc int // index into the per-document streams the schedule was built from
+	Ops []update.Op
+}
+
+// ZipfFleet interleaves per-document op streams into a single fleet
+// schedule with Zipf-skewed document popularity: document 0 is the
+// hottest, the tail is cold — the access pattern a memory tier must
+// serve well (hot documents stay resident, cold documents evict and
+// occasionally rehydrate). Each scheduled batch takes the next `batch`
+// ops (fewer at a stream's end) from the drawn document's stream; a
+// draw landing on an exhausted stream probes linearly to the next
+// document with ops left. Every stream is therefore delivered
+// completely and in order — replaying the schedule leaves each document
+// in exactly the state its own stream produces, which makes
+// tiered-vs-unbounded fleet differentials trivial.
+//
+// skew must be > 1 (the rand.Zipf exponent); batch < 1 is clamped to 1.
+// The schedule is deterministic per (streams, batch, skew, seed).
+func ZipfFleet(streams [][]update.Op, batch int, skew float64, seed int64) []FleetBatch {
+	if len(streams) == 0 {
+		return nil
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, skew, 1, uint64(len(streams)-1))
+	next := make([]int, len(streams)) // per-stream cursor
+	remaining := 0
+	for _, ops := range streams {
+		remaining += len(ops)
+	}
+	var out []FleetBatch
+	for remaining > 0 {
+		d := int(zipf.Uint64())
+		for next[d] >= len(streams[d]) {
+			d = (d + 1) % len(streams)
+		}
+		ops := streams[d][next[d]:]
+		if len(ops) > batch {
+			ops = ops[:batch]
+		}
+		next[d] += len(ops)
+		remaining -= len(ops)
+		out = append(out, FleetBatch{Doc: d, Ops: ops})
+	}
+	return out
+}

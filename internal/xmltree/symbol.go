@@ -67,15 +67,22 @@ func (s Symbol) IsBottom() bool { return s.Kind == Terminal && s.ID == BottomID 
 type SymbolTable struct {
 	names []string
 	ranks []int
-	byKey map[string]int32
+	byKey map[symKey]int32
+}
+
+// symKey is the intern-map key: comparable as a value, so lookups never
+// build a string (Intern sits on the update and compression hot paths).
+type symKey struct {
+	name string
+	rank int
 }
 
 // NewSymbolTable returns a table containing only ⊥.
 func NewSymbolTable() *SymbolTable {
-	st := &SymbolTable{byKey: make(map[string]int32)}
+	st := &SymbolTable{byKey: make(map[symKey]int32)}
 	st.names = append(st.names, "⊥")
 	st.ranks = append(st.ranks, 0)
-	st.byKey["⊥"] = BottomID
+	st.byKey[symKey{"⊥", 0}] = BottomID
 	return st
 }
 
@@ -83,7 +90,7 @@ func NewSymbolTable() *SymbolTable {
 // creating it if necessary. Two terminals with the same name but different
 // ranks are distinct symbols.
 func (st *SymbolTable) Intern(name string, rank int) int32 {
-	key := fmt.Sprintf("%s/%d", name, rank)
+	key := symKey{name, rank}
 	if id, ok := st.byKey[key]; ok {
 		return id
 	}
@@ -104,7 +111,7 @@ func (st *SymbolTable) Fresh(prefix string, rank int) int32 {
 	name := fmt.Sprintf("%s%d", prefix, id)
 	st.names = append(st.names, name)
 	st.ranks = append(st.ranks, rank)
-	st.byKey[fmt.Sprintf("%s/%d", name, rank)] = id
+	st.byKey[symKey{name, rank}] = id
 	return id
 }
 
@@ -123,7 +130,7 @@ func (st *SymbolTable) Clone() *SymbolTable {
 	cp := &SymbolTable{
 		names: append([]string(nil), st.names...),
 		ranks: append([]int(nil), st.ranks...),
-		byKey: make(map[string]int32, len(st.byKey)),
+		byKey: make(map[symKey]int32, len(st.byKey)),
 	}
 	for k, v := range st.byKey {
 		cp.byKey[k] = v

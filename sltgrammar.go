@@ -33,8 +33,11 @@
 // O(|RHS_S|) per op instead of O(|G|)), garbage-collects once per batch,
 // recompresses automatically when the grammar has degraded past a
 // configurable ratio of its last compressed size (self-tuning: the
-// trigger backs off while recompression isn't paying), and is safe for
-// concurrent readers during update ingestion:
+// trigger backs off while recompression isn't paying), and serves
+// readers from immutable published generations: Snapshot is a
+// lock-free pointer grab (zero allocations, never invalidated by later
+// writes), and cursors and aggregate queries run on the pinned
+// generation without blocking the writer:
 //
 //	st := sltgrammar.NewStore(g)                  // takes ownership of g
 //	_ = st.ApplyAll(ops)                          // batched updates
@@ -86,20 +89,30 @@ type (
 	Cursor = navigate.Cursor
 	// Store is the long-lived dynamic-document engine: cached size
 	// vectors, batched garbage collection, self-tuning recompression,
-	// and concurrent readers. See repro/internal/store for the lifecycle.
+	// and generational zero-copy reads — Snapshot returns the immutable
+	// published generation (a pointer grab, never a deep copy), the
+	// writer clones lazily only when a pinned generation would otherwise
+	// be mutated. See repro/internal/store for the lifecycle.
 	Store = store.Store
-	// StoreConfig tunes a Store's recompression policy (and, with Async,
-	// moves recompression off the write lock).
+	// StoreConfig tunes a Store's recompression policy (with Async,
+	// recompression moves off the write lock) and, via MemoryBudget on a
+	// ShardedStore, the fleet's resident-memory tier.
 	StoreConfig = store.Config
 	// StoreStats is a snapshot of a Store's counters.
 	StoreStats = store.Stats
 	// ShardedStore serves many documents at once: IDs are hashed across
 	// shards, each shard owning its documents' Stores plus one worker
 	// applying that shard's update batches, so updates to documents in
-	// different shards never contend.
+	// different shards never contend. With StoreConfig.MemoryBudget set,
+	// the fleet runs memory-tiered: when resident bytes exceed the
+	// budget, cold documents (LRU by last write or read) evict to their
+	// encoded grammar bytes — or, durably, to disk alone — and
+	// transparently rehydrate on their next access.
 	ShardedStore = store.Sharded
 	// ShardedStats aggregates Store counters across all documents of a
-	// ShardedStore.
+	// ShardedStore, plus fleet residency: Resident/Evicted document
+	// counts, ResidentBytes, and the Evictions/Hydrations traffic of the
+	// memory tier.
 	ShardedStats = store.ShardedStats
 	// Durability makes a Store or ShardedStore durable: set it on a
 	// StoreConfig and every acked update batch is appended to a
@@ -145,7 +158,9 @@ func NewStore(g *Grammar, cfg ...StoreConfig) *Store { return store.New(g, cfg..
 // NewShardedStore returns a multi-document store with the given shard
 // count (shards <= 0 selects GOMAXPROCS); every document opened in it
 // uses cfg. Open registers documents, ApplyAll routes update batches to
-// the owning shard's worker, Get serves reads. Call Close when done
+// the owning shard's worker, Get serves reads. cfg.MemoryBudget > 0
+// bounds the fleet's resident bytes by evicting cold documents to
+// their encoded form (they rehydrate on access). Call Close when done
 // ingesting (and Quiesce first when asynchronous recompressions must
 // settle):
 //
