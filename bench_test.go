@@ -167,6 +167,18 @@ func BenchmarkStoreReadStream(b *testing.B) {
 	}
 }
 
+// BenchmarkStorePointQuery measures random indexed point lookups
+// (preorder seeks through the generation's spine view) on a degraded
+// grammar under a streaming writer, with the naive size-vector descent
+// as the in-record baseline; see benchsuite.StorePointQueryBench.
+func BenchmarkStorePointQuery(b *testing.B) {
+	for _, short := range benchsuite.MicroShorts {
+		c, _ := datasets.ByShort(short)
+		b.Run(c.Name, benchsuite.StorePointQueryBench(short, true))
+		b.Run(c.Name+"/naive", benchsuite.StorePointQueryBench(short, false))
+	}
+}
+
 // BenchmarkShardedTiered measures a 256-document fleet under a memory
 // budget a quarter of its unbounded resident footprint, driven by the
 // pinned Zipf schedule; ns/op includes evictions and rehydrations.

@@ -9,6 +9,12 @@
 //	benchtables -fig4 -updates 2000  # dynamic experiment, shorter run
 //	benchtables -scale 0.5           # half-size corpora
 //	benchtables -json 1 -scale 0.08  # machine-readable perf record BENCH_1.json
+//
+// Profiling (see PERF.md for the workflow):
+//
+//	benchtables -json 0 -fig6 -cpuprofile cpu.out   # profile an experiment
+//	benchtables -json 8 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof -top cpu.out
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -45,8 +52,43 @@ func main() {
 		gnMax   = flag.Int("gnmax", 12, "largest Gn exponent for Fig. 3")
 
 		jsonN = flag.Int("json", 0, "write BENCH_<n>.json with ns/op, B/op and allocs/op per benchmark (0 = off)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	flag.Parse()
+
+	// Profiles cover the whole run — experiments or the -json suite —
+	// and are written on normal completion (a failed run leaves a
+	// truncated CPU profile behind, which pprof still reads up to the
+	// failure point).
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settled heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+			}
+		}()
+	}
 
 	cfg := experiments.Default(os.Stdout)
 	cfg.Scale = *scale
@@ -217,6 +259,12 @@ func writeBenchJSON(n int, cfg experiments.Config) error {
 	}
 	for _, short := range benchsuite.MicroShorts {
 		add("StoreReadStream/"+short, benchsuite.StoreReadStreamBench(short))
+	}
+	for _, short := range benchsuite.MicroShorts {
+		add("StorePointQuery/"+short, benchsuite.StorePointQueryBench(short, true))
+	}
+	for _, short := range benchsuite.MicroShorts {
+		add("StorePointQueryNaive/"+short, benchsuite.StorePointQueryBench(short, false))
 	}
 	add(fmt.Sprintf("ShardedTiered/XM/docs=%d", benchsuite.TieredDocs),
 		benchsuite.ShardedTieredBench("XM", benchsuite.TieredDocs))

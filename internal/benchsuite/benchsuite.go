@@ -7,6 +7,7 @@ package benchsuite
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -61,6 +62,17 @@ const (
 	// The writer's first cycle renames a node to it, so the query runs
 	// against label-usage state the writer keeps republishing.
 	ReadStreamLabel = "fresh0"
+)
+
+// Point-query track: random preorder lookups on the degraded grammar
+// the pinned update stream leaves behind, while a writer keeps the
+// document moving — the serving regime the read-side spine view exists
+// for.
+const (
+	// PointQuerySeed draws the pinned pseudo-random lookup positions.
+	PointQuerySeed = 19
+	// PointQueryCount is how many lookups one benchmark op performs.
+	PointQueryCount = 64
 )
 
 // Tiered-fleet track: many documents under a memory budget a fraction
@@ -384,6 +396,78 @@ func StoreReadStreamBench(short string) func(b *testing.B) {
 		b.StopTimer()
 		close(stop)
 		<-done
+	}
+}
+
+// StorePointQueryBench measures random point lookups against a
+// degraded grammar under a streaming writer: the store first ingests
+// the pinned insert-heavy stream (leaving the long unfolded chains
+// point queries must cross), then a background goroutine keeps
+// replaying the position-stable rename cycle while the measured loop
+// performs PointQueryCount preorder lookups at pinned pseudo-random
+// positions. indexed selects the generation's frozen spine view
+// (chunk-by-sum seeks); false forces the naive size-vector descent —
+// the differential baseline in the same record, doing identical
+// semantic work on the identical document.
+func StorePointQueryBench(short string, indexed bool) func(b *testing.B) {
+	g, ops := updateStream(short)
+	// The stream replays the document back to the pinned corpus, so the
+	// corpus rename cycle stays position-stable forever.
+	renames := workload.Renames(doc(short), ReadStreamRenames, ReadStreamSeed)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		st := sltgrammar.NewStore(g.Clone(), sltgrammar.StoreConfig{Ratio: -1})
+		for done := 0; done < len(ops); done += UpdateStreamBatch {
+			end := min(done+UpdateStreamBatch, len(ops))
+			if err := st.ApplyAll(ops[done:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		total, err := st.TreeSize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(PointQuerySeed))
+		positions := make([]int64, PointQueryCount)
+		for i := range positions {
+			positions[i] = rng.Int63n(total)
+		}
+		stop := make(chan struct{})
+		writerDone := make(chan struct{})
+		go func() {
+			defer close(writerDone)
+			for {
+				for off := 0; off < len(renames); off += UpdateStreamBatch {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					end := min(off+UpdateStreamBatch, len(renames))
+					if err := st.ApplyAll(renames[off:end]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, p := range positions {
+				var err error
+				if indexed {
+					_, err = st.PointQuery(p)
+				} else {
+					_, err = st.PointQueryNaive(p)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		<-writerDone
 	}
 }
 

@@ -164,6 +164,21 @@ func (t *SizeTable) Drop(id int32) {
 	}
 }
 
+// Snapshot returns a copy of the table that a writer takes for itself
+// when a reader has pinned the original into a frozen grammar
+// generation. Only the start rule's vector is ever mutated in place by
+// the update cache (adjustStartTotal), so the copy is shallow except
+// for that one vector; the fresh backing slice keeps later
+// Set/Drop/GrowTo on the copy from showing through to the original.
+func (t *SizeTable) Snapshot(start int32) *SizeTable {
+	nv := append([]*SizeVectors(nil), t.vec...)
+	if uint64(start) < uint64(len(nv)) && nv[start] != nil {
+		sv := nv[start]
+		nv[start] = &SizeVectors{Seg: append([]int64(nil), sv.Seg...), Total: sv.Total}
+	}
+	return &SizeTable{vec: nv}
+}
+
 // Range calls f for every present vector in ascending rule-ID order until
 // f returns false. f may Drop entries (including the current one).
 func (t *SizeTable) Range(f func(id int32, sv *SizeVectors) bool) {

@@ -205,10 +205,21 @@ func (m *Memo) flushRun(arrivedAt *xmltree.Node) {
 	m.runN, m.runW = run[:0], w[:0]
 	m.extend, m.extendAt = nil, nil
 	if len(run) == 0 {
+		// A seek exhausted ext and the walk ended with no naive material
+		// in between — if it ended at another spine's head, the two
+		// spines are directly linked (an earlier descent appended the gap,
+		// or there never was one): merge them back into one.
+		if ext != nil && arrivedAt != nil && arrivedAt == extAt {
+			m.maybeMerge(ext, arrivedAt)
+		}
 		return
 	}
 	if ext != nil && extAt == run[0] && len(ext.chunks) > 0 {
 		m.spliceChunks(ext, len(ext.chunks), run, w)
+		// The appended run may have closed a removeSplit gap: if the walk
+		// stopped because it arrived at another spine's head, the two
+		// spines are now directly linked — merge them back into one.
+		m.maybeMerge(ext, arrivedAt)
 		return
 	}
 	if arrivedAt != nil {
@@ -285,6 +296,49 @@ func (m *Memo) spliceChunks(sp *spine, at int, nodes []*xmltree.Node, w []int64)
 		}
 		m.stats.Entries += len(ck.nodes)
 		m.stats.Registered += int64(len(ck.nodes))
+	}
+}
+
+// maybeMerge merges the spine headed by at onto the end of sp when the
+// two are directly chain-linked — the re-join of a removeSplit gap once
+// the material between the halves is indexed again. No-op unless at
+// heads a different live spine and sp's last entry's chain child is at.
+func (m *Memo) maybeMerge(sp *spine, at *xmltree.Node) {
+	if at == nil || sp == nil || len(sp.chunks) == 0 {
+		return
+	}
+	ck, off, ok := m.spineAt(at)
+	if !ok || off != 0 || ck.idx != 0 || ck.sp == nil || ck.sp == sp {
+		return
+	}
+	lc := sp.chunks[len(sp.chunks)-1]
+	last := lc.nodes[len(lc.nodes)-1]
+	if len(last.Children) == 0 || last.Children[chainChild(last)] != at {
+		return
+	}
+	m.mergeSpines(sp, ck.sp)
+}
+
+// mergeSpines concatenates sp2's chunks onto sp1 and retires sp2.
+// Chunk identity is preserved, so the Aux slot table needs no
+// restamping — only the chunks' back-references and the registry
+// change. Entries gauge is untouched (no entry is created or freed).
+func (m *Memo) mergeSpines(sp1, sp2 *spine) {
+	base := len(sp1.chunks)
+	sp1.chunks = append(sp1.chunks, sp2.chunks...)
+	for i := base; i < len(sp1.chunks); i++ {
+		sp1.chunks[i].sp = sp1
+		sp1.chunks[i].idx = i
+	}
+	sp2.chunks = nil
+	// Swap-remove sp2 from the registry without touching its former
+	// chunks' slots (they now belong to sp1).
+	last := len(m.spines) - 1
+	if last >= 0 && sp2.slot <= last && m.spines[sp2.slot] == sp2 {
+		m.spines[sp2.slot] = m.spines[last]
+		m.spines[sp2.slot].slot = sp2.slot
+		m.spines = m.spines[:last]
+		m.stats.Spines--
 	}
 }
 
@@ -706,75 +760,119 @@ type RefoldOptions struct {
 	MaxChunks int
 }
 
-// Refold folds cold indexed segments back into fresh rank-1 rules:
-// a cold chunk's chain — each entry with its first-child subtree — is
-// moved (not copied) into a new rule A(y1) whose parameter stands for
-// the chain continuation, and the chain predecessor now calls A. The
-// derived document is untouched; the explicit spine shrinks by the
-// chunk, so descents, clones, and recompressions stop paying for
-// material no recent op has looked at. The rule's size vector is known
-// exactly from the chunk's weight sum, so sizes stays warm without any
-// walk. Only interior chunks fold (the predecessor entry is the splice
-// point); a fold splits the spine at the removed chunk.
-func (m *Memo) Refold(g *grammar.Grammar, sizes *grammar.SizeTable, opt RefoldOptions) (chunks, entries int) {
+// Refold folds cold indexed segments back into fresh rank-1 rules: a
+// cold run of contiguous chunks — each entry with its first-child
+// subtree — is moved (not copied) into ONE new rule A(y1) whose
+// parameter stands for the chain continuation, and the chain
+// predecessor now calls A. The derived document is untouched; the
+// explicit spine shrinks by the whole run, so descents, clones, and
+// recompressions stop paying for material no recent op has looked at —
+// and because a run of any length folds into a single rule, cold
+// regions no longer degrade into rank-1 rule chains (one rule per
+// chunk, the pre-multi-chunk behavior). The rule's size vector is known
+// exactly from the run's weight sums, so sizes stays warm without any
+// walk. Only interior runs fold (the predecessor entry is the splice
+// point); a fold splits the spine at the removed run.
+//
+// Returns the number of rules minted (folds) and the spine entries they
+// absorbed; opt.MaxChunks bounds the chunks covered per pass.
+func (m *Memo) Refold(g *grammar.Grammar, sizes *grammar.SizeTable, opt RefoldOptions) (folds, entries int) {
 	if m == nil || m.noIndex || sizes == nil {
 		return 0, 0
 	}
 	if opt.MaxChunks <= 0 {
 		return 0, 0
 	}
-	// Snapshot the candidates first: folding splits spines, which
+	// Snapshot maximal cold runs first: folding splits spines, which
 	// reshuffles the registries being iterated.
-	var cand []*chunk
+	var cand [][]*chunk
 	for _, sp := range m.spines {
+		var cur []*chunk
 		for _, ck := range sp.chunks {
 			if ck.idx >= 1 && m.tick-ck.touch >= opt.MinAge {
-				cand = append(cand, ck)
+				cur = append(cur, ck)
+				continue
+			}
+			if len(cur) > 0 {
+				cand = append(cand, cur)
+				cur = nil
 			}
 		}
+		if len(cur) > 0 {
+			cand = append(cand, cur)
+		}
 	}
-	for _, ck := range cand {
+	chunks := 0
+	for _, run := range cand {
 		if chunks >= opt.MaxChunks {
 			break
 		}
-		if ck.sp == nil || ck.idx < 1 {
-			continue // a previous fold dropped or moved it
+		if budget := opt.MaxChunks - chunks; len(run) > budget {
+			run = run[:budget]
 		}
-		if n := m.fold(g, sizes, ck); n > 0 {
-			chunks++
+		// Re-validate against earlier folds this pass: a fold on the same
+		// spine dropped chunks or moved them to a fresh split-off spine.
+		sp := run[0].sp
+		if sp == nil || run[0].idx < 1 {
+			continue
+		}
+		ok := true
+		for i, ck := range run {
+			if ck.sp != sp || ck.idx != run[0].idx+i {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if n := m.foldRun(g, sizes, run); n > 0 {
+			folds++
 			entries += n
+			chunks += len(run)
 		}
 	}
-	m.stats.Folds += int64(chunks)
+	m.stats.Folds += int64(folds)
 	m.stats.FoldedEntries += int64(entries)
-	return chunks, entries
+	return folds, entries
 }
 
-// fold folds one chunk; returns the number of entries folded (0 = not
-// foldable).
-func (m *Memo) fold(g *grammar.Grammar, sizes *grammar.SizeTable, ck *chunk) int {
-	if grammar.Saturated(ck.sum) || len(ck.nodes) == 0 {
+// foldRun folds one contiguous run of chunks into a single fresh rule;
+// returns the number of entries folded (0 = not foldable). The caller
+// guarantees the run is contiguous within one spine and does not start
+// at chunk 0 (so a chain predecessor exists).
+func (m *Memo) foldRun(g *grammar.Grammar, sizes *grammar.SizeTable, run []*chunk) int {
+	first := run[0]
+	sp := first.sp
+	var sum int64
+	folded := 0
+	for _, ck := range run {
+		if len(ck.nodes) == 0 {
+			return 0
+		}
+		sum = grammar.SatAdd(sum, ck.sum)
+		folded += len(ck.nodes)
+	}
+	if grammar.Saturated(sum) {
 		return 0
 	}
-	sp := ck.sp
-	predNode, ok := m.pred(ck, 0)
+	predNode, ok := m.pred(first, 0)
 	if !ok {
 		return 0
 	}
-	head := ck.nodes[0]
+	head := first.nodes[0]
 	if len(predNode.Children) == 0 || predNode.Children[chainChild(predNode)] != head {
 		// Chain/index disagreement — the spine cannot be trusted.
 		m.dropSpine(sp)
 		return 0
 	}
-	last := ck.nodes[len(ck.nodes)-1]
+	lastCk := run[len(run)-1]
+	last := lastCk.nodes[len(lastCk.nodes)-1]
 	if len(last.Children) == 0 {
 		m.dropSpine(sp)
 		return 0
 	}
 	cont := last.Children[chainChild(last)]
-	folded := len(ck.nodes)
-	sum := ck.sum
 
 	// Spines nested inside the segment's head subtrees would outlive the
 	// move as zombies (the rule body is only ever re-entered as a copy),
@@ -782,26 +880,30 @@ func (m *Memo) fold(g *grammar.Grammar, sizes *grammar.SizeTable, ck *chunk) int
 	// trigger watches — purge them like a delete purges its detached
 	// subtree. The walk is O(segment material), the same order the fold
 	// itself moves.
-	for _, n := range ck.nodes {
-		for i := 0; i < len(n.Children)-1; i++ {
-			m.purgeDetached(n.Children[i])
+	for _, ck := range run {
+		for _, n := range ck.nodes {
+			for i := 0; i < len(n.Children)-1; i++ {
+				m.purgeDetached(n.Children[i])
+			}
 		}
 	}
 
-	// Detach the segment into a fresh rule A(y1) and call it in place.
+	// Detach the whole run into a fresh rule A(y1) and call it in place.
 	last.Children[chainChild(last)] = xmltree.New(xmltree.Param(1))
 	rule := g.NewRule(1, head)
 	predNode.Children[chainChild(predNode)] = xmltree.New(xmltree.Nonterm(rule.ID), cont)
-	// The rule derives exactly the chunk's material before y1:
+	// The rule derives exactly the run's material before y1:
 	// size(A,0) = Σ weights, size(A,1) = 0.
 	sizes.Set(rule.ID, &grammar.SizeVectors{Seg: []int64{sum, 0}, Total: sum})
 
-	// Split the spine at the folded chunk: the chunks before it keep the
+	// Split the spine at the folded run: the chunks before it keep the
 	// spine, the chunks after it become their own spine (their chain now
 	// hangs off the call's argument).
-	m.clearChunkSlots(ck)
-	at := ck.idx
-	tail := append([]*chunk(nil), sp.chunks[at+1:]...)
+	for _, ck := range run {
+		m.clearChunkSlots(ck)
+	}
+	at := first.idx
+	tail := append([]*chunk(nil), sp.chunks[at+len(run):]...)
 	sp.chunks = sp.chunks[:at]
 	if len(sp.chunks) == 0 {
 		m.dropSpine(sp)

@@ -34,6 +34,12 @@ func (sm *spineModel) register(n int, rng *rand.Rand) {
 	for i := range nodes {
 		nodes[i] = elemNode()
 		w[i] = 1 + int64(rng.Intn(50))
+		if i > 0 {
+			// Chain-link the entries like a real sibling spine, so the
+			// pred/continuity checks of re-folding and spine merging see
+			// consistent material.
+			nodes[i-1].Children[1] = nodes[i]
+		}
 	}
 	sm.m.registerSpine(nodes, w)
 	sm.spines = append(sm.spines, &modelSpine{nodes: nodes, w: w})
@@ -59,6 +65,11 @@ func (sm *spineModel) insert(msi, pos int, rng *rand.Rand) {
 	if !ok {
 		sm.t.Fatalf("insert: entry %d/%d lost its slot", msi, pos)
 	}
+	// Splice the new entry into the chain like a real insert does.
+	n.Children[1] = ms.nodes[pos]
+	if pos > 0 {
+		ms.nodes[pos-1].Children[1] = n
+	}
 	sm.m.insertAt(ck, off, n, w)
 	ms.nodes = append(ms.nodes[:pos], append([]*xmltree.Node{n}, ms.nodes[pos:]...)...)
 	ms.w = append(ms.w[:pos], append([]int64{w}, ms.w[pos:]...)...)
@@ -69,6 +80,10 @@ func (sm *spineModel) remove(msi, pos int) {
 	ck, off, ok := sm.m.spineAt(ms.nodes[pos])
 	if !ok {
 		sm.t.Fatalf("remove: entry %d/%d lost its slot", msi, pos)
+	}
+	// Splice the entry out of the chain like a real delete does.
+	if pos > 0 {
+		ms.nodes[pos-1].Children[1] = ms.nodes[pos].Children[1]
 	}
 	sm.m.removeAt(ck, off)
 	ms.nodes = append(ms.nodes[:pos], ms.nodes[pos+1:]...)
@@ -89,6 +104,122 @@ func (sm *spineModel) removeSplit(msi, pos int) {
 	ms.nodes = ms.nodes[:pos]
 	ms.w = ms.w[:pos]
 	sm.spines = append(sm.spines, right)
+}
+
+// splitMerge exercises the removeSplit→re-join cycle: split a spine at
+// pos, close the chain gap (as a real descent does when it re-registers
+// the unfolded material), and merge the halves back into one spine.
+func (sm *spineModel) splitMerge(msi, pos int) {
+	ms := sm.spines[msi]
+	if pos == 0 || pos+1 >= len(ms.nodes) {
+		sm.removeSplit(msi, pos)
+		return
+	}
+	sm.removeSplit(msi, pos)
+	left := sm.spines[msi]
+	right := sm.spines[len(sm.spines)-1]
+	// The detached entry's material is gone: the left run chains directly
+	// into the right head again.
+	leftLast := left.nodes[len(left.nodes)-1]
+	leftLast.Children[1] = right.nodes[0]
+	ck, _, ok := sm.m.spineAt(leftLast)
+	if !ok {
+		sm.t.Fatalf("splitMerge: left tail lost its slot")
+	}
+	sm.m.maybeMerge(ck.sp, right.nodes[0])
+	left.nodes = append(left.nodes, right.nodes...)
+	left.w = append(left.w, right.w...)
+	sm.spines = sm.spines[:len(sm.spines)-1]
+}
+
+// refold runs a bounded multi-chunk re-fold pass and reconciles the
+// model: entries whose slots were cleared either folded into a fresh
+// rule or were dropped defensively; the surviving runs of each spine are
+// now separate spines. checkInvariants then validates that the index's
+// chunk structure, weights, and gauges match the reconciled model.
+func (sm *spineModel) refold(g *grammar.Grammar, sizes *grammar.SizeTable, maxChunks int) {
+	sm.m.Refold(g, sizes, RefoldOptions{MinAge: 0, MaxChunks: maxChunks})
+	var next []*modelSpine
+	for _, ms := range sm.spines {
+		var cur *modelSpine
+		for i, n := range ms.nodes {
+			if _, _, ok := sm.m.spineAt(n); ok {
+				if cur == nil {
+					cur = &modelSpine{}
+				}
+				cur.nodes = append(cur.nodes, n)
+				cur.w = append(cur.w, ms.w[i])
+			} else if cur != nil {
+				next = append(next, cur)
+				cur = nil
+			}
+		}
+		if cur != nil {
+			next = append(next, cur)
+		}
+	}
+	sm.spines = next
+}
+
+// checkView snapshots a frozen read-only view and checks it against the
+// model: every non-empty spine must be covered, totals and continuation
+// nodes must agree, and a random seek must route exactly like the
+// model's prefix-sum answer (the index-vs-naive agreement property at
+// the unit level).
+func (sm *spineModel) checkView(rng *rand.Rand) {
+	v := sm.m.View()
+	live := 0
+	for msi, ms := range sm.spines {
+		if len(ms.nodes) == 0 {
+			continue
+		}
+		live++
+		s, ok := v.At(ms.nodes[0])
+		if !ok {
+			sm.t.Fatalf("view: spine %d head not mapped", msi)
+		}
+		var total int64
+		for _, wi := range ms.w {
+			total += wi
+		}
+		last := ms.nodes[len(ms.nodes)-1]
+		sum, tail := v.Sum(s)
+		if sum != total {
+			sm.t.Fatalf("view: spine %d Sum %d, model %d", msi, sum, total)
+		}
+		if tail != last.Children[1] {
+			sm.t.Fatalf("view: spine %d continuation mismatch", msi)
+		}
+		rem := rng.Int63n(total + 20)
+		n, local, _, found := v.Seek(s, rem)
+		var cum int64
+		matched := false
+		for i := 0; i < len(ms.nodes); i++ {
+			if cum+ms.w[i] > rem {
+				if !found || n != ms.nodes[i] || local != rem-cum {
+					sm.t.Fatalf("view seek(%d): spine %d model entry %d local %d, view local %d found %v",
+						rem, msi, i, rem-cum, local, found)
+				}
+				matched = true
+				break
+			}
+			cum += ms.w[i]
+		}
+		if !matched {
+			if found {
+				sm.t.Fatalf("view seek(%d): model exhausts, view found local %d", rem, local)
+			}
+			if n != last.Children[1] || local != rem-cum {
+				sm.t.Fatalf("view seek(%d): exhaust remainder %d, view %d", rem, rem-cum, local)
+			}
+		}
+	}
+	if live > 0 && v.Spines() != live {
+		sm.t.Fatalf("view covers %d spines, model has %d live", v.Spines(), live)
+	}
+	if live == 0 && v != nil {
+		sm.t.Fatalf("view non-nil over an empty model")
+	}
 }
 
 func (sm *spineModel) adjust(msi, pos int, delta int64) {
@@ -193,6 +324,8 @@ func (sm *spineModel) checkInvariants() {
 func driveSpineModel(t *testing.T, data []byte) {
 	sm := &spineModel{t: t, m: NewMemo()}
 	rng := rand.New(rand.NewSource(1))
+	g := grammar.New(nil)
+	sizes := grammar.NewSizeTable(g)
 	sm.register(40+int(uint(len(data))%200), rng)
 	sm.checkInvariants()
 	for i := 0; i+1 < len(data); i += 2 {
@@ -203,7 +336,7 @@ func driveSpineModel(t *testing.T, data []byte) {
 			sm.checkInvariants()
 			continue
 		}
-		switch op % 5 {
+		switch op % 8 {
 		case 0:
 			sm.insert(msi, pos, rng)
 		case 1:
@@ -214,6 +347,12 @@ func driveSpineModel(t *testing.T, data []byte) {
 			sm.adjust(msi, pos, int64(int8(arg)))
 		case 4:
 			sm.checkSeek(msi, pos, rng)
+		case 5:
+			sm.splitMerge(msi, pos)
+		case 6:
+			sm.refold(g, sizes, 1+int(arg%8))
+		case 7:
+			sm.checkView(rng)
 		}
 		sm.checkInvariants()
 	}
@@ -248,6 +387,9 @@ func FuzzSpineIndex(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5})
 	f.Add([]byte{2, 0, 2, 0, 2, 0, 4, 9})
 	f.Add([]byte{1, 1, 1, 1, 0, 0, 0, 0, 3, 200, 4, 4})
+	f.Add([]byte{5, 0, 5, 1, 5, 2, 7, 0})               // split→merge cycles + view
+	f.Add([]byte{6, 3, 7, 0, 6, 7, 4, 9, 5, 0, 6, 1})   // refold, view, merge interleaved
+	f.Add([]byte{2, 0, 0, 0, 6, 200, 7, 7, 1, 1, 6, 0}) // split, insert, deep refold, view
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 4096 {
 			data = data[:4096]
@@ -337,12 +479,21 @@ func TestRefoldPreservesValAndSizes(t *testing.T) {
 		t.Fatalf("chain not indexed: %+v", memo.Frontier())
 	}
 	memo.tick += 100 // age every chunk
-	chunks, entries := memo.Refold(g, sizes, RefoldOptions{MinAge: 50, MaxChunks: 4})
-	if chunks == 0 || entries == 0 {
+	folds, entries := memo.Refold(g, sizes, RefoldOptions{MinAge: 50, MaxChunks: 4})
+	if folds == 0 || entries == 0 {
 		t.Fatalf("nothing folded: %+v", memo.Frontier())
 	}
-	if g.NumRules() != 1+chunks {
-		t.Fatalf("expected %d fresh rules, have %d rules", chunks, g.NumRules())
+	if g.NumRules() != 1+folds {
+		t.Fatalf("expected %d fresh rules, have %d rules", folds, g.NumRules())
+	}
+	// Multi-chunk: the cold interior is one contiguous run, so a 4-chunk
+	// budget folds into ONE rule absorbing several chunks' entries — not
+	// the pre-PR-8 one-rule-per-chunk chain.
+	if folds != 1 {
+		t.Fatalf("contiguous cold run split into %d folds", folds)
+	}
+	if entries <= 2*chunkFill {
+		t.Fatalf("fold absorbed only %d entries, want a multi-chunk run", entries)
 	}
 	if err := g.Validate(); err != nil {
 		t.Fatalf("grammar invalid after refold: %v", err)

@@ -58,3 +58,52 @@ func TestCursorMovesAllocFree(t *testing.T) {
 		t.Fatalf("cursor Walk allocated %.1f times per traversal", allocs)
 	}
 }
+
+// TestCursorDegradedAllocFree extends the guard to a degraded grammar
+// (post-update, pre-recompression): moves across the long explicit
+// chains and deep tail-call nests updates leave behind must stay
+// alloc-free, and so must warmed-up indexed point seeks — the store
+// read path calls both on every query.
+func TestCursorDegradedAllocFree(t *testing.T) {
+	g, cache := degradedCorpus(t, "EW")
+	sizes, view := cache.Peek(), cache.SpineView()
+	if view == nil {
+		t.Fatal("degraded EW grammar has no spine view")
+	}
+	c, err := NewCursor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AttachIndex(sizes, view)
+	total := sizes.Get(g.Start).Total
+	positions := []int64{0, total / 3, total / 2, total - 2, total - 1}
+	seekAll := func() {
+		for _, p := range positions {
+			if err := c.SeekPreorder(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	descend := func() {
+		depth := 0
+		for !c.IsBottom() {
+			if err := c.FirstChild(); err != nil {
+				t.Fatal(err)
+			}
+			depth++
+		}
+		for i := 0; i < depth; i++ {
+			if err := c.Parent(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	seekAll() // warm the stacks
+	descend()
+	if allocs := testing.AllocsPerRun(50, seekAll); allocs != 0 {
+		t.Fatalf("indexed seeks allocated %.1f times per round", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, descend); allocs != 0 {
+		t.Fatalf("degraded-grammar moves allocated %.1f times per descent", allocs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/grammar"
+	"repro/internal/isolate"
 	"repro/internal/xmltree"
 )
 
@@ -38,6 +39,11 @@ type Cursor struct {
 	frames []frame       // active call stack, innermost last
 	trail  []crumb       // breadcrumbs for Parent
 	saved  []frame       // LIFO park of frames popped by downward moves
+
+	// Optional point-query accelerators; see AttachIndex (point.go).
+	sizes *grammar.SizeTable
+	view  *isolate.SpineView
+	stats PointStats
 }
 
 // NewCursor returns a cursor at the root of val_G(S).

@@ -1,0 +1,222 @@
+// Read-side indexed point queries: SeekPreorder repositions the cursor
+// at a preorder index of val_G(S) WITHOUT unfolding the grammar — the
+// read-only counterpart of path isolation. The descent runs the same
+// size-vector arithmetic (Section III-A) over the frozen grammar, and
+// when a spine view is attached (a frozen snapshot of the update path's
+// isolation frontier), point lookups on long unfolded chains seek
+// chunk-by-sum instead of walking siblings and re-measuring tail-call
+// nests.
+package navigate
+
+import (
+	"fmt"
+
+	"repro/internal/grammar"
+	"repro/internal/isolate"
+	"repro/internal/xmltree"
+)
+
+// PointStats counts the read-side index activity of SeekPreorder.
+type PointStats struct {
+	Seeks   int64 // SeekPreorder calls
+	Jumps   int64 // indexed chunk-by-sum seeks taken instead of walking
+	Skipped int64 // spine entries those seeks skipped over
+}
+
+// Stats returns the cursor's point-query counters.
+func (c *Cursor) Stats() PointStats { return c.stats }
+
+// AttachIndex equips the cursor for indexed point queries: sizes is the
+// grammar's size-vector table (required by SeekPreorder), view an
+// optional frozen spine view published with the grammar generation —
+// nil falls back to naive measure-and-descend at every level. Both are
+// read-only; the cursor never mutates the grammar or the index.
+func (c *Cursor) AttachIndex(sizes *grammar.SizeTable, view *isolate.SpineView) {
+	c.sizes = sizes
+	c.view = view
+}
+
+// SeekPreorder repositions the cursor at the node with the given
+// preorder index (0-based, ⊥ leaves counted) of val_G(S), in time
+// proportional to the grammar's nesting depth — never the document —
+// plus O(#chunks) per indexed chain crossed. It resets the move trail:
+// Parent stops at the seek point until later moves rebuild it.
+func (c *Cursor) SeekPreorder(pre int64) error {
+	if c.sizes == nil {
+		return fmt.Errorf("navigate: SeekPreorder needs an attached size table")
+	}
+	sv := c.sizes.Get(c.g.Start)
+	if sv == nil {
+		return fmt.Errorf("navigate: no size vector for the start rule")
+	}
+	if pre < 0 || pre >= sv.Total {
+		return fmt.Errorf("navigate: preorder %d out of range [0,%d)", pre, sv.Total)
+	}
+	c.frames = c.frames[:0]
+	c.trail = c.trail[:0]
+	c.saved = c.saved[:0]
+	c.stats.Seeks++
+	n := c.g.StartRule().RHS
+	rem := pre
+	for {
+		if c.view != nil && rem > 0 {
+			if s, ok := c.view.At(n); ok {
+				tgt, local, skipped, found := c.view.Seek(s, rem)
+				c.stats.Jumps++
+				c.stats.Skipped += skipped
+				n, rem = tgt, local
+				if !found {
+					// Spine exhausted: n is the chain continuation, which
+					// may head the next spine — re-probe at the loop head.
+					continue
+				}
+				// Target found at (or inside) entry n. Fall through to the
+				// switch WITHOUT re-probing: the head entry can resolve to
+				// itself, and a read-only view cannot split the spine the
+				// way the update descent does.
+			}
+		}
+		switch n.Label.Kind {
+		case xmltree.Terminal:
+			if rem == 0 {
+				c.node = n
+				return nil
+			}
+			rem--
+			descended := false
+			for i := 0; i < len(n.Children); i++ {
+				// Loop invariant: rem < val size of the remaining children,
+				// so the last child needs no containment check (and no
+				// size walk) — descending a next-sibling chain stays linear.
+				if i == len(n.Children)-1 {
+					n = n.Children[i]
+					descended = true
+					break
+				}
+				sz := c.measure(n.Children[i], len(c.frames), rem+1, 0)
+				if rem < sz {
+					n = n.Children[i]
+					descended = true
+					break
+				}
+				rem -= sz
+			}
+			if !descended {
+				return fmt.Errorf("navigate: internal seek error (rem=%d)", rem)
+			}
+		case xmltree.Nonterminal:
+			rsv := c.sizes.Get(n.Label.ID)
+			if rsv == nil {
+				return fmt.Errorf("navigate: no size vector for rule N%d", n.Label.ID)
+			}
+			// val(n) in preorder: Seg[0] body nodes, val(arg1), Seg[1], ...,
+			// val(argk), Seg[k]. If the target falls inside an argument,
+			// descend in the caller's context without entering the rule —
+			// on a tail-call nest that is one O(rank) step per level. A
+			// body-segment target enters the rule instead: the body walk
+			// resolves parameters through the frame.
+			if rem >= rsv.Seg[0] && len(n.Children) > 0 {
+				off := rsv.Seg[0]
+				descended := false
+				for i, a := range n.Children {
+					sz := c.measure(a, len(c.frames), rem-off+1, 0)
+					if rem < off+sz {
+						rem -= off
+						n = a
+						descended = true
+						break
+					}
+					off += sz
+					if rem < off+rsv.Seg[i+1] {
+						break // target in the body segment after y_{i+1}
+					}
+					off += rsv.Seg[i+1]
+				}
+				if descended {
+					continue
+				}
+			}
+			rule := c.g.Rule(n.Label.ID)
+			if rule == nil {
+				return fmt.Errorf("navigate: missing rule N%d", n.Label.ID)
+			}
+			c.frames = append(c.frames, frame{call: n})
+			n = rule.RHS
+		case xmltree.Parameter:
+			if len(c.frames) == 0 {
+				return fmt.Errorf("navigate: unbound parameter y%d", n.Label.ID)
+			}
+			top := c.frames[len(c.frames)-1]
+			c.frames = c.frames[:len(c.frames)-1]
+			n = top.call.Children[n.Label.ID-1]
+		default:
+			return fmt.Errorf("navigate: bad symbol")
+		}
+	}
+}
+
+// measure returns acc plus the number of derived-tree nodes of the
+// subtree at n (parameters resolve through the frame stack at depth,
+// contributing their binding's size, never themselves — matching the
+// paper's size vectors). The walk aborts once the count reaches limit:
+// the caller descends into the child then and never needs the exact
+// size. An attached view cuts indexed chains in O(#chunks) via their
+// weight sums, exactly like the update path's memoized size walk.
+func (c *Cursor) measure(n *xmltree.Node, depth int, limit, acc int64) int64 {
+	if acc >= limit {
+		return acc
+	}
+	if c.view != nil {
+		if s, ok := c.view.At(n); ok {
+			sum, tail := c.view.Sum(s)
+			acc = grammar.SatAdd(acc, sum)
+			if acc >= limit {
+				return acc
+			}
+			return c.measure(tail, depth, limit, acc)
+		}
+	}
+	switch n.Label.Kind {
+	case xmltree.Parameter:
+		top := c.frames[depth-1]
+		return c.measure(top.call.Children[n.Label.ID-1], depth-1, limit, acc)
+	case xmltree.Nonterminal:
+		acc = grammar.SatAdd(acc, c.sizes.Get(n.Label.ID).Total)
+		for _, a := range n.Children {
+			if acc >= limit {
+				return acc
+			}
+			acc = c.measure(a, depth, limit, acc)
+		}
+		return acc
+	default: // Terminal, ⊥ included — every derived node counts 1
+		for {
+			acc = grammar.SatAdd(acc, 1)
+			if acc >= limit || len(n.Children) == 0 {
+				return acc
+			}
+			for i := 0; i < len(n.Children)-1; i++ {
+				acc = c.measure(n.Children[i], depth, limit, acc)
+				if acc >= limit {
+					return acc
+				}
+			}
+			// Tail-iterate the last child so long sibling chains do not
+			// recurse O(chain) deep.
+			n = n.Children[len(n.Children)-1]
+			if c.view != nil {
+				if s, ok := c.view.At(n); ok {
+					sum, tail := c.view.Sum(s)
+					acc = grammar.SatAdd(acc, sum)
+					if acc >= limit {
+						return acc
+					}
+					n = tail
+				}
+			}
+			if n.Label.Kind != xmltree.Terminal {
+				return c.measure(n, depth, limit, acc)
+			}
+		}
+	}
+}

@@ -147,6 +147,114 @@ func TestRefoldPolicyDifferential(t *testing.T) {
 	}
 }
 
+// TestStorePointQueryDifferential routes point lookups through the
+// published generation's spine view and demands agreement with the
+// naive descent and the expanded document at every sampled position —
+// the read-side counterpart of TestFrontierVsNaiveByteIdentical. Both
+// paths read the same pinned generation, so any disagreement is an
+// index bug, not a race.
+func TestStorePointQueryDifferential(t *testing.T) {
+	for _, short := range []string{"EW", "XM", "TB"} {
+		t.Run(short, func(t *testing.T) {
+			g, ops := streamFixture(t, short, 200, 5)
+			st := New(g, Config{Ratio: -1})
+			for done := 0; done < len(ops); done += 25 {
+				if err := st.ApplyAll(ops[done:min(done+25, len(ops))]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snap := st.Snapshot()
+			want, err := snap.Expand(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total, err := st.TreeSize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := int64(0); p < total; p += 3 {
+				li, err := st.PointQuery(p)
+				if err != nil {
+					t.Fatalf("PointQuery(%d): %v", p, err)
+				}
+				ln, err := st.PointQueryNaive(p)
+				if err != nil {
+					t.Fatalf("PointQueryNaive(%d): %v", p, err)
+				}
+				if li != ln {
+					t.Fatalf("p=%d: indexed %q, naive %q", p, li, ln)
+				}
+				if w := snap.Syms.Name(want.PreorderIndex(int(p)).Label.ID); li != w {
+					t.Fatalf("p=%d: %q, want expanded %q", p, li, w)
+				}
+			}
+			// The store cursor comes out pre-indexed. EW's update stream
+			// leaves long unfolded chains, so there the view must actually
+			// engage (other corpora may legitimately publish no view when
+			// no chain grew long enough).
+			c, err := st.Cursor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := int64(0); p < total; p += 13 {
+				if err := c.SeekPreorder(p); err != nil {
+					t.Fatalf("cursor seek(%d): %v", p, err)
+				}
+			}
+			if short == "EW" && c.Stats().Jumps == 0 {
+				t.Fatal("indexed store cursor never used the spine view")
+			}
+		})
+	}
+}
+
+// TestFoldFirstRecompression pins the fold-first policy: when the cost
+// trigger hands the grammar to GrammarRePair, cold spines fold into
+// fresh rules first (shrinking the compressor's input), and the result
+// still derives exactly the naive baseline's document.
+func TestFoldFirstRecompression(t *testing.T) {
+	g, ops := streamFixture(t, "EW", 300, 3)
+	folding := New(g.Clone(), Config{
+		Ratio:          1e9, // size trigger effectively off
+		MinSize:        1,
+		CostStepsPerOp: 1,       // any real walking fires at the boundary
+		RefoldSpine:    1 << 30, // boundary re-folds off: only fold-first folds
+	})
+	baseline := New(g, Config{Ratio: -1})
+	baseline.cache.Naive = true
+	for done := 0; done < len(ops); done += 150 {
+		end := min(done+150, len(ops))
+		if err := folding.ApplyAll(ops[done:end]); err != nil {
+			t.Fatalf("folding store: %v", err)
+		}
+		if err := baseline.ApplyAll(ops[done:end]); err != nil {
+			t.Fatalf("baseline store: %v", err)
+		}
+	}
+	st := folding.Stats()
+	if st.CostRecompressions == 0 {
+		t.Fatalf("cost trigger never fired: %+v", st)
+	}
+	if st.FoldFirstRuns == 0 || st.RefoldRules == 0 {
+		t.Fatalf("no recompression input was pre-folded: %+v", st)
+	}
+	gf, gb := folding.Snapshot(), baseline.Snapshot()
+	if err := gf.Validate(); err != nil {
+		t.Fatalf("fold-first grammar invalid: %v", err)
+	}
+	tf, err := gf.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := gb.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameLabeledTree(gf.Syms, tf, gb.Syms, tb) {
+		t.Fatal("fold-first store diverged from the naive baseline")
+	}
+}
+
 // TestCostTriggerRecompression pins the isolation-cost trigger: with
 // the size trigger effectively disabled, sustained descent work alone
 // must fire a recompression (and reset its own baseline afterwards).

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/grammar"
+	"repro/internal/isolate"
 )
 
 // A generation is one published, immutable state of a Store's document:
@@ -48,6 +49,26 @@ type generation struct {
 	// O(1) TreeSize fast path needs no lock at all.
 	treeSize    int64
 	hasTreeSize bool
+
+	// sizes/memo are the point-query accelerators, handed off by
+	// pointer at publish time — the publish itself copies nothing.
+	// That is sound because the cache's table and memo are only ever
+	// mutated between ensurePrivateLocked and the next publish: if a
+	// reader pins this generation shared, the writer's next
+	// ensurePrivateLocked loses the reclaim CAS and moves to a clone,
+	// taking a fresh table copy for itself (the pinned generation keeps
+	// the original) and abandoning the memo via retireMemo — so from
+	// the reader's point of view both objects are frozen. A reclaimed
+	// generation's sizes/memo do alias live mutable state, but a
+	// reclaimed generation is unreachable to readers by definition.
+	//
+	// The spine view is built from the memo lazily, on the first read
+	// that wants indexed descent (viewOnce) — write-only workloads
+	// never pay for it.
+	sizes    *grammar.SizeTable
+	memo     *isolate.Memo
+	viewOnce sync.Once
+	view     *isolate.SpineView
 
 	// Lazily-computed per-generation read caches, guarded by cmu. They
 	// move the Store's old usage/size caching into the generation so a
@@ -125,6 +146,21 @@ func (gn *generation) cachedTreeSize() (int64, error) {
 	return gn.lazyTreeSize, gn.lazyTreeErr
 }
 
+// spineView returns the generation's immutable spine-index view,
+// building it from the handed-off memo on first use (nil when the
+// index is empty, disabled, or naive). The caller must have acquired
+// the generation: that pin is what freezes the memo's chunk state, and
+// viewOnce serializes concurrent first readers.
+func (gn *generation) spineView() *isolate.SpineView {
+	if gn.memo == nil {
+		return nil
+	}
+	gn.viewOnce.Do(func() {
+		gn.view = gn.memo.View()
+	})
+	return gn.view
+}
+
 // cachedSize returns |G| of this generation, computed once. The caller
 // must have acquired the generation.
 func (gn *generation) cachedSize() int {
@@ -165,11 +201,14 @@ func (s *Store) acquireGen() *generation {
 // reader pinned the published generation, the writer reclaims it and
 // mutates in place — the write-only fast path, zero copies. Otherwise
 // the published grammar is immutable forever and the writer moves to a
-// fresh clone. The size-vector table survives a clone (it is keyed by
-// rule ID and every vector is identical on the copy); the isolation
-// memo must not — its spine index holds node pointers into the shared
-// grammar, and a later Refold would splice those foreign nodes into the
-// private copy.
+// fresh clone. The pinned generation keeps the original size-vector
+// table and the writer takes a snapshot copy (every vector is
+// identical on the clone, but the live table's start vector is mutated
+// in place per op, so the two sides must not share it). The isolation
+// memo is not carried over at all — its spine index holds node
+// pointers into the shared grammar, and a later Refold would splice
+// those foreign nodes into the private copy; Install abandons it to
+// the pinned generation via retireMemo.
 func (s *Store) ensurePrivateLocked() {
 	gn := s.pub.Load()
 	if gn == nil || gn.g != s.g {
@@ -185,15 +224,22 @@ func (s *Store) ensurePrivateLocked() {
 		return
 	}
 	s.g = s.g.Clone()
-	s.cache.Install(s.cache.Peek())
+	sizes := s.cache.Peek()
+	if sizes != nil {
+		sizes = sizes.Snapshot(s.g.Start)
+	}
+	s.cache.Install(sizes)
 }
 
 // publishLocked freezes the writer's working grammar and publishes it
 // as a fresh generation, prefilling the O(1) tree-size fast path from
-// the warm size-vector cache. Every mutation critical section must end
-// with a publish (even one that mutated nothing — publishing the same
-// grammar again is harmless), or the reader slow path's guarantee
-// breaks.
+// the warm size-vector cache. The size table and isolation memo are
+// handed off by pointer — no copying on the write path; if a reader
+// pins the generation, the writer's next ensurePrivateLocked takes the
+// copy instead (see the generation field docs). Every mutation
+// critical section must end with a publish (even one that mutated
+// nothing — publishing the same grammar again is harmless), or the
+// reader slow path's guarantee breaks.
 func (s *Store) publishLocked() {
 	g := s.g
 	g.Freeze()
@@ -203,6 +249,8 @@ func (s *Store) publishLocked() {
 			gn.treeSize = sv.Total
 			gn.hasTreeSize = true
 		}
+		gn.sizes = sizes
+		gn.memo = s.cache.Memo()
 	}
 	s.pub.Store(gn)
 }

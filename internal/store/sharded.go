@@ -76,6 +76,12 @@ type Sharded struct {
 	evictions     atomic.Int64
 	hydrations    atomic.Int64
 	evictFailures atomic.Int64
+	// readChecks rate-limits the read path's over-budget probe: every
+	// readEvictEvery-th resident read runs the maybeEvict check, so a
+	// read-only fleet still converges back under budget (the worker-side
+	// check only runs at write batch boundaries) without putting the
+	// O(docs) victim scan on every lookup.
+	readChecks atomic.Int64
 	// evictMu admits one evictor at a time (TryLock — a concurrent
 	// over-budget signal just lets the incumbent finish the job).
 	evictMu sync.Mutex
@@ -288,12 +294,24 @@ func (s *Sharded) hydrateLocked(e *docEntry) (*Store, error) {
 	return st, nil
 }
 
+// readEvictEvery is the read path's eviction-probe period (a power of
+// two so the rate limit is one atomic add and a mask).
+const readEvictEvery = 64
+
 // stForRead resolves a docEntry to its live Store for the read path:
 // alloc-free while resident, transparent rehydration when evicted.
+// Budgeted fleets also run the rate-limited over-budget probe here, so
+// pure read traffic (which rehydrates cold documents and can push the
+// fleet over budget without ever crossing a write batch boundary)
+// still triggers eviction. No entry lock is held at this point, as
+// maybeEvict requires.
 func (s *Sharded) stForRead(e *docEntry) (*Store, error) {
 	if st := e.st.Load(); st != nil {
 		if s.cfg.MemoryBudget > 0 {
 			s.touch(e)
+			if s.readChecks.Add(1)&(readEvictEvery-1) == 0 {
+				s.maybeEvict()
+			}
 		}
 		return st, nil
 	}
@@ -661,6 +679,7 @@ type ShardedStats struct {
 	Refolds                 int64
 	RefoldedNodes           int64
 	RefoldRules             int64
+	FoldFirstRuns           int64
 	StallNanos              int64
 
 	Size     int // Σ |G| over resident documents
@@ -706,6 +725,7 @@ func addStats(out *ShardedStats, ds Stats) {
 	out.Refolds += ds.Refolds
 	out.RefoldedNodes += ds.RefoldedNodes
 	out.RefoldRules += ds.RefoldRules
+	out.FoldFirstRuns += ds.FoldFirstRuns
 	out.StallNanos += ds.StallNanos
 	out.WALAppends += ds.WALAppends
 	out.WALBytes += ds.WALBytes

@@ -255,6 +255,7 @@ type Stats struct {
 	Refolds          int64 // batch boundaries that folded ≥ 1 segment
 	RefoldedNodes    int64 // spine entries folded back into rules
 	RefoldRules      int64 // fresh rules those folds created
+	FoldFirstRuns    int64 // recompressions whose input a pre-fold shrank
 
 	Size               int     // current |G|
 	PeakSize           int     // max |G| observed at any batch boundary
@@ -373,6 +374,7 @@ type Store struct {
 	deferredRecompressions         int64
 	refolds, refoldedNodes         int64
 	refoldRules                    int64
+	foldFirstRuns                  int64
 	stallNanos                     int64
 	gcRuns, rulesCollected         int64
 }
@@ -543,9 +545,9 @@ func (s *Store) finishBatchLocked() {
 			// fleet gate is saturated); only a launched run counts as a
 			// cost-triggered recompression, or the counter would inflate
 			// by one per batch boundary until the inflight run lands.
-			started = s.startAsyncRecompressLocked()
+			started = s.startAsyncRecompressLocked(costFired)
 		} else {
-			s.recompressLocked()
+			s.recompressLocked(costFired)
 		}
 		if started && costFired {
 			s.costRecompressions++
@@ -609,12 +611,49 @@ func (s *Store) refoldLocked() {
 	// a reader forces a clone here) the clone retired the memo and
 	// Refold below is a harmless no-op.
 	s.ensurePrivateLocked()
-	chunks, entries := s.cache.Refold(s.g, coldOps, refoldMaxChunks)
-	if chunks > 0 {
+	folds, entries := s.cache.Refold(s.g, coldOps, refoldMaxChunks)
+	if folds > 0 {
 		s.refolds++
-		s.refoldRules += int64(chunks)
+		s.refoldRules += int64(folds)
 		s.refoldedNodes += int64(entries)
 		// Folding minted rules, so the incremental |G| split moved.
+		s.sizeRest = s.g.Size() - s.startEdgesLocked()
+	}
+}
+
+// foldFirstLocked re-folds every cold spine run back into fresh rules
+// right before a recompression consumes the grammar: GrammarRePair's
+// pass is O(input size), and the unfolded chains the frontier indexes
+// are exactly the material folding removes — so folding first shrinks
+// the compressor's input (and an asynchronous run's snapshot clone)
+// without changing the document. Age and chunk budgets are waived
+// (coldOps 0, unbounded chunks): everything foldable folds, since the
+// recompression invalidates the index anyway. A no-op when re-folding
+// is disabled or the frontier is empty/naive.
+//
+// Only COST-triggered recompressions fold first. The spine index is a
+// cache whose contents depend on reader activity (a reader pinning a
+// generation forces the writer to clone and retire the memo), so a
+// fold injects that history into the compressor's input. The cost
+// trigger is already reader-sensitive by nature — it measures observed
+// descent work — but the ratio trigger and manual Recompress are pure
+// functions of the op stream, and must stay byte-deterministic no
+// matter who read what (pinned by TestShardedDifferentialConcurrency's
+// concurrent-vs-sequential byte equality).
+func (s *Store) foldFirstLocked() {
+	if s.cfg.RefoldSpine < 0 {
+		return
+	}
+	// Folding mints rules — a mutation; privatize first. If a reader
+	// forces a clone here the cache hand-off retires the memo and the
+	// Refold below is a harmless no-op.
+	s.ensurePrivateLocked()
+	folds, entries := s.cache.Refold(s.g, 0, 1<<30)
+	if folds > 0 {
+		s.foldFirstRuns++
+		s.refolds++
+		s.refoldRules += int64(folds)
+		s.refoldedNodes += int64(entries)
 		s.sizeRest = s.g.Size() - s.startEdgesLocked()
 	}
 }
@@ -624,7 +663,7 @@ func (s *Store) refoldLocked() {
 // compress the clone and pre-compute its size vectors off the lock. At
 // most one run is in flight per Store; while the policy keeps firing the
 // grammar just keeps growing until the swap lands.
-func (s *Store) startAsyncRecompressLocked() bool {
+func (s *Store) startAsyncRecompressLocked(foldFirst bool) bool {
 	if s.inflight {
 		return false
 	}
@@ -635,6 +674,12 @@ func (s *Store) startAsyncRecompressLocked() bool {
 		return false
 	}
 	start := time.Now()
+	// Fold-first before the snapshot clone: the fold shrinks both the
+	// clone (the writer-visible stall) and the background compressor's
+	// input.
+	if foldFirst {
+		s.foldFirstLocked()
+	}
 	snap := s.g.Clone()
 	s.stallNanos += time.Since(start).Nanoseconds()
 	s.inflight = true
@@ -779,8 +824,14 @@ func (s *Store) startEdgesLocked() int {
 // recompressLocked runs GrammarRePair synchronously under the write
 // lock, swaps in the result, invalidates the size-vector cache, and lets
 // the trigger ratio adapt to the payoff.
-func (s *Store) recompressLocked() *core.Stats {
+func (s *Store) recompressLocked(foldFirst bool) *core.Stats {
 	start := time.Now()
+	// Fold-first: shrink the compressor's input before the O(|G|) pass.
+	// The payoff measurement below uses the post-fold size, so the
+	// trigger tuning sees only what GrammarRePair itself achieved.
+	if foldFirst {
+		s.foldFirstLocked()
+	}
 	before := s.g.Size()
 	g2, st := s.compress(s.g, core.Options{MaxRank: s.cfg.MaxRank})
 	s.g = g2
@@ -812,7 +863,7 @@ func (s *Store) Recompress() *core.Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.gcLocked()
-	return s.recompressLocked()
+	return s.recompressLocked(false)
 }
 
 // Wait blocks until no asynchronous recompression is in flight
@@ -860,9 +911,58 @@ func (s *Store) Snapshot() *grammar.Grammar {
 
 // Cursor returns a DOM-style cursor over a snapshot of the document.
 // Like Snapshot, opening it is O(depth) in the derived tree and does
-// not copy the grammar.
+// not copy the grammar. The cursor comes pre-equipped for indexed
+// point queries: the generation's size-vector snapshot and (when the
+// isolation frontier indexes long unfolded chains) its frozen spine
+// view are attached, so SeekPreorder routes chunk-by-sum instead of
+// walking sibling chains — see navigate.Cursor.SeekPreorder.
 func (s *Store) Cursor() (*navigate.Cursor, error) {
-	return navigate.NewCursor(s.Snapshot())
+	gn := s.acquireGen()
+	c, err := navigate.NewCursor(gn.g)
+	if err != nil {
+		return nil, err
+	}
+	if gn.sizes != nil {
+		c.AttachIndex(gn.sizes, gn.spineView())
+	}
+	return c, nil
+}
+
+// PointQuery returns the label of the node at the given preorder index
+// (0-based, ⊥ leaves counted) of the published document, via the
+// indexed seek of Cursor. For a stream of lookups, open one Cursor and
+// SeekPreorder repeatedly instead — that amortizes the cursor
+// allocation across the stream.
+func (s *Store) PointQuery(pre int64) (string, error) {
+	return s.pointQuery(pre, true)
+}
+
+// PointQueryNaive is PointQuery without the spine view: the same
+// size-vector descent, but long unfolded chains are walked and
+// re-measured node by node. It exists as the differential baseline for
+// the indexed path (same grammar, same generation, same answer).
+func (s *Store) PointQueryNaive(pre int64) (string, error) {
+	return s.pointQuery(pre, false)
+}
+
+func (s *Store) pointQuery(pre int64, indexed bool) (string, error) {
+	gn := s.acquireGen()
+	if gn.sizes == nil {
+		return "", fmt.Errorf("store: no size vectors published (invalid grammar?)")
+	}
+	c, err := navigate.NewCursor(gn.g)
+	if err != nil {
+		return "", err
+	}
+	if indexed {
+		c.AttachIndex(gn.sizes, gn.spineView())
+	} else {
+		c.AttachIndex(gn.sizes, nil)
+	}
+	if err := c.SeekPreorder(pre); err != nil {
+		return "", err
+	}
+	return c.Label(), nil
 }
 
 // Size returns the current grammar size |G|, cached per generation.
@@ -990,6 +1090,7 @@ func (s *Store) Stats() Stats {
 		Refolds:                 s.refolds,
 		RefoldedNodes:           s.refoldedNodes,
 		RefoldRules:             s.refoldRules,
+		FoldFirstRuns:           s.foldFirstRuns,
 
 		Size:               s.sizeRest + s.startEdgesLocked(),
 		PeakSize:           s.peakSize,

@@ -236,6 +236,63 @@ func TestTieredZipfDifferential(t *testing.T) {
 	}
 }
 
+// TestTieredReadOnlyZipfEviction extends the tiering differential with
+// a read-only phase: after the write schedule drains, a zipf-skewed
+// stream of pure reads must keep the tier moving — rehydrating the
+// documents it draws and, through the read path's rate-limited budget
+// probe, evicting cold ones to pay for them — while every read stays
+// byte-identical to the unbounded fleet's final state.
+func TestTieredReadOnlyZipfEviction(t *testing.T) {
+	const nDocs, nOps = 12, 60
+	cfg := Config{Ratio: -1}
+	docs := shardedFixtures(t, nDocs, nOps)
+	var streams [][]update.Op
+	for _, fx := range docs {
+		streams = append(streams, fx.ops)
+	}
+	sched := workload.ZipfFleet(streams, 10, 1.4, 99)
+
+	free := NewSharded(3, cfg)
+	defer free.Close()
+	runZipfFleet(t, free, docs, sched)
+	want := fleetBytes(t, free, docs)
+
+	tcfg := cfg
+	tcfg.MemoryBudget = tieredBudget(t, docs, cfg)
+	tiered := NewSharded(3, tcfg)
+	defer tiered.Close()
+	runZipfFleet(t, tiered, docs, sched)
+	wrote := tiered.Stats()
+
+	// Read-only zipf phase: reuse the fleet scheduler for the document
+	// draw (the op batches are ignored — nothing is applied).
+	for i, b := range workload.ZipfFleet(streams, 1, 1.4, 7) {
+		fx := docs[b.Doc]
+		g, err := tiered.Snapshot(fx.id)
+		if err != nil {
+			t.Fatalf("read %d (doc %s): %v", i, fx.id, err)
+		}
+		if !bytes.Equal(encodeBytes(t, g), want[fx.id]) {
+			t.Fatalf("%s: read-only phase diverged from unbounded fleet", fx.id)
+		}
+		if _, err := tiered.CountLabel(fx.id, "fresh0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tiered.Stats()
+	if st.Hydrations <= wrote.Hydrations {
+		t.Fatalf("read-only zipf phase never rehydrated: before %d, after %d",
+			wrote.Hydrations, st.Hydrations)
+	}
+	if st.Evictions <= wrote.Evictions {
+		t.Fatalf("read-only zipf phase never evicted (read-driven budget probe idle): before %d, after %d",
+			wrote.Evictions, st.Evictions)
+	}
+	if st.Ops != wrote.Ops {
+		t.Fatalf("read-only phase applied ops: %d, want %d", st.Ops, wrote.Ops)
+	}
+}
+
 // TestTieredZipfDifferentialDurable runs the same differential on
 // durable fleets: under a budget, cold documents are dropped entirely
 // (no frozen bytes) and rehydrate through WAL recovery — snapshot +

@@ -270,12 +270,40 @@ func ApplyCached(g *grammar.Grammar, op Op, c *Cache) (stranded bool, err error)
 // explicit start RHS without a recompression. The cache stays warm —
 // the new rules' size vectors are known exactly from the folded
 // weights — and the derived document is untouched, so no epoch bump.
-// Returns the number of segments and spine entries folded.
-func (c *Cache) Refold(g *grammar.Grammar, coldOps int64, maxChunks int) (chunks, entries int) {
+// Returns the number of rules minted (one per contiguous cold run) and
+// the spine entries those folds absorbed.
+func (c *Cache) Refold(g *grammar.Grammar, coldOps int64, maxChunks int) (folds, entries int) {
 	if c.memo == nil || c.sizes == nil {
 		return 0, 0
 	}
 	return c.memo.Refold(g, c.sizes, isolate.RefoldOptions{MinAge: coldOps, MaxChunks: maxChunks})
+}
+
+// Memo exposes the live isolation memo (nil when naive or not yet
+// materialized) so a store can hand it to a frozen grammar generation
+// at publish time — readers then build the spine view from it lazily,
+// keeping the publish itself allocation-free. Callers must pair it
+// with the generation protocol described in isolate's view.go: the
+// memo is only safe to read after the generation is pinned shared,
+// which guarantees the writer's next mutation retires it first.
+func (c *Cache) Memo() *isolate.Memo {
+	if c.Naive {
+		return nil
+	}
+	return c.memo
+}
+
+// SpineView snapshots the live spine index into an immutable read-only
+// view (nil when the index is empty, disabled, or running naive) — the
+// navigation accelerator a store publishes alongside each frozen
+// grammar generation. Callers must pair it with the generation protocol
+// described in isolate's view.go: the view aliases live chunk state and
+// is only safe to read while that state is retired from mutation.
+func (c *Cache) SpineView() *isolate.SpineView {
+	if c.Naive {
+		return nil
+	}
+	return c.memo.View()
 }
 
 // Apply performs the operation on the grammar via path isolation. Only
