@@ -187,6 +187,19 @@ func BenchmarkShardedTiered(b *testing.B) {
 		benchsuite.ShardedTieredBench("XM", benchsuite.TieredDocs))
 }
 
+// BenchmarkServeStream measures the same multi-document streams served
+// over the network front-end (sltgrammar.Serve + wire clients): one op
+// replays the pinned Zipf schedule through ServeConns connections, and
+// the client-observed batch latency distribution is reported as
+// p50-ns / p99-ns extra metrics; see benchsuite.ServeStreamBench.
+func BenchmarkServeStream(b *testing.B) {
+	for _, short := range benchsuite.MicroShorts {
+		c, _ := datasets.ByShort(short)
+		b.Run(fmt.Sprintf("%s/conns=%d", c.Name, benchsuite.ServeConns),
+			benchsuite.ServeStreamBench(short))
+	}
+}
+
 // BenchmarkPerOpUpdateStream is the baseline: a fresh ValSizes pass per
 // operation and a garbage collection after every delete.
 func BenchmarkPerOpUpdateStream(b *testing.B) {

@@ -114,6 +114,16 @@ func main() {
 		fail(fmt.Errorf("%d of %d benchmarks regressed more than %.0f%%",
 			totalRegressed, totalCompared, *tol*100))
 	}
+	if totalCompared == 0 {
+		// Every track was skipped: nothing was actually gated. Reporting
+		// success here would let a record mismatch (wrong -old file, all
+		// tracks newer than the baseline) silently disable the gate, so
+		// this exits with its own code — distinct from a regression (1)
+		// and from usage errors (2) — for CI to treat as a configuration
+		// failure.
+		fmt.Fprintf(os.Stderr, "benchdrift: no benchmark was compared — every track is missing from %s (baseline too old or wrong file?)\n", *oldPath)
+		os.Exit(3)
+	}
 	fmt.Printf("benchdrift: %d benchmarks within %.0f%% of baseline\n", totalCompared, *tol*100)
 }
 

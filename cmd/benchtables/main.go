@@ -52,6 +52,7 @@ func main() {
 		gnMax   = flag.Int("gnmax", 12, "largest Gn exponent for Fig. 3")
 
 		jsonN = flag.Int("json", 0, "write BENCH_<n>.json with ns/op, B/op and allocs/op per benchmark (0 = off)")
+		best  = flag.Int("best", 1, "with -json: run the suite N times and record each benchmark's fastest run (noise floor on loaded machines)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
@@ -100,7 +101,10 @@ func main() {
 	cfg.GnMax = *gnMax
 
 	if *jsonN > 0 {
-		if err := writeBenchJSON(*jsonN, cfg); err != nil {
+		if *best < 1 {
+			*best = 1
+		}
+		if err := writeBenchJSON(*jsonN, *best, cfg); err != nil {
 			fail(err)
 		}
 		return
@@ -169,12 +173,17 @@ func fail(err error) {
 }
 
 // benchEntry is one benchmark measurement in the BENCH_<n>.json record.
+// P50Ns/P99Ns carry the client-observed batch latency quantiles of the
+// serving tracks (reported via b.ReportMetric as p50-ns / p99-ns);
+// they are absent for tracks that only measure ns/op.
 type benchEntry struct {
 	Name        string  `json:"name"`
 	Runs        int     `json:"runs"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
 }
 
 // benchRecord is the machine-readable perf trajectory record. Every perf
@@ -189,6 +198,7 @@ type benchRecord struct {
 	GOARCH         string       `json:"goarch"`
 	Scale          float64      `json:"scale"`
 	MicroScale     float64      `json:"micro_scale"`
+	BestOf         int          `json:"best_of,omitempty"`
 	ExperimentSeed int64        `json:"experiment_seed"`
 	CorpusSeed     int64        `json:"corpus_seed"`
 	RenameSeed     int64        `json:"rename_seed"`
@@ -197,7 +207,13 @@ type benchRecord struct {
 
 // writeBenchJSON runs the benchmark suite at the configured scale via
 // testing.Benchmark and writes BENCH_<n>.json in the current directory.
-func writeBenchJSON(n int, cfg experiments.Config) error {
+// With best > 1 the whole suite runs that many times and each
+// benchmark's fastest (lowest ns/op) run is recorded: on a shared or
+// single-core machine a single sample carries scheduler noise well past
+// the drift gate's tolerance, and the minimum is the standard estimator
+// for the code's actual cost under that noise. Comparing records only
+// makes sense when both sides used the same -best.
+func writeBenchJSON(n, best int, cfg experiments.Config) error {
 	quiet := cfg
 	quiet.Out = nil
 	rec := benchRecord{
@@ -211,18 +227,57 @@ func writeBenchJSON(n int, cfg experiments.Config) error {
 		CorpusSeed:     benchsuite.CorpusSeed,
 		RenameSeed:     benchsuite.RenameSeed,
 	}
+	if best > 1 {
+		rec.BestOf = best
+	}
+	pass := 0
 	add := func(name string, fn func(b *testing.B)) {
 		fmt.Fprintf(os.Stderr, "benchtables: running %s...\n", name)
 		r := testing.Benchmark(fn)
-		rec.Benchmarks = append(rec.Benchmarks, benchEntry{
+		e := benchEntry{
 			Name:        name,
 			Runs:        r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-		})
+			P50Ns:       r.Extra["p50-ns"],
+			P99Ns:       r.Extra["p99-ns"],
+		}
+		if pass > 0 {
+			for i := range rec.Benchmarks {
+				if rec.Benchmarks[i].Name == name {
+					if e.NsPerOp < rec.Benchmarks[i].NsPerOp {
+						rec.Benchmarks[i] = e
+					}
+					return
+				}
+			}
+		}
+		rec.Benchmarks = append(rec.Benchmarks, e)
 	}
 
+	for ; pass < best; pass++ {
+		if best > 1 {
+			fmt.Fprintf(os.Stderr, "benchtables: suite pass %d/%d\n", pass+1, best)
+		}
+		suite(quiet, add)
+	}
+
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := fmt.Sprintf("BENCH_%d.json", n)
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchtables: wrote %s (%d benchmarks)\n", path, len(rec.Benchmarks))
+	return nil
+}
+
+// suite enumerates every benchmark of the BENCH record in order through
+// add — one call per (name, function) pair, repeated per -best pass.
+func suite(quiet experiments.Config, add func(string, func(b *testing.B))) {
 	add("Table3", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -268,15 +323,8 @@ func writeBenchJSON(n int, cfg experiments.Config) error {
 	}
 	add(fmt.Sprintf("ShardedTiered/XM/docs=%d", benchsuite.TieredDocs),
 		benchsuite.ShardedTieredBench("XM", benchsuite.TieredDocs))
-
-	out, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
+	for _, short := range benchsuite.MicroShorts {
+		add(fmt.Sprintf("ServeStream/%s/conns=%d", short, benchsuite.ServeConns),
+			benchsuite.ServeStreamBench(short))
 	}
-	path := fmt.Sprintf("BENCH_%d.json", n)
-	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "benchtables: wrote %s (%d benchmarks)\n", path, len(rec.Benchmarks))
-	return nil
 }

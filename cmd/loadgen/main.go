@@ -1,0 +1,123 @@
+// Command loadgen drives a serving front-end (sltgrammar.Serve) with a
+// fleet workload schedule over N client connections and reports what a
+// serving deployment is sized by: aggregate update throughput and the
+// client-observed p50/p99 batch latency.
+//
+// With -addr it targets an already-running server; without it, it
+// starts an in-process server over a fresh fleet on a loopback
+// listener (durable under -wal), so the whole measurement runs from
+// one command:
+//
+//	loadgen -corpus XM -docs 4 -conns 2 -ops 200 -batch 10
+//	loadgen -corpus EW -docs 8 -conns 4 -wal /tmp/fleet
+//	loadgen -addr 127.0.0.1:7070 -corpus XM -docs 4 -conns 4
+//
+// Documents are the examples' pinned corpus sessions (deterministic
+// per -seed); the schedule interleaves their update streams with
+// Zipf-skewed popularity (workload.ZipfFleet), preserving per-document
+// op order — connection assignment is by document, so the differential
+// guarantees of the store hold over the wire too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	sltgrammar "repro"
+	"repro/internal/examples"
+	"repro/internal/loadgen"
+	"repro/internal/update"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "", "server address (empty = start an in-process server on a loopback listener)")
+		corpus = flag.String("corpus", "XM", "corpus short name (EW, XM, TB, ...)")
+		docs   = flag.Int("docs", 4, "documents in the fleet")
+		conns  = flag.Int("conns", 2, "client connections (batches for one document always share a connection)")
+		ops    = flag.Int("ops", 200, "update operations per document")
+		batch  = flag.Int("batch", 10, "ops per scheduled batch")
+		skew   = flag.Float64("skew", 1.4, "Zipf skew of document popularity (> 1)")
+		seed   = flag.Int64("seed", 1, "base RNG seed (documents and schedule derive from it)")
+		shards = flag.Int("shards", 4, "shard count of the in-process fleet (ignored with -addr)")
+		wal    = flag.String("wal", "", "serve the in-process fleet durably under this directory (ignored with -addr)")
+		scale  = flag.Float64("scale", 0.08, "corpus scale of the generated documents")
+	)
+	flag.Parse()
+
+	sessions, err := examples.CorpusSessions(*corpus, *scale, *docs, *ops, 90, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	target := *addr
+	var ss *sltgrammar.ShardedStore
+	if target == "" {
+		cfg := sltgrammar.StoreConfig{Async: true}
+		if *wal != "" {
+			cfg.Durability = &sltgrammar.Durability{Dir: *wal, Fsync: sltgrammar.FsyncBatch}
+			ss, err = sltgrammar.OpenShardedStore(*shards, cfg)
+		} else {
+			ss = sltgrammar.NewShardedStore(*shards, cfg)
+		}
+		if err != nil {
+			fail(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		srv := sltgrammar.Serve(ln, ss)
+		defer srv.Close()
+		target = srv.Addr().String()
+		fmt.Printf("loadgen: serving %d shards on %s\n", *shards, target)
+	}
+
+	// Everything below goes over the wire — including opening the
+	// documents — so the run exercises exactly the deployed surface.
+	admin, err := sltgrammar.DialServer(target)
+	if err != nil {
+		fail(err)
+	}
+	defer admin.Close()
+	ids := make([]string, len(sessions))
+	streams := make([][]update.Op, len(sessions))
+	for d, s := range sessions {
+		ids[d] = s.ID
+		streams[d] = s.Ops
+		if err := admin.Open(s.ID, s.Grammar); err != nil {
+			fail(fmt.Errorf("open %s: %w", s.ID, err))
+		}
+	}
+	sched := workload.ZipfFleet(streams, *batch, *skew, *seed)
+
+	rep, err := loadgen.Run(loadgen.Config{Addr: target, Conns: *conns, IDs: ids, Schedule: sched})
+	if err != nil {
+		fail(err)
+	}
+	if err := admin.Quiesce(); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("loadgen: %d docs, %d conns, corpus %s, scale %g\n", *docs, *conns, *corpus, *scale)
+	fmt.Printf("applied:  %d ops in %d batches over %v\n", rep.Ops, rep.Batches, rep.Elapsed.Round(1e5))
+	fmt.Printf("throughput: %.0f ops/s\n", rep.Throughput())
+	fmt.Printf("latency:  p50 %v, p99 %v per batch\n", rep.P50, rep.P99)
+	if ss != nil {
+		agg := ss.Stats()
+		if line := examples.DurabilityLine(agg); line != "" {
+			fmt.Println(line)
+		}
+		if err := ss.Close(); err != nil {
+			fail(fmt.Errorf("close fleet: %w", err))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

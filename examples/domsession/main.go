@@ -104,7 +104,6 @@ func multiDoc(serve *examples.Serve) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ss.Close()
 	for _, ses := range sessions {
 		if _, err := ss.Open(ses.ID, ses.Grammar); err != nil {
 			log.Fatal(err)
@@ -148,33 +147,39 @@ func multiDoc(serve *examples.Serve) {
 		agg.Ops, agg.Docs, agg.Size,
 		agg.Recompressions, agg.AsyncRecompressions, agg.DiscardedRecompressions,
 		agg.ReplayedTailOps, float64(agg.StallNanos)/1e6)
-	if line := examples.DurabilityLine(agg); line != "" {
-		fmt.Println(line)
-	}
 	if line := examples.ResidencyLine(agg); line != "" {
 		fmt.Println(line)
 	}
 	fmt.Println("all sessions converged to their target documents")
 
-	if serve.WALDir != "" {
-		// The kill-and-reopen audit: recover every DOM from its WAL
-		// directory and re-verify convergence on the recovered state.
-		re, err := serve.Reopen(ss, cfg)
-		if err != nil {
+	if serve.WALDir == "" {
+		// CloseFleet surfaces the close error instead of deferring it
+		// into the void: a failed close is a failed run.
+		if err := examples.CloseFleet(ss); err != nil {
 			log.Fatal(err)
 		}
-		defer re.Close()
-		for _, ses := range sessions {
-			st, ok := re.Get(ses.ID)
-			if !ok {
-				log.Fatalf("%s lost across reopen", ses.ID)
-			}
-			verifyConverged(st, ses)
+		return
+	}
+
+	// The kill-and-reopen audit: close the fleet (audited — the close
+	// outcome lands in the durability summary line, and a failed close
+	// aborts the run, since acked state may not have reached disk),
+	// recover every DOM from its WAL directory, and re-verify
+	// convergence on the recovered state.
+	re, err := serve.Reopen(ss, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ses := range sessions {
+		st, ok := re.Get(ses.ID)
+		if !ok {
+			log.Fatalf("%s lost across reopen", ses.ID)
 		}
-		fmt.Printf("reopened from %s: all %d sessions recovered converged\n", serve.WALDir, serve.Docs)
-		if line := examples.DurabilityLine(re.Stats()); line != "" {
-			fmt.Println(line)
-		}
+		verifyConverged(st, ses)
+	}
+	fmt.Printf("reopened from %s: all %d sessions recovered converged\n", serve.WALDir, serve.Docs)
+	if err := examples.CloseFleet(re); err != nil {
+		log.Fatal(err)
 	}
 }
 

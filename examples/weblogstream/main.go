@@ -112,7 +112,6 @@ func multiLog(serve *examples.Serve) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ss.Close()
 	for d := 0; d < serve.Docs; d++ {
 		if _, err := ss.Open(examples.DocID(d), seedLog()); err != nil {
 			log.Fatal(err)
@@ -158,39 +157,44 @@ func multiLog(serve *examples.Serve) {
 		agg.Ops, agg.Docs, agg.Size,
 		agg.Recompressions, agg.AsyncRecompressions, agg.DiscardedRecompressions,
 		agg.ReplayedTailOps, float64(agg.StallNanos)/1e6)
-	if line := examples.DurabilityLine(agg); line != "" {
-		fmt.Println(line)
-	}
 	if line := examples.ResidencyLine(agg); line != "" {
 		fmt.Println(line)
 	}
 	fmt.Printf("every log holds exactly %d elements, compressed\n", want)
 
-	if serve.WALDir != "" {
-		// The kill-and-reopen audit: close the fleet, recover it from the
-		// WAL directory, and re-count every log.
-		re, err := serve.Reopen(ss, cfg)
+	if serve.WALDir == "" {
+		// CloseFleet surfaces the close error instead of deferring it
+		// into the void: a failed close is a failed run.
+		if err := examples.CloseFleet(ss); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// The kill-and-reopen audit: close the fleet (audited — the close
+	// outcome lands in the durability summary line, and a failed close
+	// aborts the run), recover it from the WAL directory, and re-count
+	// every log.
+	re, err := serve.Reopen(ss, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for d := 0; d < serve.Docs; d++ {
+		st, ok := re.Get(examples.DocID(d))
+		if !ok {
+			log.Fatalf("%s lost across reopen", examples.DocID(d))
+		}
+		elems, err := st.Elements()
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer re.Close()
-		for d := 0; d < serve.Docs; d++ {
-			st, ok := re.Get(examples.DocID(d))
-			if !ok {
-				log.Fatalf("%s lost across reopen", examples.DocID(d))
-			}
-			elems, err := st.Elements()
-			if err != nil {
-				log.Fatal(err)
-			}
-			if elems != want {
-				log.Fatalf("%s: %d elements after reopen, want %d", examples.DocID(d), elems, want)
-			}
+		if elems != want {
+			log.Fatalf("%s: %d elements after reopen, want %d", examples.DocID(d), elems, want)
 		}
-		fmt.Printf("reopened from %s: all %d logs recovered intact\n", serve.WALDir, serve.Docs)
-		if line := examples.DurabilityLine(re.Stats()); line != "" {
-			fmt.Println(line)
-		}
+	}
+	fmt.Printf("reopened from %s: all %d logs recovered intact\n", serve.WALDir, serve.Docs)
+	if err := examples.CloseFleet(re); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -8,11 +8,15 @@ package benchsuite
 import (
 	"fmt"
 	"math/rand"
+	"net"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	sltgrammar "repro"
 	"repro/internal/datasets"
+	"repro/internal/loadgen"
 	"repro/internal/store"
 	"repro/internal/update"
 	"repro/internal/wal"
@@ -95,6 +99,24 @@ const (
 	// initial resident bytes divided by this, forcing the cold tail to
 	// evict while the Zipf head stays resident.
 	TieredBudgetDiv = 4
+)
+
+// Serve-stream track: the pinned multi-document streams replayed over
+// the network front-end (sltgrammar.Serve) by concurrent wire clients,
+// so BENCH_<n>.json records serving latency (p50/p99 per acked batch)
+// alongside ns/op — the number a deployment is actually sized by.
+const (
+	// ServeConns is the client connection count; batches for one
+	// document always ride one connection, preserving per-document op
+	// order over the wire.
+	ServeConns = 4
+	// ServeShards is the served fleet's shard count.
+	ServeShards = 4
+	// ServeBatch, ServeSkew and ServeSeed pin the ZipfFleet schedule
+	// interleaving the per-document streams.
+	ServeBatch = 10
+	ServeSkew  = 1.4
+	ServeSeed  = 23
 )
 
 // ShardedShardCounts are the shard configurations the multi-document
@@ -339,6 +361,63 @@ func ShardedUpdateStreamBench(short string, shards, docs int) func(b *testing.B)
 			wg.Wait()
 			ss.Close()
 		}
+	}
+}
+
+// ServeStreamBench measures serving the pinned multi-document streams
+// over the network front-end: a loopback server over a ShardedDocs
+// fleet, the pinned ZipfFleet schedule replayed by ServeConns wire
+// clients (loadgen), every batch a full request/ack round trip through
+// frame codec, shard worker, and back. One benchmark iteration replays
+// the whole schedule, so ns/op is the aggregate wall-clock of the
+// served fleet; the client-observed batch latency distribution is
+// merged across iterations and reported as p50-ns / p99-ns extra
+// metrics. Recompression is disabled so every run does identical
+// semantic work (the in-memory tracks' rule); the delta against
+// UpdateStreamSharded on the same streams is the price of the wire.
+func ServeStreamBench(short string) func(b *testing.B) {
+	in := shardedStream(short, ShardedDocs)
+	sched := workload.ZipfFleet(in.opss, ServeBatch, ServeSkew, ServeSeed)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var lats []time.Duration
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			clones := make([]*sltgrammar.Grammar, len(in.gs))
+			for d, g := range in.gs {
+				clones[d] = g.Clone()
+			}
+			ss := sltgrammar.NewShardedStore(ServeShards, sltgrammar.StoreConfig{Ratio: -1})
+			for d, g := range clones {
+				if _, err := ss.Open(in.ids[d], g); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := sltgrammar.Serve(ln, ss)
+			b.StartTimer()
+			rep, err := loadgen.Run(loadgen.Config{
+				Addr:     srv.Addr().String(),
+				Conns:    ServeConns,
+				IDs:      in.ids,
+				Schedule: sched,
+			})
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			lats = append(lats, rep.Latencies...)
+			srv.Close()
+			ss.Close()
+			b.StartTimer()
+		}
+		b.StopTimer()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		b.ReportMetric(float64(loadgen.Quantile(lats, 0.50)), "p50-ns")
+		b.ReportMetric(float64(loadgen.Quantile(lats, 0.99)), "p99-ns")
 	}
 }
 

@@ -85,14 +85,41 @@ func (s *Serve) OpenStore(cfg sltgrammar.StoreConfig) (*sltgrammar.ShardedStore,
 	return sltgrammar.OpenShardedStore(s.Shards, cfg)
 }
 
-// Reopen closes a durable fleet and recovers it from disk — the
-// kill-and-reopen audit the -wal examples end with. The returned fleet
-// holds exactly the state the closed one acked.
+// Reopen closes a durable fleet (audited — see CloseFleet) and
+// recovers it from disk: the kill-and-reopen audit the -wal examples
+// end with. The returned fleet holds exactly the state the closed one
+// acked.
 func (s *Serve) Reopen(ss *sltgrammar.ShardedStore, cfg sltgrammar.StoreConfig) (*sltgrammar.ShardedStore, error) {
-	if err := ss.Close(); err != nil {
+	if err := CloseFleet(ss); err != nil {
 		return nil, err
 	}
 	return sltgrammar.OpenShardedStore(s.Shards, s.storeConfig(cfg))
+}
+
+// CloseFleet closes a fleet and prints its durability summary line
+// with the close outcome folded in. On a durable fleet, Close is the
+// final fsync of every WAL tail — an error here means state the run
+// already acked may never have reached disk, so callers must treat
+// the returned error as a run failure (exit non-zero), not a cleanup
+// detail to defer-and-forget.
+func CloseFleet(ss *sltgrammar.ShardedStore) error {
+	agg := ss.Stats()
+	cerr := ss.Close()
+	line := DurabilityLine(agg)
+	if cerr != nil {
+		if line == "" {
+			line = fmt.Sprintf("durability: close failed: %v", cerr)
+		} else {
+			line += fmt.Sprintf("; close failed: %v", cerr)
+		}
+	}
+	if line != "" {
+		fmt.Println(line)
+	}
+	if cerr != nil {
+		return fmt.Errorf("examples: fleet close: %w", cerr)
+	}
+	return nil
 }
 
 // DurabilityLine formats a durable fleet's WAL counters; "" for an

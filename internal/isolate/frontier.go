@@ -837,6 +837,121 @@ func (m *Memo) Refold(g *grammar.Grammar, sizes *grammar.SizeTable, opt RefoldOp
 	return folds, entries
 }
 
+// seedMaxDescents bounds SeedChain's search depth: each step descends
+// one tree level toward the heaviest subtree, so the bound only bites
+// on pathologically deep explicit RHS shapes.
+const seedMaxDescents = 64
+
+// seedWeight computes the exact spine weight of n, or ok=false when n
+// is neither indexable entry shape (an explicit element terminal or a
+// tail call — see the spine doc above). Saturated weights return
+// ok=false too: the index only stores exact counts. Off-chain material
+// is measured by SubtreeValSize over disjoint subtrees plus callee size
+// vectors, never by expanding a rule.
+func seedWeight(n *xmltree.Node, sizes *grammar.SizeTable) (int64, bool) {
+	switch n.Label.Kind {
+	case xmltree.Terminal:
+		if len(n.Children) != 2 {
+			return 0, false // ⊥ leaf
+		}
+		w := grammar.SatAdd(1, grammar.SubtreeValSize(n.Children[0], sizes))
+		return w, !grammar.Saturated(w)
+	case xmltree.Nonterminal:
+		sv := sizes.Get(n.Label.ID)
+		k := len(n.Children)
+		if sv == nil || k == 0 || len(sv.Seg) != k+1 || sv.Seg[k] != 0 {
+			return 0, false // not a tail call: material derives after the last argument
+		}
+		// Everything derived before the last argument: all body segments
+		// (Seg[k] is zero) plus the earlier arguments.
+		w := sv.Total
+		for i := 0; i < k-1; i++ {
+			w = grammar.SatAdd(w, grammar.SubtreeValSize(n.Children[i], sizes))
+		}
+		return w, w > 0 && !grammar.Saturated(w)
+	}
+	return 0, false
+}
+
+// seedChain searches g's start RHS for the longest maximal chain of
+// last-child links reachable without unfolding any rule, and returns it
+// as a (node, exact-weight) run — nil when no chain of at least minRun
+// qualifying entries exists within seedMaxDescents levels. After a
+// recompression the memo is retired with the grammar it served, so
+// without seeding every point query on the fresh grammar descends
+// naively until write descents happen to re-register runs — the index
+// goes dark exactly when the grammar just got cheapest to index.
+// Starting at the RHS root the search collects the chain of qualifying
+// entries (the same two shapes, with the same exact weights, the write
+// descent registers), and when that chain is shorter than the
+// registration threshold it descends into the heaviest off-chain
+// subtree seen — the material, and with it the long chain, must be down
+// there — and retries. The search only reads g and sizes, so it is safe
+// on a frozen shared grammar; SeedView packages the run for the
+// read side.
+func seedChain(g *grammar.Grammar, sizes *grammar.SizeTable) (nodes []*xmltree.Node, w []int64) {
+	if sizes == nil {
+		return nil, nil
+	}
+	start := g.StartRule()
+	if start == nil {
+		return nil, nil
+	}
+	n := start.RHS
+	for depth := 0; n != nil && depth < seedMaxDescents; depth++ {
+		nodes, w = nodes[:0], w[:0]
+		for c := n; c != nil; {
+			wt, ok := seedWeight(c, sizes)
+			if !ok {
+				break
+			}
+			nodes = append(nodes, c)
+			w = append(w, wt)
+			c = c.Children[chainChild(c)]
+		}
+		if len(nodes) >= minRun {
+			return nodes, w
+		}
+		// Chain too short to be worth indexing — descend into the
+		// heaviest element's first-child subtree (tail calls keep their
+		// pre-argument material inside the rule body, unreachable without
+		// unfolding, so only element entries are descendable).
+		var best *xmltree.Node
+		var bestW int64 = -1
+		for i, e := range nodes {
+			if e.Label.Kind == xmltree.Terminal && w[i] > bestW {
+				best, bestW = e, w[i]
+			}
+		}
+		// The chain-ending node may dwarf every entry (typically a
+		// saturated-weight element carrying the whole document).
+		if c := chainEnd(nodes, n); c != nil && c.Label.Kind == xmltree.Terminal && len(c.Children) == 2 {
+			if cw := grammar.SatAdd(1, grammar.SubtreeValSize(c.Children[0], sizes)); cw > bestW {
+				best = c
+			}
+		}
+		if best == nil {
+			return nil, nil
+		}
+		n = best.Children[0]
+	}
+	return nil, nil
+}
+
+// chainEnd returns the node the collected chain stopped at: the chain
+// child of the last entry, or the chain head itself when no entry
+// qualified.
+func chainEnd(nodes []*xmltree.Node, head *xmltree.Node) *xmltree.Node {
+	if len(nodes) == 0 {
+		return head
+	}
+	last := nodes[len(nodes)-1]
+	if len(last.Children) == 0 {
+		return nil
+	}
+	return last.Children[chainChild(last)]
+}
+
 // foldRun folds one contiguous run of chunks into a single fresh rule;
 // returns the number of entries folded (0 = not foldable). The caller
 // guarantees the run is contiguous within one spine and does not start

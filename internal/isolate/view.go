@@ -115,6 +115,60 @@ func (m *Memo) View() *SpineView {
 	return v
 }
 
+// SeedView builds a single-spine view directly from the start rule's
+// dominant chain (see seedChain), bypassing the memo entirely. It is
+// the read side's answer to the post-recompression index gap: the memo
+// is retired with the grammar a recompression replaced, so the next
+// published generation has no chunks to snapshot and its first point
+// queries would degrade to naive descent. The generation instead calls
+// SeedView lazily, on the first read that wants indexed descent — the
+// writer pays nothing at publish, write-only workloads never seed, and
+// because the search and the view construction only READ the frozen
+// grammar and size table (no Aux stamping, no memo mutation), the build
+// is race-free even when several published generations share one frozen
+// grammar. Returns nil when no chain worth indexing exists; callers
+// fall back to naive descent then, exactly as with an empty memo.
+func SeedView(g *grammar.Grammar, sizes *grammar.SizeTable) *SpineView {
+	nodes, w := seedChain(g, sizes)
+	if len(nodes) == 0 {
+		return nil
+	}
+	nchunks := (len(nodes) + chunkFill - 1) / chunkFill
+	v := &SpineView{
+		heads: map[*xmltree.Node]int32{nodes[0]: 0},
+	}
+	vs := viewSpine{
+		nodes: make([][]*xmltree.Node, 0, nchunks),
+		w:     make([][]int64, 0, nchunks),
+		sums:  make([]int64, 0, nchunks),
+	}
+	for len(nodes) > 0 {
+		n := len(nodes)
+		if n > chunkFill {
+			n = chunkFill
+		}
+		var sum int64
+		for _, wi := range w[:n] {
+			sum = grammar.SatAdd(sum, wi)
+		}
+		if grammar.Saturated(sum) {
+			// Material too large to sum exactly — index the prefix only,
+			// like the write path's spliceChunks.
+			break
+		}
+		vs.nodes = append(vs.nodes, nodes[:n:n])
+		vs.w = append(vs.w, w[:n:n])
+		vs.sums = append(vs.sums, sum)
+		v.entries += n
+		nodes, w = nodes[n:], w[n:]
+	}
+	if len(vs.nodes) == 0 {
+		return nil
+	}
+	v.spines = []viewSpine{vs}
+	return v
+}
+
 // Entries returns the number of indexed entries the view covers.
 func (v *SpineView) Entries() int {
 	if v == nil {

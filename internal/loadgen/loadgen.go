@@ -1,0 +1,148 @@
+// Package loadgen replays fleet workload schedules against a serving
+// front-end (repro/internal/server) over N client connections and
+// measures what a serving benchmark actually needs: aggregate update
+// throughput and the client-observed batch latency distribution
+// (p50/p99), not just ns/op. It is the engine under cmd/loadgen and
+// the benchsuite's ServeStream track, so both report from the same
+// replay loop.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// Config describes one load-generation run against a live server.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Conns is the number of client connections the schedule is spread
+	// over (min 1). Batches for one document always ride the same
+	// connection (conn = doc index mod Conns), so per-document op order
+	// is preserved — the property every differential in this repo
+	// depends on.
+	Conns int
+	// IDs names the documents, index-aligned with the schedule's Doc
+	// indices. Every document must already be open on the server.
+	IDs []string
+	// Schedule is the batch sequence to replay (e.g. workload.ZipfFleet).
+	Schedule []workload.FleetBatch
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	// Ops and Batches count the applied work.
+	Ops     int
+	Batches int
+	// Elapsed is the wall clock of the whole replay (all connections).
+	Elapsed time.Duration
+	// P50 and P99 are client-observed per-batch apply latencies
+	// (request write to ack read).
+	P50, P99 time.Duration
+	// Latencies holds every batch latency, sorted ascending, so callers
+	// aggregating multiple runs (the benchsuite) can merge distributions
+	// instead of averaging quantiles.
+	Latencies []time.Duration
+}
+
+// Throughput returns applied update ops per second.
+func (r Report) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// Quantile returns the q-quantile (0..1) of the sorted latencies.
+func Quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Run replays the schedule. Each connection gets the subsequence of
+// batches owned by its documents and replays them synchronously (one
+// in-flight batch per connection, latency = full request/ack round
+// trip); connections run concurrently, so aggregate throughput scales
+// with Conns until the server or the store saturates.
+func Run(cfg Config) (Report, error) {
+	var rep Report
+	conns := cfg.Conns
+	if conns < 1 {
+		conns = 1
+	}
+	if len(cfg.Schedule) == 0 {
+		return rep, fmt.Errorf("loadgen: empty schedule")
+	}
+	// Partition the schedule by owning connection, preserving order.
+	parts := make([][]workload.FleetBatch, conns)
+	for _, fb := range cfg.Schedule {
+		if fb.Doc < 0 || fb.Doc >= len(cfg.IDs) {
+			return rep, fmt.Errorf("loadgen: schedule references document %d of %d", fb.Doc, len(cfg.IDs))
+		}
+		c := fb.Doc % conns
+		parts[c] = append(parts[c], fb)
+	}
+	clients := make([]*server.Client, conns)
+	for c := range clients {
+		cl, err := server.Dial(cfg.Addr)
+		if err != nil {
+			return rep, fmt.Errorf("loadgen: conn %d: %w", c, err)
+		}
+		defer cl.Close()
+		clients[c] = cl
+	}
+
+	type connResult struct {
+		ops  int
+		lats []time.Duration
+		err  error
+	}
+	results := make([]connResult, conns)
+	start := time.Now()
+	done := make(chan int, conns)
+	for c := 0; c < conns; c++ {
+		go func(c int) {
+			defer func() { done <- c }()
+			r := &results[c]
+			r.lats = make([]time.Duration, 0, len(parts[c]))
+			for _, fb := range parts[c] {
+				t0 := time.Now()
+				if err := clients[c].Apply(cfg.IDs[fb.Doc], fb.Ops); err != nil {
+					r.err = fmt.Errorf("loadgen: conn %d doc %s: %w", c, cfg.IDs[fb.Doc], err)
+					return
+				}
+				r.lats = append(r.lats, time.Since(t0))
+				r.ops += len(fb.Ops)
+			}
+		}(c)
+	}
+	for c := 0; c < conns; c++ {
+		<-done
+	}
+	rep.Elapsed = time.Since(start)
+	for c := range results {
+		if err := results[c].err; err != nil {
+			return rep, err
+		}
+		rep.Ops += results[c].ops
+		rep.Batches += len(results[c].lats)
+		rep.Latencies = append(rep.Latencies, results[c].lats...)
+	}
+	sort.Slice(rep.Latencies, func(i, j int) bool { return rep.Latencies[i] < rep.Latencies[j] })
+	rep.P50 = Quantile(rep.Latencies, 0.50)
+	rep.P99 = Quantile(rep.Latencies, 0.99)
+	return rep, nil
+}

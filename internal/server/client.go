@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+
+	"repro/internal/grammar"
+	"repro/internal/update"
+)
+
+// Client is a synchronous connection to a Server: one request in
+// flight at a time, responses matched by order. It is safe for
+// concurrent use (calls serialize on the connection); for parallel
+// load, open one Client per worker — that is what cmd/loadgen does.
+type Client struct {
+	mu  sync.Mutex
+	c   net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	req []byte // request payload assembly
+	out []byte // framed request bytes
+	in  []byte // response frame scratch
+}
+
+// Dial connects to a Server at addr (a TCP address).
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// NewClient wraps an established connection (ownership transfers).
+func NewClient(c net.Conn) *Client {
+	return &Client{
+		c:  c,
+		br: bufio.NewReaderSize(c, connBufSize),
+		bw: bufio.NewWriterSize(c, connBufSize),
+	}
+}
+
+// Close closes the connection.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.c.Close()
+}
+
+// roundTrip frames and sends the payload in cl.req, then reads one
+// response frame. The returned kind/body alias cl.in — callers copy
+// what they keep, while still holding cl.mu.
+func (cl *Client) roundTrip() (kind byte, body []byte, err error) {
+	var werr error
+	cl.out, werr = writeFrame(cl.bw, cl.out, cl.req)
+	if werr != nil {
+		return 0, nil, werr
+	}
+	if err := cl.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	payload, grown, err := readFrame(cl.br, cl.in)
+	cl.in = grown
+	if err != nil {
+		return 0, nil, err
+	}
+	return parseResponse(payload)
+}
+
+func (cl *Client) expect(kind byte, want byte) error {
+	if kind != want {
+		return fmt.Errorf("server: unexpected response type 0x%02x (want 0x%02x)", kind, want)
+	}
+	return nil
+}
+
+// Open registers document id on the server, seeded with g (encoded on
+// the wire with the grammar codec; the local g stays owned by the
+// caller).
+func (cl *Client) Open(id string, g *grammar.Grammar) error {
+	var buf bytes.Buffer
+	if err := grammar.Encode(&buf, g); err != nil {
+		return err
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var err error
+	cl.req, err = appendRequestHeader(cl.req[:0], reqOpen, id)
+	if err != nil {
+		return err
+	}
+	cl.req = append(cl.req, buf.Bytes()...)
+	kind, _, err := cl.roundTrip()
+	if err != nil {
+		return err
+	}
+	return cl.expect(kind, respOK)
+}
+
+// Apply sends one update batch for document id and waits for the ack:
+// when Apply returns nil, the batch has been applied (and, on a
+// durable fleet, journaled per the store's fsync policy).
+func (cl *Client) Apply(id string, ops []update.Op) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var err error
+	cl.req, err = appendRequestHeader(cl.req[:0], reqApply, id)
+	if err != nil {
+		return err
+	}
+	cl.req, err = update.AppendOps(cl.req, ops)
+	if err != nil {
+		return err
+	}
+	kind, _, err := cl.roundTrip()
+	if err != nil {
+		return err
+	}
+	return cl.expect(kind, respOK)
+}
+
+// PointQuery returns the label at preorder index pre of document id.
+func (cl *Client) PointQuery(id string, pre int64) (string, error) {
+	if pre < 0 {
+		return "", fmt.Errorf("server: negative preorder position %d", pre)
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var err error
+	cl.req, err = appendRequestHeader(cl.req[:0], reqPointQuery, id)
+	if err != nil {
+		return "", err
+	}
+	cl.req = binary.AppendUvarint(cl.req, uint64(pre))
+	kind, body, err := cl.roundTrip()
+	if err != nil {
+		return "", err
+	}
+	if err := cl.expect(kind, respLabel); err != nil {
+		return "", err
+	}
+	n := 0
+	label, err := readWireString(body, &n, update.MaxOpLabel)
+	if err != nil {
+		return "", fmt.Errorf("server: decode label response: %w", err)
+	}
+	return label, nil
+}
+
+// CountLabel returns the occurrence count of label in document id.
+func (cl *Client) CountLabel(id, label string) (float64, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var err error
+	cl.req, err = appendRequestHeader(cl.req[:0], reqCountLabel, id)
+	if err != nil {
+		return 0, err
+	}
+	cl.req = appendWireString(cl.req, label)
+	kind, body, err := cl.roundTrip()
+	if err != nil {
+		return 0, err
+	}
+	if err := cl.expect(kind, respCount); err != nil {
+		return 0, err
+	}
+	if len(body) != 8 {
+		return 0, fmt.Errorf("server: count response of %d bytes", len(body))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(body)), nil
+}
+
+// SnapshotBytes returns document id's current published generation in
+// the encoded grammar format (a fresh copy, safe to keep).
+func (cl *Client) SnapshotBytes(id string) ([]byte, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var err error
+	cl.req, err = appendRequestHeader(cl.req[:0], reqSnapshot, id)
+	if err != nil {
+		return nil, err
+	}
+	kind, body, err := cl.roundTrip()
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.expect(kind, respGrammar); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), body...), nil
+}
+
+// Snapshot returns document id's current published generation as a
+// decoded grammar.
+func (cl *Client) Snapshot(id string) (*grammar.Grammar, error) {
+	raw, err := cl.SnapshotBytes(id)
+	if err != nil {
+		return nil, err
+	}
+	return grammar.Decode(bytes.NewReader(raw))
+}
+
+// Quiesce blocks until the server's store has no asynchronous
+// recompression in flight (see store.Sharded.Quiesce).
+func (cl *Client) Quiesce() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.req = append(cl.req[:0], reqQuiesce)
+	kind, _, err := cl.roundTrip()
+	if err != nil {
+		return err
+	}
+	return cl.expect(kind, respOK)
+}

@@ -1,0 +1,115 @@
+// FuzzFrameDecode locks in the wire decoder's hostile-network
+// hardening, mirroring the WAL's FuzzWALDecode and the op codec's
+// FuzzOpDecode: no byte stream a peer can send may panic the frame or
+// request parsers, make them claim bytes they did not validate, or
+// demand an allocation larger than the bound. A frame that does decode
+// must re-frame into bytes that decode to the same payload, and the
+// streaming decoder (what the server actually runs) must agree with
+// the in-memory one byte for byte.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/update"
+	"repro/internal/xmltree"
+)
+
+func FuzzFrameDecode(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		b, err := AppendFrame(nil, payload)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	// Well-formed request frames of every type, so the fuzzer mutates
+	// from real protocol bytes toward the edges.
+	hdr := func(kind byte, doc string) []byte {
+		p, err := appendRequestHeader(nil, kind, doc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return p
+	}
+	ops, err := update.AppendOps(hdr(reqApply, "doc-00"), []update.Op{
+		{Kind: update.Rename, Pos: 3, Label: "item"},
+		{Kind: update.Insert, Pos: 1, Frag: xmltree.NewUnranked("x", xmltree.NewUnranked("y"))},
+		{Kind: update.Delete, Pos: 2},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frame(ops))
+	f.Add(frame(binary.AppendUvarint(hdr(reqPointQuery, "doc-00"), 42)))
+	f.Add(frame(appendWireString(hdr(reqCountLabel, "doc-00"), "item")))
+	f.Add(frame(hdr(reqSnapshot, "doc-00")))
+	f.Add(frame([]byte{reqQuiesce}))
+	f.Add(frame(append(hdr(reqOpen, "doc-00"), 0xde, 0xad)))
+	// Two frames back to back: exact-length consumption.
+	f.Add(append(frame([]byte{reqQuiesce}), frame(hdr(reqSnapshot, "d"))...))
+	// Edges: empty, torn length, lying length, flipped CRC.
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f})
+	bad := frame([]byte{reqQuiesce})
+	bad[len(bad)-1] ^= 0xff
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		payload, n, err := DecodeFrame(data)
+
+		// The streaming decoder must agree with the in-memory one: same
+		// accept/reject verdict, same payload bytes.
+		sPayload, _, sErr := readFrame(bufio.NewReader(bytes.NewReader(data)), nil)
+		if (err == nil) != (sErr == nil) {
+			t.Fatalf("decoders disagree: bytes err=%v, stream err=%v", err, sErr)
+		}
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(payload, sPayload) {
+			t.Fatal("decoders returned different payloads")
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+
+		// Re-framing the payload must reach a fixed point (non-minimal
+		// length varints in the input may shorten, nothing else changes).
+		enc, err := AppendFrame(nil, payload)
+		if err != nil {
+			t.Fatalf("decoded payload does not re-frame: %v", err)
+		}
+		p2, n2, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("re-framed payload does not decode: %v", err)
+		}
+		if n2 != len(enc) || !bytes.Equal(p2, payload) {
+			t.Fatal("frame round trip changed the payload")
+		}
+
+		// A frame-valid payload is still untrusted: the request parser
+		// must reject or fully validate it, never panic. A request that
+		// does decode must carry in-bounds fields.
+		req, err := decodeRequest(payload)
+		if err != nil {
+			return
+		}
+		if len(req.doc) > maxDocIDLen {
+			t.Fatalf("decoded doc ID of %d bytes", len(req.doc))
+		}
+		if req.kind == reqApply && (len(req.ops) == 0 || len(req.ops) > update.MaxBatchOps) {
+			t.Fatalf("decoded apply with %d ops", len(req.ops))
+		}
+		if req.kind == reqPointQuery && req.pre < 0 {
+			t.Fatalf("decoded negative position %d", req.pre)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/grammar"
+	"repro/internal/store"
+)
+
+// connBufSize sizes each connection's read and write buffers: large
+// enough that a pipelined batch of small requests coalesces into one
+// syscall each way.
+const connBufSize = 64 << 10
+
+// Server serves a ShardedStore over a listener: one goroutine per
+// accepted connection, requests dispatched in order per connection
+// (writes to one document arrive in the order the client sent them),
+// connections served independently of each other. Protocol defects —
+// torn frames, bad CRCs, malformed requests — close the offending
+// connection without a reply; application errors (unknown document,
+// invalid op position) travel back as error responses and the
+// connection keeps serving.
+type Server struct {
+	ln net.Listener
+	ss *store.Sharded
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving ss on ln and returns immediately; the returned
+// Server owns the listener. Close stops accepting, closes every live
+// connection, and waits for the per-connection goroutines to drain (it
+// does not close ss — the store outlives its front-end).
+func Serve(ln net.Listener, ss *store.Sharded) *Server {
+	s := &Server{ln: ln, ss: ss, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address (the dial target, useful with
+// a ":0" listener).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server: the listener closes, every live connection
+// closes, and all per-connection goroutines finish before Close
+// returns. The underlying ShardedStore is untouched.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			// The listener is dead (usually: Close). There is nothing to
+			// retry — connections already accepted keep draining.
+			return
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(c)
+	}
+}
+
+func (s *Server) forget(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// handle serves one connection until EOF, a protocol defect, or server
+// close. Responses are flushed when the read side has no buffered
+// input left: a synchronous client gets its reply immediately, a
+// pipelining client's replies coalesce into one flush per burst — the
+// network analogue of the store's batch-boundary bookkeeping.
+func (s *Server) handle(c net.Conn) {
+	defer s.wg.Done()
+	defer s.forget(c)
+	defer c.Close()
+	br := bufio.NewReaderSize(c, connBufSize)
+	bw := bufio.NewWriterSize(c, connBufSize)
+	var in, out, frame []byte
+	var snap bytes.Buffer
+	for {
+		payload, grown, err := readFrame(br, in)
+		in = grown
+		if err != nil {
+			return // EOF or hostile frame: close, never fail open
+		}
+		req, err := decodeRequest(payload)
+		if err != nil {
+			return // malformed request: protocol defect, not an app error
+		}
+		out = s.dispatch(req, out[:0], &snap)
+		frame, err = writeFrame(bw, frame, out)
+		if err != nil {
+			return
+		}
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// dispatch runs one request against the store and appends the response
+// payload to dst. Application errors become respErr payloads; only
+// transport problems terminate the connection, and those are the
+// caller's business.
+func (s *Server) dispatch(req request, dst []byte, snap *bytes.Buffer) []byte {
+	switch req.kind {
+	case reqOpen:
+		g, err := grammar.Decode(bytes.NewReader(req.gram))
+		if err != nil {
+			return appendErrResponse(dst, err)
+		}
+		if _, err := s.ss.Open(req.doc, g); err != nil {
+			return appendErrResponse(dst, err)
+		}
+		return append(dst, respOK)
+	case reqApply:
+		if err := s.ss.ApplyAll(req.doc, req.ops); err != nil {
+			return appendErrResponse(dst, err)
+		}
+		return append(dst, respOK)
+	case reqPointQuery:
+		label, err := s.ss.PointQuery(req.doc, req.pre)
+		if err != nil {
+			return appendErrResponse(dst, err)
+		}
+		dst = append(dst, respLabel)
+		return appendWireString(dst, label)
+	case reqCountLabel:
+		n, err := s.ss.CountLabel(req.doc, req.label)
+		if err != nil {
+			return appendErrResponse(dst, err)
+		}
+		dst = append(dst, respCount)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(n))
+	case reqSnapshot:
+		g, err := s.ss.Snapshot(req.doc)
+		if err != nil {
+			return appendErrResponse(dst, err)
+		}
+		snap.Reset()
+		if err := grammar.Encode(snap, g); err != nil {
+			return appendErrResponse(dst, err)
+		}
+		dst = append(dst, respGrammar)
+		return append(dst, snap.Bytes()...)
+	case reqQuiesce:
+		s.ss.Quiesce()
+		return append(dst, respOK)
+	}
+	// decodeRequest admits no other kind; an unreachable default still
+	// must not fail open.
+	return appendErrResponse(dst, errUnknownRequest)
+}
+
+var errUnknownRequest = errString("server: unknown request")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

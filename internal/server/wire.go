@@ -1,0 +1,181 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/update"
+)
+
+// Message types. Requests occupy the low half of the byte, responses
+// the high half, so a stream captured in a trace is self-describing.
+const (
+	reqOpen       = 0x01 // doc string | encoded grammar (rest of payload)
+	reqApply      = 0x02 // doc string | op batch (update.AppendOps body)
+	reqPointQuery = 0x03 // doc string | pre uvarint
+	reqCountLabel = 0x04 // doc string | label string
+	reqSnapshot   = 0x05 // doc string
+	reqQuiesce    = 0x06 // (empty body)
+
+	respOK      = 0x80 // (empty body)
+	respErr     = 0x81 // message string
+	respLabel   = 0x82 // label string
+	respCount   = 0x83 // float64 bits, LE uint64
+	respGrammar = 0x84 // encoded grammar (rest of payload)
+)
+
+// Wire bounds. Frames already cap total payload size; these cap the
+// fields whose lengths a hostile peer declares independently.
+const (
+	// maxDocIDLen bounds a document ID on the wire. Real IDs are short
+	// keys; a kilobyte-scale ID is hostile input, not a name.
+	maxDocIDLen = 1 << 12
+	// maxErrLen bounds an error message a client will accept (and a
+	// server will send) — errors are diagnostics, not payloads.
+	maxErrLen = 1 << 12
+)
+
+// request is one decoded client request. Fields beyond kind and doc are
+// populated per kind; gram and ops alias the frame payload they were
+// decoded from and are only valid until the next frame read.
+type request struct {
+	kind  byte
+	doc   string
+	ops   []update.Op // reqApply
+	pre   int64       // reqPointQuery
+	label string      // reqCountLabel
+	gram  []byte      // reqOpen: encoded grammar bytes
+}
+
+// decodeRequest parses a request payload. The payload passed the frame
+// CRC, but the peer may still be hostile or version-skewed, so every
+// field is bounded and trailing bytes are a defect. Any error closes
+// the connection (see Server.handle) — a malformed request is never
+// answered.
+func decodeRequest(payload []byte) (request, error) {
+	var req request
+	if len(payload) == 0 {
+		return req, fmt.Errorf("server: empty request payload")
+	}
+	req.kind = payload[0]
+	body := payload[1:]
+	if req.kind == reqQuiesce {
+		if len(body) != 0 {
+			return req, fmt.Errorf("server: %d trailing bytes after quiesce", len(body))
+		}
+		return req, nil
+	}
+	n := 0
+	doc, err := readWireString(body, &n, maxDocIDLen)
+	if err != nil {
+		return req, fmt.Errorf("server: decode doc ID: %w", err)
+	}
+	req.doc = doc
+	rest := body[n:]
+	switch req.kind {
+	case reqOpen:
+		if len(rest) == 0 {
+			return req, fmt.Errorf("server: open without grammar")
+		}
+		req.gram = rest
+	case reqApply:
+		ops, used, err := update.DecodeOps(rest)
+		if err != nil {
+			return req, fmt.Errorf("server: decode op batch: %w", err)
+		}
+		if used != len(rest) {
+			return req, fmt.Errorf("server: %d trailing bytes after op batch", len(rest)-used)
+		}
+		req.ops = ops
+	case reqPointQuery:
+		pre, w := binary.Uvarint(rest)
+		if w <= 0 || pre > math.MaxInt64 {
+			return req, fmt.Errorf("server: bad preorder position")
+		}
+		if w != len(rest) {
+			return req, fmt.Errorf("server: %d trailing bytes after position", len(rest)-w)
+		}
+		req.pre = int64(pre)
+	case reqCountLabel:
+		m := 0
+		label, err := readWireString(rest, &m, update.MaxOpLabel)
+		if err != nil {
+			return req, fmt.Errorf("server: decode label: %w", err)
+		}
+		if m != len(rest) {
+			return req, fmt.Errorf("server: %d trailing bytes after label", len(rest)-m)
+		}
+		req.label = label
+	case reqSnapshot:
+		if len(rest) != 0 {
+			return req, fmt.Errorf("server: %d trailing bytes after snapshot request", len(rest))
+		}
+	default:
+		return req, fmt.Errorf("server: unknown request type 0x%02x", req.kind)
+	}
+	return req, nil
+}
+
+// appendRequestHeader starts a request payload: type byte plus the
+// document ID every per-document request carries.
+func appendRequestHeader(dst []byte, kind byte, doc string) ([]byte, error) {
+	if len(doc) > maxDocIDLen {
+		return dst, fmt.Errorf("server: document ID of %d bytes exceeds %d", len(doc), maxDocIDLen)
+	}
+	dst = append(dst, kind)
+	return appendWireString(dst, doc), nil
+}
+
+func appendWireString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// readWireString decodes a length-prefixed string bounded by max —
+// the bound is checked before the length is trusted for anything.
+func readWireString(data []byte, n *int, max int) (string, error) {
+	l, w := binary.Uvarint(data[*n:])
+	if w <= 0 {
+		return "", fmt.Errorf("truncated string length at offset %d", *n)
+	}
+	*n += w
+	if l > uint64(max) {
+		return "", fmt.Errorf("string of %d bytes exceeds %d", l, max)
+	}
+	if uint64(len(data)-*n) < l {
+		return "", fmt.Errorf("truncated string at offset %d", *n)
+	}
+	s := string(data[*n : *n+int(l)])
+	*n += int(l)
+	return s, nil
+}
+
+// appendErrResponse encodes an application error, truncating the
+// message to the wire bound (an error is a diagnostic, not a payload).
+func appendErrResponse(dst []byte, err error) []byte {
+	msg := err.Error()
+	if len(msg) > maxErrLen {
+		msg = msg[:maxErrLen]
+	}
+	dst = append(dst, respErr)
+	return appendWireString(dst, msg)
+}
+
+// parseResponse splits a response payload into its type and body,
+// surfacing respErr as an error. The body aliases the payload.
+func parseResponse(payload []byte) (kind byte, body []byte, err error) {
+	if len(payload) == 0 {
+		return 0, nil, fmt.Errorf("server: empty response payload")
+	}
+	kind, body = payload[0], payload[1:]
+	if kind == respErr {
+		n := 0
+		msg, err := readWireString(body, &n, maxErrLen)
+		if err != nil {
+			return kind, nil, fmt.Errorf("server: decode error response: %w", err)
+		}
+		return kind, nil, fmt.Errorf("server: remote: %s", msg)
+	}
+	return kind, body, nil
+}

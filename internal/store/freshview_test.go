@@ -1,0 +1,113 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/treerepair"
+	"repro/internal/update"
+	"repro/internal/xmltree"
+)
+
+// flatUniqueDoc builds a flat document of n children with unique labels:
+// incompressible, so its next-sibling chain survives recompression as an
+// explicit spine — exactly the shape whose index used to go dark after
+// every recompression.
+func flatUniqueDoc(n int) *xmltree.Document {
+	root := xmltree.NewUnranked("log")
+	for i := 0; i < n; i++ {
+		root.Children = append(root.Children, xmltree.NewUnranked(fmt.Sprintf("u%04d", i)))
+	}
+	return root.Binary()
+}
+
+// TestFreshViewAfterRecompress pins the stale-empty-view bugfix: a
+// generation published right after Recompress must carry a live spine
+// view (seeded from the fresh chain), so the very first point query
+// seeks instead of silently degrading to naive descent.
+func TestFreshViewAfterRecompress(t *testing.T) {
+	g, _ := treerepair.Compress(flatUniqueDoc(200), treerepair.Options{})
+	st := New(g, Config{Ratio: -1})
+	st.Recompress()
+
+	n, err := st.TreeSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := st.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A target deep in the chain: without a view this walks ~every
+	// sibling; with the seeded view it must seek.
+	if err := cur.SeekPreorder(n - 3); err != nil {
+		t.Fatal(err)
+	}
+	if s := cur.Stats(); s.Jumps == 0 {
+		t.Fatalf("first point query after Recompress took no indexed jumps (stats %+v): published view is empty", s)
+	}
+	// And the seeded index must not change any answer.
+	for _, pre := range []int64{0, 1, n / 2, n - 3, n - 1} {
+		got, err := st.PointQuery(pre)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := st.PointQueryNaive(pre)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("PointQuery(%d) = %q, naive = %q", pre, got, want)
+		}
+	}
+}
+
+// TestFreshViewAfterAsyncSwap is the same pin for the asynchronous swap
+// path: after a background recompression completes, the published
+// generation must serve indexed point queries immediately.
+func TestFreshViewAfterAsyncSwap(t *testing.T) {
+	g, _ := treerepair.Compress(flatUniqueDoc(32), treerepair.Options{})
+	st := New(g, Config{Ratio: 1.1, MinSize: 8, MaxRatio: 64, Async: true})
+
+	// Unique-label appends keep the document incompressible, so the
+	// surviving chain stays long enough to seed. Wait after every op so
+	// the inflight run lands instead of being discarded on tail overflow
+	// (the swap, not the write race, is what this test pins).
+	for i := 0; i < 500 && st.Stats().AsyncRecompressions == 0; i++ {
+		sz, err := st.TreeSize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Apply(update.Op{Kind: update.Insert, Pos: sz - 1,
+			Frag: xmltree.NewUnranked(fmt.Sprintf("z%04d", i))}); err != nil {
+			t.Fatal(err)
+		}
+		st.Wait()
+	}
+	if st.Stats().AsyncRecompressions == 0 {
+		t.Skip("no async recompression completed")
+	}
+	cur, err := st.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A target deep inside the original 32-element chain (the appended
+	// elements become siblings of the root, a separate short chain).
+	if err := cur.SeekPreorder(60); err != nil {
+		t.Fatal(err)
+	}
+	if s := cur.Stats(); s.Jumps == 0 {
+		t.Fatalf("first point query after async swap took no indexed jumps (stats %+v)", s)
+	}
+	got, err := st.PointQuery(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := st.PointQueryNaive(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("PointQuery(60) = %q, naive = %q", got, want)
+	}
+}

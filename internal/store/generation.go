@@ -64,9 +64,16 @@ type generation struct {
 	//
 	// The spine view is built from the memo lazily, on the first read
 	// that wants indexed descent (viewOnce) — write-only workloads
-	// never pay for it.
+	// never pay for it. When the memo is gone (a recompression retires
+	// it with the grammar it served) but the index is enabled, seed is
+	// set and the same lazy build falls back to isolate.SeedView: a
+	// read-only pass over the frozen grammar that indexes the start
+	// rule's dominant chain, so the first post-recompression point
+	// query seeks instead of walking and the writer pays nothing at
+	// publish.
 	sizes    *grammar.SizeTable
 	memo     *isolate.Memo
+	seed     bool
 	viewOnce sync.Once
 	view     *isolate.SpineView
 
@@ -147,16 +154,24 @@ func (gn *generation) cachedTreeSize() (int64, error) {
 }
 
 // spineView returns the generation's immutable spine-index view,
-// building it from the handed-off memo on first use (nil when the
-// index is empty, disabled, or naive). The caller must have acquired
-// the generation: that pin is what freezes the memo's chunk state, and
-// viewOnce serializes concurrent first readers.
+// building it on first use (nil when the index is empty or naive). The
+// primary source is the handed-off memo; when the memo is gone or empty
+// — the post-recompression gap — and seeding is enabled, the view is
+// seeded from the frozen grammar's start-RHS chain instead. The caller
+// must have acquired the generation: that pin is what freezes the
+// memo's chunk state, and viewOnce serializes concurrent first readers.
+// The seed path mutates nothing (isolate.SeedView only reads g and
+// sizes), so generations that share a frozen grammar may each seed
+// without racing.
 func (gn *generation) spineView() *isolate.SpineView {
-	if gn.memo == nil {
+	if gn.memo == nil && !gn.seed {
 		return nil
 	}
 	gn.viewOnce.Do(func() {
 		gn.view = gn.memo.View()
+		if gn.view == nil && gn.seed {
+			gn.view = isolate.SeedView(gn.g, gn.sizes)
+		}
 	})
 	return gn.view
 }
@@ -251,6 +266,7 @@ func (s *Store) publishLocked() {
 		}
 		gn.sizes = sizes
 		gn.memo = s.cache.Memo()
+		gn.seed = !s.cache.Naive
 	}
 	s.pub.Store(gn)
 }

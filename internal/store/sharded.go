@@ -567,6 +567,17 @@ func (s *Sharded) CountLabel(id, label string) (float64, error) {
 	return st.CountLabel(label)
 }
 
+// PointQuery returns the label at preorder index pre of document id,
+// via the document's indexed read path (see Store.PointQuery) — the
+// read primitive the network front-end serves.
+func (s *Sharded) PointQuery(id string, pre int64) (string, error) {
+	st, err := s.get(id)
+	if err != nil {
+		return "", err
+	}
+	return st.PointQuery(pre)
+}
+
 // Snapshot returns an invalidation-safe immutable snapshot of document
 // id — an atomic generation grab, not a copy.
 func (s *Sharded) Snapshot(id string) (*grammar.Grammar, error) {

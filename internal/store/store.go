@@ -762,6 +762,11 @@ func (s *Store) completeAsync(gen, epoch uint64, g2 *grammar.Grammar, st *core.S
 	s.g = g2
 	s.gen++
 	s.pendingGC = stranded
+	// Install retired the spine index with the pre-swap grammar (and a
+	// tail replay only re-registers runs it happened to walk); the
+	// generation published below seeds a compact view from the
+	// compressed start-RHS chain lazily, on the first read that wants
+	// indexed descent (generation.spineView), so the swap pays nothing.
 	// The swap is a mutation critical section like any other: readers
 	// must move to the compressed grammar, so publish it. Generations
 	// pinned on the pre-swap grammar keep deriving the old state —
@@ -842,6 +847,13 @@ func (s *Store) recompressLocked(foldFirst bool) *core.Stats {
 	// ValSizes pass. Publish after the warm-up so the new generation's
 	// O(1) tree-size fast path is prefilled.
 	s.cache.Sizes(g2)
+	// Invalidate retired the spine index with the old grammar; the
+	// generation published below seeds a compact view from the fresh
+	// start-RHS chain lazily, on the first read that wants indexed
+	// descent (generation.spineView) — without that, every point query
+	// after a recompression would descend naively until chains happen
+	// to re-grow, and seeding here eagerly would bill every
+	// recompression for an index only readers need.
 	s.publishLocked()
 	s.resetCostBaselineLocked()
 	s.recompressions++

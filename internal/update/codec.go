@@ -38,6 +38,13 @@ const (
 	// children actually decode, so a lying child count cannot demand
 	// more memory than the bytes backing it.
 	maxChildPrealloc = 1 << 10
+	// MaxBatchOps bounds one encoded batch's declared op count — shared
+	// by the WAL record codec and the network frame codec, so a record
+	// accepted from either transport replays through the other.
+	MaxBatchOps = 1 << 20
+	// maxOpsPrealloc caps the op-slice capacity allocated before the ops
+	// actually decode (same rationale as maxChildPrealloc).
+	maxOpsPrealloc = 1 << 10
 )
 
 // AppendOp appends the binary encoding of op to dst and returns the
@@ -137,6 +144,52 @@ func DecodeOp(data []byte) (Op, int, error) {
 		return op, n, fmt.Errorf("update: decode: unknown op kind %d", kind)
 	}
 	return op, n, nil
+}
+
+// AppendOps appends a count-prefixed op sequence to dst: the batch body
+// of a WAL record and of a network apply frame. Empty batches and
+// batches past MaxBatchOps are rejected — they could never decode.
+func AppendOps(dst []byte, ops []Op) ([]byte, error) {
+	if len(ops) == 0 {
+		return dst, fmt.Errorf("update: encode: empty op batch")
+	}
+	if len(ops) > MaxBatchOps {
+		return dst, fmt.Errorf("update: encode: batch of %d ops exceeds %d", len(ops), MaxBatchOps)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	for i := range ops {
+		var err error
+		dst, err = AppendOp(dst, ops[i])
+		if err != nil {
+			return dst, fmt.Errorf("update: encode: batch op %d: %w", i, err)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeOps decodes a count-prefixed op sequence from the front of data
+// and returns it with the number of bytes consumed. Untrusted input:
+// the declared count is bounded before it sizes anything, and every op
+// decodes through DecodeOp's own caps.
+func DecodeOps(data []byte) ([]Op, int, error) {
+	n := 0
+	count, err := readUvarint(data, &n)
+	if err != nil {
+		return nil, n, fmt.Errorf("update: decode batch op count: %w", err)
+	}
+	if count == 0 || count > MaxBatchOps {
+		return nil, n, fmt.Errorf("update: decode: batch op count %d out of range", count)
+	}
+	ops := make([]Op, 0, min(int(count), maxOpsPrealloc))
+	for i := uint64(0); i < count; i++ {
+		op, used, err := DecodeOp(data[n:])
+		if err != nil {
+			return nil, n, fmt.Errorf("update: decode: batch op %d: %w", i, err)
+		}
+		n += used
+		ops = append(ops, op)
+	}
+	return ops, n, nil
 }
 
 // readFrag decodes a fragment iteratively (an explicit stack instead of

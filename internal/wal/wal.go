@@ -113,8 +113,6 @@ const (
 const (
 	// maxRecordBytes bounds one framed record's payload.
 	maxRecordBytes = 1 << 26
-	// maxBatchOps bounds one record's declared op count.
-	maxBatchOps = 1 << 20
 )
 
 func (o Options) segmentBytes() int64 {

@@ -153,54 +153,36 @@ func parseHeader(data []byte, magic string) (start int64, end int, err error) {
 }
 
 // encodeBatch builds a record payload for a committed batch: the
-// batch's stream start position, its op count, then the ops.
+// batch's stream start position, then the count-prefixed ops (the
+// shared update.AppendOps body, so the WAL and the network wire carry
+// the same batch encoding).
 func encodeBatch(dst []byte, start int64, ops []update.Op) ([]byte, error) {
-	if len(ops) == 0 {
-		return dst, fmt.Errorf("wal: empty batch")
-	}
 	if start < 0 {
 		return dst, fmt.Errorf("wal: negative batch start %d", start)
 	}
 	dst = binary.AppendUvarint(dst, uint64(start))
-	dst = binary.AppendUvarint(dst, uint64(len(ops)))
-	for i := range ops {
-		var err error
-		dst, err = update.AppendOp(dst, ops[i])
-		if err != nil {
-			return dst, fmt.Errorf("wal: batch op %d: %w", i, err)
-		}
+	dst, err := update.AppendOps(dst, ops)
+	if err != nil {
+		return dst, fmt.Errorf("wal: %w", err)
 	}
 	return dst, nil
 }
 
 // decodeBatch parses a record payload. The payload passed CRC, but a
 // hostile or version-skewed file can still frame garbage, so every
-// count is validated and trailing bytes are an error.
+// count is validated (update.DecodeOps' caps) and trailing bytes are an
+// error.
 func decodeBatch(payload []byte) (start int64, ops []update.Op, err error) {
 	s, w := binary.Uvarint(payload)
 	if w <= 0 || s > 1<<62 {
 		return 0, nil, fmt.Errorf("wal: bad batch start position")
 	}
-	off := w
-	n, w := binary.Uvarint(payload[off:])
-	if w <= 0 {
-		return 0, nil, fmt.Errorf("wal: torn batch op count")
+	ops, used, err := update.DecodeOps(payload[w:])
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: %w", err)
 	}
-	if n == 0 || n > maxBatchOps {
-		return 0, nil, fmt.Errorf("wal: batch op count %d out of range", n)
-	}
-	off += w
-	ops = make([]update.Op, 0, min(int(n), 1024))
-	for i := uint64(0); i < n; i++ {
-		op, used, err := update.DecodeOp(payload[off:])
-		if err != nil {
-			return 0, nil, fmt.Errorf("wal: batch op %d: %w", i, err)
-		}
-		off += used
-		ops = append(ops, op)
-	}
-	if off != len(payload) {
-		return 0, nil, fmt.Errorf("wal: %d trailing bytes after batch", len(payload)-off)
+	if w+used != len(payload) {
+		return 0, nil, fmt.Errorf("wal: %d trailing bytes after batch", len(payload)-w-used)
 	}
 	return int64(s), ops, nil
 }

@@ -52,11 +52,13 @@ package sltgrammar
 
 import (
 	"io"
+	"net"
 
 	"repro/internal/core"
 	"repro/internal/grammar"
 	"repro/internal/isolate"
 	"repro/internal/navigate"
+	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/treerepair"
 	"repro/internal/udc"
@@ -126,6 +128,18 @@ type (
 	// FsyncInterval (bounded loss window), or FsyncOff (the OS decides;
 	// a clean Close still loses nothing).
 	FsyncPolicy = wal.FsyncPolicy
+	// Server is the network serving front-end over a ShardedStore: a
+	// CRC-framed binary wire protocol (the write-ahead log's record
+	// framing, carrying the update-op codec for writes and the grammar
+	// codec for snapshot reads) over TCP, one goroutine per connection,
+	// hostile-input hardened exactly like the WAL decoder. See
+	// repro/internal/server for the frame and message formats.
+	Server = server.Server
+	// ServerClient is the synchronous wire client of a Server: Open,
+	// Apply (acked update batches), PointQuery, CountLabel,
+	// Snapshot/SnapshotBytes, Quiesce. One request in flight per
+	// client; open one per worker for parallel load.
+	ServerClient = server.Client
 )
 
 // Fsync policies for Durability.
@@ -185,6 +199,24 @@ func NewShardedStore(shards int, cfg ...StoreConfig) *ShardedStore {
 func OpenShardedStore(shards int, cfg StoreConfig) (*ShardedStore, error) {
 	return store.OpenSharded(shards, cfg)
 }
+
+// Serve starts serving ss over ln (typically a TCP listener) and
+// returns immediately. The returned Server owns the listener; its
+// Close stops accepting, closes live connections, and drains the
+// per-connection goroutines — the ShardedStore itself stays open and
+// is still the caller's to Close:
+//
+//	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+//	srv := sltgrammar.Serve(ln, ss)
+//	defer srv.Close()
+//	cl, _ := sltgrammar.DialServer(srv.Addr().String())
+//	_ = cl.Apply("doc-1", ops)          // acked update batch
+//	n, _ := cl.CountLabel("doc-1", "item")
+//	_ = n
+func Serve(ln net.Listener, ss *ShardedStore) *Server { return server.Serve(ln, ss) }
+
+// DialServer connects a ServerClient to a Server's TCP address.
+func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
 
 // NewCursor returns a cursor at the root of the derived tree. Every move
 // costs time proportional to the grammar's nesting depth, never to the
