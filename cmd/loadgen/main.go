@@ -11,6 +11,13 @@
 //	loadgen -corpus XM -docs 4 -conns 2 -ops 200 -batch 10
 //	loadgen -corpus EW -docs 8 -conns 4 -wal /tmp/fleet
 //	loadgen -addr 127.0.0.1:7070 -corpus XM -docs 4 -conns 4
+//	loadgen -corpus XM -docs 4 -conns 2 -chaos
+//
+// With -chaos the replay goes through a fault-injecting proxy
+// (internal/netchaos: latency, stalls, torn writes, mid-frame resets
+// on a seeded schedule) using exactly-once retrying clients, and the
+// summary reports the retry/reconnect/timeout counters plus the faults
+// injected — a one-command smoke of the fault-tolerant serving path.
 //
 // Documents are the examples' pinned corpus sessions (deterministic
 // per -seed); the schedule interleaves their update streams with
@@ -24,10 +31,12 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	sltgrammar "repro"
 	"repro/internal/examples"
 	"repro/internal/loadgen"
+	"repro/internal/netchaos"
 	"repro/internal/update"
 	"repro/internal/workload"
 )
@@ -45,6 +54,7 @@ func main() {
 		shards = flag.Int("shards", 4, "shard count of the in-process fleet (ignored with -addr)")
 		wal    = flag.String("wal", "", "serve the in-process fleet durably under this directory (ignored with -addr)")
 		scale  = flag.Float64("scale", 0.08, "corpus scale of the generated documents")
+		chaos  = flag.Bool("chaos", false, "replay through a fault-injecting proxy with exactly-once retrying clients")
 	)
 	flag.Parse()
 
@@ -94,7 +104,29 @@ func main() {
 	}
 	sched := workload.ZipfFleet(streams, *batch, *skew, *seed)
 
-	rep, err := loadgen.Run(loadgen.Config{Addr: target, Conns: *conns, IDs: ids, Schedule: sched})
+	runCfg := loadgen.Config{Addr: target, Conns: *conns, IDs: ids, Schedule: sched}
+	var proxy *netchaos.Proxy
+	if *chaos {
+		proxy, err = netchaos.NewProxy(target, netchaos.Config{
+			Seed:         *seed,
+			Latency:      200 * time.Microsecond,
+			StallEvery:   9,
+			Stall:        2 * time.Millisecond,
+			CutBytes:     4096,
+			CutBytesBack: 64,
+			MaxCuts:      8 * *conns,
+			TearWrites:   true,
+		})
+		if err != nil {
+			fail(err)
+		}
+		defer proxy.Close()
+		runCfg.Addr = proxy.Addr()
+		runCfg.Retry = &sltgrammar.RetryConfig{Timeout: 10 * time.Second, Seed: *seed}
+		fmt.Printf("loadgen: chaos proxy %s -> %s\n", proxy.Addr(), target)
+	}
+
+	rep, err := loadgen.Run(runCfg)
 	if err != nil {
 		fail(err)
 	}
@@ -106,6 +138,13 @@ func main() {
 	fmt.Printf("applied:  %d ops in %d batches over %v\n", rep.Ops, rep.Batches, rep.Elapsed.Round(1e5))
 	fmt.Printf("throughput: %.0f ops/s\n", rep.Throughput())
 	fmt.Printf("latency:  p50 %v, p99 %v per batch\n", rep.P50, rep.P99)
+	if *chaos {
+		cs := proxy.Stats()
+		fmt.Printf("retry:    %d retries, %d reconnects, %d timeouts\n",
+			rep.Retry.Retries, rep.Retry.Reconnects, rep.Retry.Timeouts)
+		fmt.Printf("chaos:    %d resets, %d stalls, %d torn writes, %d delayed writes\n",
+			cs.Cuts, cs.Stalls, cs.Tears, cs.Delays)
+	}
 	if ss != nil {
 		agg := ss.Stats()
 		if line := examples.DurabilityLine(agg); line != "" {

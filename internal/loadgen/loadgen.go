@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/update"
 	"repro/internal/workload"
 )
 
@@ -31,6 +32,13 @@ type Config struct {
 	IDs []string
 	// Schedule is the batch sequence to replay (e.g. workload.ZipfFleet).
 	Schedule []workload.FleetBatch
+	// Retry, when non-nil, replays through exactly-once RetryClients
+	// instead of plain Clients: sequence-stamped applies, reconnect
+	// with backoff through transport faults (for runs against a chaos
+	// proxy or a server that drains mid-run). Addr and per-connection
+	// seeds are filled in from this Config; the counters land in
+	// Report.Retry.
+	Retry *server.RetryConfig
 }
 
 // Report is the outcome of a run.
@@ -47,6 +55,9 @@ type Report struct {
 	// aggregating multiple runs (the benchsuite) can merge distributions
 	// instead of averaging quantiles.
 	Latencies []time.Duration
+	// Retry sums the fault-handling counters over all connections when
+	// the run used Config.Retry (zero otherwise).
+	Retry server.RetryStats
 }
 
 // Throughput returns applied update ops per second.
@@ -95,8 +106,28 @@ func Run(cfg Config) (Report, error) {
 		c := fb.Doc % conns
 		parts[c] = append(parts[c], fb)
 	}
-	clients := make([]*server.Client, conns)
+	// Plain Client and RetryClient share the Apply surface the replay
+	// loop needs.
+	type applier interface {
+		Apply(id string, ops []update.Op) error
+		Close() error
+	}
+	clients := make([]applier, conns)
+	retriers := make([]*server.RetryClient, 0, conns)
 	for c := range clients {
+		if cfg.Retry != nil {
+			rcfg := *cfg.Retry
+			rcfg.Addr = cfg.Addr
+			rcfg.Seed += int64(c) // decorrelate the backoff jitter per connection
+			rc, err := server.DialRetry(rcfg)
+			if err != nil {
+				return rep, fmt.Errorf("loadgen: conn %d: %w", c, err)
+			}
+			defer rc.Close()
+			clients[c] = rc
+			retriers = append(retriers, rc)
+			continue
+		}
 		cl, err := server.Dial(cfg.Addr)
 		if err != nil {
 			return rep, fmt.Errorf("loadgen: conn %d: %w", c, err)
@@ -144,5 +175,11 @@ func Run(cfg Config) (Report, error) {
 	sort.Slice(rep.Latencies, func(i, j int) bool { return rep.Latencies[i] < rep.Latencies[j] })
 	rep.P50 = Quantile(rep.Latencies, 0.50)
 	rep.P99 = Quantile(rep.Latencies, 0.99)
+	for _, rc := range retriers {
+		st := rc.Stats()
+		rep.Retry.Retries += st.Retries
+		rep.Retry.Reconnects += st.Reconnects
+		rep.Retry.Timeouts += st.Timeouts
+	}
 	return rep, nil
 }

@@ -1,0 +1,280 @@
+// Package netchaos is the network fault-injection harness: net.Conn
+// and net.Listener wrappers — and a TCP proxy built from them — that
+// perturb traffic from a seeded schedule: added latency, write stalls,
+// torn writes (one frame delivered as many small segments), and
+// mid-frame connection resets on a byte budget. It is the network
+// analogue of the write-ahead log's wal.Injector: the same repo-wide
+// testing doctrine (differential replay under injected faults, byte
+// convergence as the oracle) pointed at the serving path instead of
+// the disk.
+//
+// Faults are injected on the WRITE side of a wrapped connection, which
+// covers both directions of a proxied stream: the client→server pump
+// tears and cuts requests (the server sees torn frames and resets
+// mid-request), the server→client pump tears and cuts responses — and
+// a response-side cut always lands between apply and ack, the exact
+// window exactly-once retry exists for.
+//
+// Schedules are seeded: the same Config.Seed yields the same per-
+// connection fault plan, modulo goroutine scheduling. MaxCuts bounds
+// the total injected resets so a retrying workload always terminates.
+package netchaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config is one injector's fault schedule.
+type Config struct {
+	// Seed derives every per-connection random schedule (0 is a valid,
+	// fixed seed).
+	Seed int64
+	// Latency, when > 0, delays each write by a uniform duration in
+	// [0, Latency].
+	Latency time.Duration
+	// StallEvery, when > 0, freezes every Nth write for Stall — the
+	// slow-peer shape the server's deadlines exist to shed.
+	StallEvery int
+	// Stall is the freeze duration (default 50ms when StallEvery > 0).
+	Stall time.Duration
+	// CutBytes, when > 0, is the mean byte budget between injected
+	// resets on one connection: once a connection has carried roughly
+	// this many bytes, a write is truncated mid-buffer and the
+	// connection closed — a torn frame on the wire, exactly like a
+	// crashed peer or a dropped route.
+	CutBytes int64
+	// CutBytesBack, when > 0, is a separate budget for a Proxy's
+	// response direction. Responses (acks) are an order of magnitude
+	// smaller than requests, so without a smaller budget a reset would
+	// almost never land in the apply-to-ack window — the window
+	// exactly-once retry exists for. 0 uses CutBytes.
+	CutBytesBack int64
+	// MaxCuts caps the total resets across the injector (0 = no cuts).
+	// Retrying clients make progress between cuts, so the cap bounds
+	// the whole chaos run.
+	MaxCuts int
+	// TearWrites, when true, splits each write into several smaller
+	// writes, so frame boundaries and segment boundaries decouple.
+	TearWrites bool
+}
+
+// Stats counts what an Injector actually did.
+type Stats struct {
+	// Conns is how many connections were wrapped.
+	Conns int64
+	// Cuts is how many connections were reset mid-write.
+	Cuts int64
+	// Stalls, Tears, and Delays count the non-fatal perturbations.
+	Stalls int64
+	Tears  int64
+	Delays int64
+	// Bytes is the total payload carried through wrapped writes
+	// (including the truncated prefixes of cut writes).
+	Bytes int64
+}
+
+// Injector hands out chaos-wrapped connections sharing one seeded
+// schedule and one global cut budget.
+type Injector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	next  int64 // per-connection seed counter
+	cuts  int
+	stats Stats
+}
+
+// New returns an Injector for cfg.
+func New(cfg Config) *Injector {
+	if cfg.StallEvery > 0 && cfg.Stall == 0 {
+		cfg.Stall = 50 * time.Millisecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// grantCut consumes one unit of the global cut budget; false once
+// MaxCuts is exhausted (the connection then runs clean).
+func (in *Injector) grantCut() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.MaxCuts <= 0 || in.cuts >= in.cfg.MaxCuts {
+		return false
+	}
+	in.cuts++
+	in.stats.Cuts++
+	return true
+}
+
+// Wrap returns c with the injector's faults applied to its writes.
+// Each wrapped connection gets its own rng stream derived from the
+// seed, so schedules are reproducible per accept order.
+func (in *Injector) Wrap(c net.Conn) net.Conn {
+	return in.wrapBudget(c, in.cfg.CutBytes)
+}
+
+// wrapBudget is Wrap with a per-connection cut budget (the proxy's
+// response direction runs a smaller one).
+func (in *Injector) wrapBudget(c net.Conn, cutBytes int64) net.Conn {
+	in.mu.Lock()
+	seed := in.cfg.Seed + 0x9e3779b9*in.next
+	in.next++
+	in.stats.Conns++
+	in.mu.Unlock()
+	cc := &conn{Conn: c, in: in, cutBytes: cutBytes, rng: rand.New(rand.NewSource(seed))}
+	cc.armCut()
+	return cc
+}
+
+// WrapListener returns ln with every accepted connection wrapped.
+func (in *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Wrap(c), nil
+}
+
+// conn injects the schedule on writes. Reads pass through — in a
+// proxied stream each direction is somebody's write side.
+type conn struct {
+	net.Conn
+	in       *Injector
+	rng      *rand.Rand
+	cutBytes int64
+
+	mu     sync.Mutex
+	writes int64
+	budget int64 // bytes until the next cut attempt; <0 = none armed
+}
+
+// armCut draws the byte budget to the next cut: uniform in
+// [cutBytes/2, 3*cutBytes/2], so cuts neither synchronize across
+// connections nor drift unboundedly late.
+func (c *conn) armCut() {
+	cb := c.cutBytes
+	if cb <= 0 || c.in.cfg.MaxCuts <= 0 {
+		c.budget = -1
+		return
+	}
+	c.budget = cb/2 + c.rng.Int63n(cb+1)
+}
+
+// plan decides, under the connection mutex (the rng is not
+// goroutine-safe), what this write suffers. tearAt are the split
+// points of a torn write, strictly increasing, exclusive of 0 and n.
+func (c *conn) plan(n int) (delay, stall time.Duration, cutAt int, tearAt []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cfg := &c.in.cfg
+	c.writes++
+	if cfg.Latency > 0 {
+		delay = time.Duration(c.rng.Int63n(int64(cfg.Latency) + 1))
+	}
+	if cfg.StallEvery > 0 && c.writes%int64(cfg.StallEvery) == 0 {
+		stall = cfg.Stall
+	}
+	cutAt = -1
+	if c.budget >= 0 {
+		if int64(n) >= c.budget {
+			// The budget expires inside this write: cut mid-buffer —
+			// mid-frame, when the buffer is a frame — if the global
+			// budget still grants it.
+			if c.in.grantCut() {
+				cutAt = int(c.budget)
+				if cutAt > n {
+					cutAt = n
+				}
+			}
+			c.armCut()
+		} else {
+			c.budget -= int64(n)
+		}
+	}
+	if cfg.TearWrites && n > 1 {
+		for i := 1 + c.rng.Intn(3); i > 0; i-- {
+			at := 1 + c.rng.Intn(n-1)
+			tearAt = append(tearAt, at)
+		}
+		sortInts(tearAt)
+	}
+	return delay, stall, cutAt, tearAt
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func (c *conn) bump(stalls, tears, delays, bytes int64) {
+	c.in.mu.Lock()
+	c.in.stats.Stalls += stalls
+	c.in.stats.Tears += tears
+	c.in.stats.Delays += delays
+	c.in.stats.Bytes += bytes
+	c.in.mu.Unlock()
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	delay, stall, cutAt, tearAt := c.plan(len(b))
+	var nStall, nTear, nDelay int64
+	if delay > 0 {
+		nDelay++
+		time.Sleep(delay)
+	}
+	if stall > 0 {
+		nStall++
+		time.Sleep(stall)
+	}
+	if cutAt >= 0 {
+		// Deliver a prefix, then reset: the peer sees a torn frame and
+		// a dead connection — the injected fault exactly-once retry
+		// must absorb.
+		n, _ := c.Conn.Write(b[:cutAt])
+		c.Conn.Close()
+		c.bump(nStall, nTear, nDelay, int64(n))
+		return n, fmt.Errorf("netchaos: injected reset after %d of %d bytes", n, len(b))
+	}
+	if len(tearAt) > 0 {
+		nTear++
+		written := 0
+		for _, at := range append(tearAt, len(b)) {
+			if at <= written {
+				continue
+			}
+			n, err := c.Conn.Write(b[written:at])
+			written += n
+			if err != nil {
+				c.bump(nStall, nTear, nDelay, int64(written))
+				return written, err
+			}
+		}
+		c.bump(nStall, nTear, nDelay, int64(written))
+		return written, nil
+	}
+	n, err := c.Conn.Write(b)
+	c.bump(nStall, nTear, nDelay, int64(n))
+	return n, err
+}

@@ -1,0 +1,116 @@
+package netchaos
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is a chaos TCP proxy: it accepts connections on its own
+// loopback listener, dials the target for each, and pumps bytes both
+// ways through chaos-wrapped writers — so requests tear and reset on
+// their way to the server, and responses (the acks exactly-once retry
+// protects) tear and reset on their way back. Clients dial
+// Proxy.Addr() instead of the server; everything else is unchanged.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	inj    *Injector
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a chaos proxy in front of target (a TCP address)
+// with cfg's fault schedule.
+func NewProxy(target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, inj: New(cfg), conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's dial target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats returns the injector's fault counters.
+func (p *Proxy) Stats() Stats { return p.inj.Stats() }
+
+// Close stops the proxy and severs every proxied connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	err := p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		cc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		sc, err := net.Dial("tcp", p.target)
+		if err != nil {
+			cc.Close()
+			continue
+		}
+		if !p.track(cc) || !p.track(sc) {
+			cc.Close()
+			sc.Close()
+			return
+		}
+		// Each direction is one pump writing through its own chaos
+		// wrapper; a fault in either direction severs both ends, like a
+		// real mid-path reset. The response direction cuts on its own
+		// (smaller) budget so resets also land between apply and ack.
+		back := p.inj.cfg.CutBytesBack
+		if back <= 0 {
+			back = p.inj.cfg.CutBytes
+		}
+		chaosToServer := p.inj.Wrap(sc)
+		chaosToClient := p.inj.wrapBudget(cc, back)
+		p.wg.Add(2)
+		go p.pump(chaosToServer, cc, cc, sc)
+		go p.pump(chaosToClient, sc, cc, sc)
+	}
+}
+
+// pump copies src into the chaos-wrapped dst until either side dies,
+// then severs the pair.
+func (p *Proxy) pump(dst io.Writer, src net.Conn, cc, sc net.Conn) {
+	defer p.wg.Done()
+	io.Copy(dst, src) //nolint:errcheck — any error means the pair is done
+	cc.Close()
+	sc.Close()
+	p.forget(cc)
+	p.forget(sc)
+}

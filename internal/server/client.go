@@ -4,27 +4,44 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/grammar"
 	"repro/internal/update"
 )
 
+// ErrGoAway reports that the server is draining: it answered (or
+// interrupted) the connection with a GoAway frame. The connection is
+// dead; reconnect — typically after the drain completes elsewhere —
+// and resume. RetryClient does this automatically.
+var ErrGoAway = errors.New("server: connection draining (go away)")
+
 // Client is a synchronous connection to a Server: one request in
 // flight at a time, responses matched by order. It is safe for
 // concurrent use (calls serialize on the connection); for parallel
 // load, open one Client per worker — that is what cmd/loadgen does.
+//
+// A Client latches the first transport-level failure (connection
+// error, timeout, desynchronized or torn response, GoAway): the
+// connection closes immediately and every later call fails fast with
+// the same error, because after a transport fault the request/response
+// pairing on the stream can no longer be trusted. Application errors
+// (*RemoteError) do not latch — the stream stayed framed and healthy.
 type Client struct {
-	mu  sync.Mutex
-	c   net.Conn
-	br  *bufio.Reader
-	bw  *bufio.Writer
-	req []byte // request payload assembly
-	out []byte // framed request bytes
-	in  []byte // response frame scratch
+	mu      sync.Mutex
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	timeout time.Duration // per-call deadline, 0 = none
+	err     error         // sticky transport fault
+	req     []byte        // request payload assembly
+	out     []byte        // framed request bytes
+	in      []byte        // response frame scratch
 }
 
 // Dial connects to a Server at addr (a TCP address).
@@ -45,36 +62,89 @@ func NewClient(c net.Conn) *Client {
 	}
 }
 
+// SetTimeout sets the per-call deadline: each request/response round
+// trip must complete within d or the call fails (and the failure
+// latches — a timed-out connection may deliver the stale response
+// later, so it cannot be reused). 0 disables.
+func (cl *Client) SetTimeout(d time.Duration) {
+	cl.mu.Lock()
+	cl.timeout = d
+	cl.mu.Unlock()
+}
+
+// Err returns the latched transport fault, nil while the connection is
+// healthy.
+func (cl *Client) Err() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.err
+}
+
 // Close closes the connection.
 func (cl *Client) Close() error {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	if cl.err == nil {
+		cl.err = errors.New("server: client closed")
+	}
 	return cl.c.Close()
+}
+
+// finish classifies err at the end of a call while holding cl.mu:
+// application errors pass through (the connection keeps serving),
+// anything else latches and closes the connection.
+func (cl *Client) finish(err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return err
+	}
+	if cl.err == nil {
+		cl.err = err
+		cl.c.Close()
+	}
+	return err
 }
 
 // roundTrip frames and sends the payload in cl.req, then reads one
 // response frame. The returned kind/body alias cl.in — callers copy
-// what they keep, while still holding cl.mu.
+// what they keep, while still holding cl.mu. Transport faults latch
+// here; the caller wraps its own error handling in cl.finish for the
+// desync cases it detects (unexpected response types).
 func (cl *Client) roundTrip() (kind byte, body []byte, err error) {
+	if cl.err != nil {
+		return 0, nil, fmt.Errorf("server: client unusable after: %w", cl.err)
+	}
+	if cl.timeout > 0 {
+		cl.c.SetDeadline(time.Now().Add(cl.timeout))
+	}
 	var werr error
 	cl.out, werr = writeFrame(cl.bw, cl.out, cl.req)
 	if werr != nil {
-		return 0, nil, werr
+		return 0, nil, cl.finish(werr)
 	}
 	if err := cl.bw.Flush(); err != nil {
-		return 0, nil, err
+		return 0, nil, cl.finish(err)
 	}
 	payload, grown, err := readFrame(cl.br, cl.in)
 	cl.in = grown
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, cl.finish(err)
 	}
-	return parseResponse(payload)
+	kind, body, err = parseResponse(payload)
+	if kind == respGoAway {
+		err = ErrGoAway
+	}
+	return kind, body, cl.finish(err)
 }
 
+// expect checks the response type; a mismatch means the stream is
+// desynchronized, which is a latching fault.
 func (cl *Client) expect(kind byte, want byte) error {
 	if kind != want {
-		return fmt.Errorf("server: unexpected response type 0x%02x (want 0x%02x)", kind, want)
+		return cl.finish(fmt.Errorf("server: unexpected response type 0x%02x (want 0x%02x)", kind, want))
 	}
 	return nil
 }
@@ -106,6 +176,15 @@ func (cl *Client) Open(id string, g *grammar.Grammar) error {
 // when Apply returns nil, the batch has been applied (and, on a
 // durable fleet, journaled per the store's fsync policy).
 func (cl *Client) Apply(id string, ops []update.Op) error {
+	return cl.ApplySeq(id, ops, 0)
+}
+
+// ApplySeq is Apply stamped with a client batch sequence (> 0): the
+// server acks a batch it has already applied under the same sequence
+// without re-applying it, so a retry after a lost ack is exactly-once.
+// Sequences are per document and must increase by exactly 1 per new
+// batch; a gap is refused. seq 0 sends an unsequenced Apply.
+func (cl *Client) ApplySeq(id string, ops []update.Op, seq uint64) error {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	var err error
@@ -117,11 +196,39 @@ func (cl *Client) Apply(id string, ops []update.Op) error {
 	if err != nil {
 		return err
 	}
+	if seq > 0 {
+		cl.req = binary.AppendUvarint(cl.req, seq)
+	}
 	kind, _, err := cl.roundTrip()
 	if err != nil {
 		return err
 	}
 	return cl.expect(kind, respOK)
+}
+
+// LastSeq returns the server's exactly-once watermark for document id:
+// the sequence of the last applied sequenced batch (0 = none yet). A
+// reconnecting client resumes its sequence chain from here.
+func (cl *Client) LastSeq(id string) (uint64, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var err error
+	cl.req, err = appendRequestHeader(cl.req[:0], reqLastSeq, id)
+	if err != nil {
+		return 0, err
+	}
+	kind, body, err := cl.roundTrip()
+	if err != nil {
+		return 0, err
+	}
+	if err := cl.expect(kind, respSeq); err != nil {
+		return 0, err
+	}
+	seq, w := binary.Uvarint(body)
+	if w <= 0 || w != len(body) {
+		return 0, cl.finish(fmt.Errorf("server: bad sequence response"))
+	}
+	return seq, nil
 }
 
 // PointQuery returns the label at preorder index pre of document id.
@@ -147,7 +254,7 @@ func (cl *Client) PointQuery(id string, pre int64) (string, error) {
 	n := 0
 	label, err := readWireString(body, &n, update.MaxOpLabel)
 	if err != nil {
-		return "", fmt.Errorf("server: decode label response: %w", err)
+		return "", cl.finish(fmt.Errorf("server: decode label response: %w", err))
 	}
 	return label, nil
 }
@@ -170,7 +277,7 @@ func (cl *Client) CountLabel(id, label string) (float64, error) {
 		return 0, err
 	}
 	if len(body) != 8 {
-		return 0, fmt.Errorf("server: count response of %d bytes", len(body))
+		return 0, cl.finish(fmt.Errorf("server: count response of %d bytes", len(body)))
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(body)), nil
 }

@@ -1,0 +1,470 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/update"
+	"repro/internal/wal"
+)
+
+// syncCounter is a pass-through wal.Injector that counts WAL fsyncs,
+// so a test can prove Drain forced the sync a relaxed fsync policy
+// would otherwise skip.
+type syncCounter struct{ walSyncs atomic.Int64 }
+
+func (s *syncCounter) Inject(file wal.FileKind, op wal.OpKind, p []byte) (int, error) {
+	if op == wal.OpSync && file == wal.FileWAL {
+		s.walSyncs.Add(1)
+	}
+	return len(p), nil
+}
+
+// TestDrainAckedWritesSurviveKill is the drain-then-kill-then-reopen
+// pin: a durable fleet under FsyncOff (no fsync on the ack path at
+// all) serves acked batches, Drain runs, the process "dies" (the fleet
+// is abandoned without Close), and a reopen from disk must serve every
+// acked batch byte for byte — because Drain force-synced the WAL
+// tails, observed here via the injected sync counter.
+func TestDrainAckedWritesSurviveKill(t *testing.T) {
+	sess := sessions(t, 2, 40)
+	dir := t.TempDir()
+	inj := &syncCounter{}
+	cfg := store.Config{Ratio: -1, Durability: &store.Durability{
+		Dir: dir, Fsync: wal.FsyncOff, Injector: inj,
+	}}
+
+	ss, err := store.OpenSharded(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve(t, ss)
+	cl := dial(t, srv)
+	want := make(map[string][]byte)
+	for _, s := range sess {
+		if err := cl.Open(s.id, s.g); err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < len(s.ops); off += testBatch {
+			end := min(off+testBatch, len(s.ops))
+			if err := cl.Apply(s.id, s.ops[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := cl.SnapshotBytes(s.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[s.id] = snap
+	}
+
+	before := inj.walSyncs.Load()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := inj.walSyncs.Load(); got <= before {
+		t.Fatalf("drain did not force a WAL sync (count %d before, %d after)", before, got)
+	}
+
+	// Kill: the fleet is abandoned without Close — nothing past Drain's
+	// sync ever reaches disk. Reopen from the directory alone.
+	ss2, err := store.OpenSharded(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss2.Close()
+	for _, s := range sess {
+		g, err := ss2.Snapshot(s.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := encodedGrammar(t, g); !bytes.Equal(got, want[s.id]) {
+			t.Fatalf("doc %s: reopened snapshot differs from acked pre-drain state (%d vs %d bytes)",
+				s.id, len(got), len(want[s.id]))
+		}
+	}
+}
+
+// TestDrainGoAwayAndClientLatch pins the idle-connection drain path
+// and the client's sticky-error latch: an idle client receives GoAway,
+// its next call fails with ErrGoAway, and every call after that fails
+// fast on the latched error without touching the wire.
+func TestDrainGoAwayAndClientLatch(t *testing.T) {
+	ss := store.NewSharded(1, store.Config{Ratio: -1})
+	defer ss.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, ss)
+	cl := dial(t, srv)
+	if err := cl.Quiesce(); err != nil { // connection established and healthy
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// The GoAway frame was flushed to this idle connection before it
+	// closed: it is sitting in the receive buffer.
+	kind, _, err := cl.roundTripRead(t)
+	if err != nil || kind != respGoAway {
+		t.Fatalf("idle connection did not receive GoAway: kind=0x%02x err=%v", kind, err)
+	}
+	// The next call hits the dead connection and latches (as GoAway or
+	// as the reset, whichever the kernel surfaces first)...
+	if err := cl.Quiesce(); err == nil {
+		t.Fatal("call on a drained connection succeeded")
+	}
+	if cl.Err() == nil {
+		t.Fatal("transport fault did not latch")
+	}
+	// ...and every call after that fails fast on the latch, without
+	// touching the wire again.
+	err = cl.Quiesce()
+	if err == nil || !strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("fail-fast error does not name the latch: %v", err)
+	}
+}
+
+// TestDrainFlushesInFlightAck pins the busy-connection drain path: a
+// request whose first byte arrived before Drain is fully served — the
+// ack flushes, then GoAway, then close — even though the rest of the
+// frame arrives mid-drain.
+func TestDrainFlushesInFlightAck(t *testing.T) {
+	sess := sessions(t, 1, 10)
+	s := sess[0]
+	ss := store.NewSharded(1, store.Config{Ratio: -1})
+	defer ss.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, ss)
+	defer srv.Close()
+	cl := dial(t, srv)
+	if err := cl.Open(s.id, s.g); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-feed an Apply frame byte by byte: first byte before the
+	// drain (the server marks the connection busy), the rest after the
+	// drain has begun.
+	payload, err := appendRequestHeader(nil, reqApply, s.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err = update.AppendOps(payload, s.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := AppendFrame(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write(frame[:1]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // server peeks the byte, marks busy
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+	time.Sleep(100 * time.Millisecond) // drain sees the busy connection
+	if _, err := c.Write(frame[1:]); err != nil {
+		t.Fatalf("finishing the in-flight frame: %v", err)
+	}
+
+	// The ack must arrive, then GoAway, then EOF.
+	rc := NewClient(c) // reuse the frame reader; ownership of c is shared with the defer above
+	kind, _, err := rc.roundTripRead(t)
+	if err != nil || kind != respOK {
+		t.Fatalf("in-flight request not acked across drain: kind=0x%02x err=%v", kind, err)
+	}
+	kind, _, err = rc.roundTripRead(t)
+	if err != nil || kind != respGoAway {
+		t.Fatalf("no GoAway after the flushed ack: kind=0x%02x err=%v", kind, err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// The acked batch is in the store.
+	g, err := ss.Snapshot(s.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := store.NewSharded(1, store.Config{Ratio: -1})
+	defer direct.Close()
+	if _, err := direct.Open(s.id, s.g.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.ApplyAll(s.id, s.ops); err != nil {
+		t.Fatal(err)
+	}
+	dg, err := direct.Snapshot(s.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodedGrammar(t, g), encodedGrammar(t, dg)) {
+		t.Fatal("batch acked across drain is not in the store")
+	}
+}
+
+// roundTripRead reads one response frame off a raw client (test helper
+// for hand-fed frames).
+func (cl *Client) roundTripRead(t *testing.T) (byte, []byte, error) {
+	t.Helper()
+	payload, grown, err := readFrame(cl.br, cl.in)
+	cl.in = grown
+	if err != nil {
+		return 0, nil, err
+	}
+	return parseResponse(payload)
+}
+
+// dropListener wraps a listener so the Nth write the server issues (on
+// any accepted connection, counted globally) is swallowed and the
+// connection reset — a deterministic ack drop landing exactly between
+// apply and ack.
+type dropListener struct {
+	net.Listener
+	ctr    *atomic.Int32
+	dropAt int32
+}
+
+func (l *dropListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &dropConn{Conn: c, ctr: l.ctr, dropAt: l.dropAt}, nil
+}
+
+type dropConn struct {
+	net.Conn
+	ctr    *atomic.Int32
+	dropAt int32
+}
+
+func (c *dropConn) Write(b []byte) (int, error) {
+	if c.ctr.Add(1) == c.dropAt {
+		c.Conn.Close()
+		return 0, errors.New("injected ack drop")
+	}
+	return c.Conn.Write(b)
+}
+
+// TestRetryExactlyOnceAckDrop is the deterministic exactly-once pin:
+// the server's write of one Apply ack is dropped AFTER the batch was
+// applied, the RetryClient reconnects and re-sends the same sequence,
+// and the server must dup-ack without re-applying — the final state
+// matches a clean direct replay byte for byte, with exactly one
+// duplicate counted.
+func TestRetryExactlyOnceAckDrop(t *testing.T) {
+	sess := sessions(t, 1, 60)
+	s := sess[0]
+	ss := store.NewSharded(1, store.Config{Ratio: -1})
+	defer ss.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writes atomic.Int32
+	// Server writes on the retrying connection: #1 answers LastSeq,
+	// #2 acks batch 1, #3 acks batch 2 — dropped, after the apply.
+	srv := Serve(&dropListener{Listener: ln, ctr: &writes, dropAt: 3}, ss)
+	defer srv.Close()
+
+	cl := dial(t, srv) // a plain client for Open (write #0 territory is fine:
+	// its own connection precedes the retrying one, so bump dropAt past it)
+	writes.Store(-1) // discount Open's ack so the drop lands on the apply path
+	if err := cl.Open(s.id, s.g); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, err := DialRetry(RetryConfig{Addr: srv.Addr().String(), Timeout: 5 * time.Second, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	var batches int
+	for off := 0; off < len(s.ops); off += testBatch {
+		end := min(off+testBatch, len(s.ops))
+		if err := rc.Apply(s.id, s.ops[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		batches++
+	}
+
+	st := rc.Stats()
+	if st.Retries < 1 || st.Reconnects < 1 {
+		t.Fatalf("drop did not force a retry: %+v", st)
+	}
+	ds := ss.Stats()
+	if ds.DupBatches != 1 {
+		t.Fatalf("DupBatches = %d, want exactly 1 (the dropped ack's re-send)", ds.DupBatches)
+	}
+	if seq, err := ss.LastSeq(s.id); err != nil || seq != uint64(batches) {
+		t.Fatalf("watermark %d, %v; want %d", seq, err, batches)
+	}
+
+	direct := store.NewSharded(1, store.Config{Ratio: -1})
+	defer direct.Close()
+	if _, err := direct.Open(s.id, s.g.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(s.ops); off += testBatch {
+		end := min(off+testBatch, len(s.ops))
+		if err := direct.ApplyAll(s.id, s.ops[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss.Quiesce()
+	direct.Quiesce()
+	g, err := ss.Snapshot(s.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := direct.Snapshot(s.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodedGrammar(t, g), encodedGrammar(t, dg)) {
+		t.Fatal("state after ack-drop retry differs from clean replay (double apply?)")
+	}
+}
+
+// TestCloseRacesInFlight pins Server.Close against live traffic: Close
+// may cut connections mid-call (clients see transport errors, never
+// wrong answers), every per-connection goroutine exits, and the
+// ShardedStore stays open and fully usable.
+func TestCloseRacesInFlight(t *testing.T) {
+	sess := sessions(t, 2, 30)
+	ss := store.NewSharded(2, store.Config{Ratio: -1})
+	defer ss.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	srv := Serve(ln, ss)
+	for _, s := range sess {
+		if _, err := ss.Open(s.id, s.g.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Hammer Apply and Snapshot from several connections while Close
+	// lands mid-traffic. Errors are expected (cut connections); panics,
+	// deadlocks, and goroutine leaks are not.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr().String())
+			if err != nil {
+				return
+			}
+			defer cl.Close()
+			s := sess[w%len(sess)]
+			for i := 0; ; i++ {
+				off := (i * testBatch) % len(s.ops)
+				end := min(off+testBatch, len(s.ops))
+				if err := cl.Apply(s.id, s.ops[off:end]); err != nil {
+					return
+				}
+				if _, err := cl.SnapshotBytes(s.id); err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+
+	// Every server goroutine must be gone (poll: the runtime needs a
+	// moment to reap exited goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after Close: %d > %d baseline\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The store is untouched by the front-end's death: still open, still
+	// serving.
+	s := sess[0]
+	if err := ss.ApplyAll(s.id, s.ops[:testBatch]); err != nil {
+		t.Fatalf("store unusable after server Close: %v", err)
+	}
+	if _, err := ss.Snapshot(s.id); err != nil {
+		t.Fatalf("store snapshot unusable after server Close: %v", err)
+	}
+}
+
+// TestOversizeSnapshotIsAppError pins satellite behavior: a snapshot
+// larger than one frame's payload bound comes back as an application
+// error on a live connection — the connection is NOT torn down, and
+// later calls on it keep working.
+func TestOversizeSnapshotIsAppError(t *testing.T) {
+	old := maxResponsePayload
+	maxResponsePayload = 64 // far below any real grammar encoding
+	defer func() { maxResponsePayload = old }()
+
+	sess := sessions(t, 1, 10)
+	s := sess[0]
+	ss := store.NewSharded(1, store.Config{Ratio: -1})
+	defer ss.Close()
+	srv := serve(t, ss)
+	cl := dial(t, srv)
+	if err := cl.Open(s.id, s.g); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := cl.SnapshotBytes(s.id)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("oversize snapshot returned %v, want a remote application error", err)
+	}
+	if !strings.Contains(err.Error(), "snapshot exceeds") {
+		t.Fatalf("oversize error does not say why: %v", err)
+	}
+	// Same connection, still serving: the failure did not latch or close.
+	if err := cl.Quiesce(); err != nil {
+		t.Fatalf("connection dead after oversize snapshot error: %v", err)
+	}
+	if _, err := cl.CountLabel(s.id, "item"); err != nil {
+		t.Fatalf("connection dead after oversize snapshot error: %v", err)
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 
 	"repro/internal/update"
+	"repro/internal/wal"
 	"repro/internal/xmltree"
 )
 
@@ -44,11 +46,21 @@ func FuzzFrameDecode(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(frame(ops))
+	// A sequenced apply (the exactly-once retry stamp) and its edges:
+	// a maximal in-range sequence, and the out-of-range one past it.
+	f.Add(frame(binary.AppendUvarint(ops, 7)))
+	f.Add(frame(binary.AppendUvarint(ops, wal.MaxBatchSeq)))
+	f.Add(frame(binary.AppendUvarint(ops, wal.MaxBatchSeq+1)))
 	f.Add(frame(binary.AppendUvarint(hdr(reqPointQuery, "doc-00"), 42)))
 	f.Add(frame(appendWireString(hdr(reqCountLabel, "doc-00"), "item")))
 	f.Add(frame(hdr(reqSnapshot, "doc-00")))
+	f.Add(frame(hdr(reqLastSeq, "doc-00")))
 	f.Add(frame([]byte{reqQuiesce}))
 	f.Add(frame(append(hdr(reqOpen, "doc-00"), 0xde, 0xad)))
+	// Response shapes: the drain GoAway and a watermark answer, so the
+	// response parser fuzzes from real protocol bytes too.
+	f.Add(frame([]byte{respGoAway}))
+	f.Add(frame(binary.AppendUvarint([]byte{respSeq}, 42)))
 	// Two frames back to back: exact-length consumption.
 	f.Add(append(frame([]byte{reqQuiesce}), frame(hdr(reqSnapshot, "d"))...))
 	// Edges: empty, torn length, lying length, flipped CRC.
@@ -95,6 +107,16 @@ func FuzzFrameDecode(f *testing.F) {
 			t.Fatal("frame round trip changed the payload")
 		}
 
+		// The response parser shares the payload space: it too must
+		// reject or fully validate, never panic, and a decoded error
+		// must be the RemoteError application class.
+		if _, _, rerr := parseResponse(payload); rerr != nil {
+			var re *RemoteError
+			if len(payload) > 0 && payload[0] == respErr && !errors.As(rerr, &re) {
+				t.Fatalf("respErr decoded to a non-remote error: %v", rerr)
+			}
+		}
+
 		// A frame-valid payload is still untrusted: the request parser
 		// must reject or fully validate it, never panic. A request that
 		// does decode must carry in-bounds fields.
@@ -107,6 +129,15 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 		if req.kind == reqApply && (len(req.ops) == 0 || len(req.ops) > update.MaxBatchOps) {
 			t.Fatalf("decoded apply with %d ops", len(req.ops))
+		}
+		// The sequence bound: a decoded request may never carry a
+		// sequence the WAL would refuse to journal, and only an apply
+		// may carry one at all.
+		if req.seq > wal.MaxBatchSeq {
+			t.Fatalf("decoded batch sequence %d past the bound", req.seq)
+		}
+		if req.kind != reqApply && req.seq != 0 {
+			t.Fatalf("request 0x%02x decoded with a sequence", req.kind)
 		}
 		if req.kind == reqPointQuery && req.pre < 0 {
 			t.Fatalf("decoded negative position %d", req.pre)

@@ -1,0 +1,331 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/grammar"
+	"repro/internal/update"
+)
+
+// RetryConfig tunes a RetryClient. The zero value of every field
+// selects a sane default; only Addr is required.
+type RetryConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Timeout is the per-call deadline on the underlying connection
+	// (default 10s; negative disables). A call that exceeds it counts
+	// as a transport fault: the connection is abandoned and the call
+	// retried on a fresh one.
+	Timeout time.Duration
+	// MaxAttempts caps how many times one call may hit the wire,
+	// including the first attempt (default 8; negative = unlimited —
+	// only sensible when something else bounds the outage).
+	MaxAttempts int
+	// BackoffBase is the first reconnect delay (default 10ms); it
+	// doubles per consecutive failure up to BackoffMax (default 1s),
+	// with uniform jitter over the final interval so a fleet of
+	// retrying clients does not thunder back in lockstep.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the jitter (0 selects a fixed seed; tests that need
+	// distinct schedules pass distinct seeds).
+	Seed int64
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 8
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	return c
+}
+
+// RetryStats counts a RetryClient's fault-handling work.
+type RetryStats struct {
+	// Retries is the number of re-sent calls (attempts beyond each
+	// call's first).
+	Retries int64
+	// Reconnects is the number of connections established beyond the
+	// first.
+	Reconnects int64
+	// Timeouts is the subset of transport faults that were deadline
+	// expiries.
+	Timeouts int64
+}
+
+// RetryClient wraps Client with fault tolerance: it reconnects through
+// transport failures with exponentially backed-off, jittered redials,
+// applies per-call deadlines, and stamps every Apply with a per-document
+// sequence number so a batch retried after a lost ack is applied
+// exactly once — the server acks the duplicate without re-applying.
+//
+// The sequence chain lives on the server (the store's durable
+// watermark): a fresh RetryClient first asks for the current watermark
+// and continues from it, so handoff across client restarts is safe as
+// long as one writer owns a document at a time — the same single-writer
+// ordering the underlying store requires anyway.
+//
+// Safe for concurrent use; calls serialize on the connection.
+type RetryClient struct {
+	cfg RetryConfig
+
+	mu    sync.Mutex
+	cl    *Client // nil between connections
+	rng   *rand.Rand
+	seq   map[string]uint64 // next sequence per document; absent = ask the server
+	stats RetryStats
+}
+
+// DialRetry returns a RetryClient for addr-and-policy cfg. The first
+// connection is established lazily, so DialRetry succeeds even while
+// the server is still coming up (or draining); the first call pays the
+// redial loop instead.
+func DialRetry(cfg RetryConfig) (*RetryClient, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("server: DialRetry without an address")
+	}
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &RetryClient{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(seed)),
+		seq: make(map[string]uint64),
+	}, nil
+}
+
+// Stats returns the fault-handling counters so far.
+func (rc *RetryClient) Stats() RetryStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.stats
+}
+
+// Close closes the current connection, if any. The RetryClient is
+// dead afterwards only in the sense that nobody should call it; a
+// call would just reconnect.
+func (rc *RetryClient) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.cl == nil {
+		return nil
+	}
+	err := rc.cl.Close()
+	rc.cl = nil
+	return err
+}
+
+// conn returns a healthy connection, dialing if necessary. Callers
+// hold rc.mu.
+func (rc *RetryClient) connLocked(attempt int) (*Client, error) {
+	if rc.cl != nil {
+		return rc.cl, nil
+	}
+	cl, err := Dial(rc.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if rc.cfg.Timeout > 0 {
+		cl.SetTimeout(rc.cfg.Timeout)
+	}
+	if attempt > 0 {
+		rc.stats.Reconnects++
+	}
+	rc.cl = cl
+	return cl, nil
+}
+
+// dropLocked abandons the current connection after a transport fault
+// and classifies the fault for the counters.
+func (rc *RetryClient) dropLocked(err error) {
+	if rc.cl != nil {
+		rc.cl.Close()
+		rc.cl = nil
+	}
+	var ne interface{ Timeout() bool }
+	if errors.As(err, &ne) && ne.Timeout() {
+		rc.stats.Timeouts++
+	}
+}
+
+// backoffLocked sleeps the jittered exponential delay for the given
+// 0-based failure count. The lock is released while sleeping.
+func (rc *RetryClient) backoffLocked(failures int) {
+	d := rc.cfg.BackoffBase << uint(failures)
+	if d <= 0 || d > rc.cfg.BackoffMax {
+		d = rc.cfg.BackoffMax
+	}
+	// Full jitter: uniform in [d/2, d] — enough spread to decorrelate a
+	// fleet, never less than half the intended pause.
+	d = d/2 + time.Duration(rc.rng.Int63n(int64(d/2)+1))
+	rc.mu.Unlock()
+	time.Sleep(d)
+	rc.mu.Lock()
+}
+
+// isRemote reports whether err is a definitive application answer from
+// the server (never retried) rather than a transport fault.
+func isRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// call runs fn against a live connection, retrying through transport
+// faults with reconnect and backoff. fn must be idempotent (reads) or
+// sequence-stamped (Apply). Remote errors return immediately.
+func (rc *RetryClient) call(fn func(cl *Client) error) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var lastErr error
+	for attempt := 0; rc.cfg.MaxAttempts < 0 || attempt < rc.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rc.stats.Retries++
+			rc.backoffLocked(attempt - 1)
+		}
+		cl, err := rc.connLocked(attempt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = fn(cl)
+		if err == nil || isRemote(err) {
+			return err
+		}
+		lastErr = err
+		rc.dropLocked(err)
+	}
+	return fmt.Errorf("server: %d attempts exhausted: %w", rc.cfg.MaxAttempts, lastErr)
+}
+
+// Open registers document id on the server (retrying through faults; a
+// duplicate-open remote error after a retry means the first attempt
+// landed and is reported as-is).
+func (rc *RetryClient) Open(id string, g *grammar.Grammar) error {
+	return rc.call(func(cl *Client) error { return cl.Open(id, g) })
+}
+
+// Apply sends one update batch for document id with exactly-once
+// semantics: the batch is stamped with the next sequence in the
+// document's chain, and a retry after a lost ack re-sends the same
+// sequence — the server detects the duplicate and acks without
+// re-applying. When Apply returns nil the batch has been applied
+// exactly once; when it returns a remote error the server refused it
+// definitively (and the local sequence cache resets, to be re-learned
+// from the server's watermark).
+func (rc *RetryClient) Apply(id string, ops []update.Op) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var lastErr error
+	for attempt := 0; rc.cfg.MaxAttempts < 0 || attempt < rc.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rc.stats.Retries++
+			rc.backoffLocked(attempt - 1)
+		}
+		cl, err := rc.connLocked(attempt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		seq, known := rc.seq[id]
+		if !known {
+			// New document for this client session: continue the chain
+			// from the server's durable watermark instead of guessing.
+			last, err := cl.LastSeq(id)
+			if err != nil {
+				if isRemote(err) {
+					return err
+				}
+				lastErr = err
+				rc.dropLocked(err)
+				continue
+			}
+			seq = last + 1
+		}
+		err = cl.ApplySeq(id, ops, seq)
+		if err == nil {
+			rc.seq[id] = seq + 1
+			return nil
+		}
+		if isRemote(err) {
+			// A definitive refusal — but the server may have consumed the
+			// sequence anyway (a batch that failed part-way through is
+			// logged up to the failure, watermark included). Forget the
+			// local chain; the next Apply re-learns it from the server.
+			delete(rc.seq, id)
+			return err
+		}
+		// Transport fault: the ack may be lost after the apply landed.
+		// Pin the sequence and re-send it — the server dedups.
+		rc.seq[id] = seq
+		lastErr = err
+		rc.dropLocked(err)
+	}
+	return fmt.Errorf("server: %d attempts exhausted: %w", rc.cfg.MaxAttempts, lastErr)
+}
+
+// PointQuery returns the label at preorder index pre of document id,
+// retrying through transport faults (reads are idempotent).
+func (rc *RetryClient) PointQuery(id string, pre int64) (string, error) {
+	var out string
+	err := rc.call(func(cl *Client) error {
+		var err error
+		out, err = cl.PointQuery(id, pre)
+		return err
+	})
+	return out, err
+}
+
+// CountLabel returns the occurrence count of label in document id.
+func (rc *RetryClient) CountLabel(id, label string) (float64, error) {
+	var out float64
+	err := rc.call(func(cl *Client) error {
+		var err error
+		out, err = cl.CountLabel(id, label)
+		return err
+	})
+	return out, err
+}
+
+// SnapshotBytes returns document id's current published generation in
+// the encoded grammar format.
+func (rc *RetryClient) SnapshotBytes(id string) ([]byte, error) {
+	var out []byte
+	err := rc.call(func(cl *Client) error {
+		var err error
+		out, err = cl.SnapshotBytes(id)
+		return err
+	})
+	return out, err
+}
+
+// Snapshot returns document id's current published generation as a
+// decoded grammar.
+func (rc *RetryClient) Snapshot(id string) (*grammar.Grammar, error) {
+	var out *grammar.Grammar
+	err := rc.call(func(cl *Client) error {
+		var err error
+		out, err = cl.Snapshot(id)
+		return err
+	})
+	return out, err
+}
+
+// Quiesce blocks until the server's store has no asynchronous
+// recompression in flight.
+func (rc *RetryClient) Quiesce() error {
+	return rc.call(func(cl *Client) error { return cl.Quiesce() })
+}

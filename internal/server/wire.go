@@ -6,23 +6,27 @@ import (
 	"math"
 
 	"repro/internal/update"
+	"repro/internal/wal"
 )
 
 // Message types. Requests occupy the low half of the byte, responses
 // the high half, so a stream captured in a trace is self-describing.
 const (
 	reqOpen       = 0x01 // doc string | encoded grammar (rest of payload)
-	reqApply      = 0x02 // doc string | op batch (update.AppendOps body)
+	reqApply      = 0x02 // doc string | op batch | [seq uvarint, if > 0]
 	reqPointQuery = 0x03 // doc string | pre uvarint
 	reqCountLabel = 0x04 // doc string | label string
 	reqSnapshot   = 0x05 // doc string
 	reqQuiesce    = 0x06 // (empty body)
+	reqLastSeq    = 0x07 // doc string
 
 	respOK      = 0x80 // (empty body)
 	respErr     = 0x81 // message string
 	respLabel   = 0x82 // label string
 	respCount   = 0x83 // float64 bits, LE uint64
 	respGrammar = 0x84 // encoded grammar (rest of payload)
+	respGoAway  = 0x85 // (empty body): server draining, reconnect elsewhere
+	respSeq     = 0x86 // seq uvarint
 )
 
 // Wire bounds. Frames already cap total payload size; these cap the
@@ -43,6 +47,7 @@ type request struct {
 	kind  byte
 	doc   string
 	ops   []update.Op // reqApply
+	seq   uint64      // reqApply: client batch sequence, 0 = unsequenced
 	pre   int64       // reqPointQuery
 	label string      // reqCountLabel
 	gram  []byte      // reqOpen: encoded grammar bytes
@@ -84,10 +89,20 @@ func decodeRequest(payload []byte) (request, error) {
 		if err != nil {
 			return req, fmt.Errorf("server: decode op batch: %w", err)
 		}
-		if used != len(rest) {
-			return req, fmt.Errorf("server: %d trailing bytes after op batch", len(rest)-used)
-		}
 		req.ops = ops
+		if used != len(rest) {
+			// Optional trailing batch sequence — the exactly-once retry
+			// stamp. It must consume the rest exactly, and zero may not be
+			// encoded (zero IS the absence of the field).
+			sq, sw := binary.Uvarint(rest[used:])
+			if sw <= 0 || used+sw != len(rest) {
+				return req, fmt.Errorf("server: %d trailing bytes after op batch", len(rest)-used)
+			}
+			if sq == 0 || sq > wal.MaxBatchSeq {
+				return req, fmt.Errorf("server: batch sequence %d out of range", sq)
+			}
+			req.seq = sq
+		}
 	case reqPointQuery:
 		pre, w := binary.Uvarint(rest)
 		if w <= 0 || pre > math.MaxInt64 {
@@ -107,9 +122,9 @@ func decodeRequest(payload []byte) (request, error) {
 			return req, fmt.Errorf("server: %d trailing bytes after label", len(rest)-m)
 		}
 		req.label = label
-	case reqSnapshot:
+	case reqSnapshot, reqLastSeq:
 		if len(rest) != 0 {
-			return req, fmt.Errorf("server: %d trailing bytes after snapshot request", len(rest))
+			return req, fmt.Errorf("server: %d trailing bytes after request", len(rest))
 		}
 	default:
 		return req, fmt.Errorf("server: unknown request type 0x%02x", req.kind)
@@ -162,8 +177,17 @@ func appendErrResponse(dst []byte, err error) []byte {
 	return appendWireString(dst, msg)
 }
 
+// RemoteError is an application error reported by the server over a
+// healthy connection (unknown document, invalid op position, sequence
+// gap, oversize snapshot). It is the one error class that does NOT
+// poison a Client: the connection keeps serving, and a retry layer must
+// not blindly resend — the server already gave a definitive answer.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "server: remote: " + e.Msg }
+
 // parseResponse splits a response payload into its type and body,
-// surfacing respErr as an error. The body aliases the payload.
+// surfacing respErr as a *RemoteError. The body aliases the payload.
 func parseResponse(payload []byte) (kind byte, body []byte, err error) {
 	if len(payload) == 0 {
 		return 0, nil, fmt.Errorf("server: empty response payload")
@@ -175,7 +199,7 @@ func parseResponse(payload []byte) (kind byte, body []byte, err error) {
 		if err != nil {
 			return kind, nil, fmt.Errorf("server: decode error response: %w", err)
 		}
-		return kind, nil, fmt.Errorf("server: remote: %s", msg)
+		return kind, nil, &RemoteError{Msg: msg}
 	}
 	return kind, body, nil
 }

@@ -125,6 +125,10 @@ func OpenDurable(id string, cfg Config) (*Store, error) {
 	// Replay may have launched asynchronous recompressions; they swap
 	// (or discard) on their own and never change the derived document.
 	st.attachWAL(rec.Log, d, rec.SnapshotPos)
+	// Restore the exactly-once watermark: a client retrying a batch that
+	// was applied (and logged) before the crash must be acked
+	// idempotently, not re-applied.
+	st.lastSeq = rec.LastSeq
 	st.recovered = rec.Stats
 	return st, nil
 }
@@ -144,20 +148,37 @@ func (s *Store) attachWAL(l *wal.Log, d *Durability, lastSnapPos int64) {
 	s.snapEvery = d.snapshotEvery()
 }
 
-// appendWALLocked logs the committed prefix of a batch before the ack.
-// A WAL failure means the ops are applied in memory but not durable:
-// the log (and this Store's write path) is broken until reopen, and
-// the caller must surface the WAL error — the batch was NOT acked.
-func (s *Store) appendWALLocked(ops []update.Op) error {
+// appendWALLocked logs the committed prefix of a batch — stamped with
+// its client sequence number, so the exactly-once watermark is exactly
+// as durable as the ops it covers — before the ack. A WAL failure
+// means the ops are applied in memory but not durable: the log (and
+// this Store's write path) is broken until reopen, and the caller must
+// surface the WAL error — the batch was NOT acked.
+func (s *Store) appendWALLocked(ops []update.Op, seq uint64) error {
 	if s.wl == nil || len(ops) == 0 {
 		return nil
 	}
-	if err := s.wl.AppendBatch(s.walPos, ops); err != nil {
+	if err := s.wl.AppendBatch(s.walPos, seq, ops); err != nil {
 		s.walBroken = err
 		return fmt.Errorf("store: wal append: %w", err)
 	}
 	s.walPos += int64(len(ops))
 	return nil
+}
+
+// SyncWAL forces an fsync of the document's WAL tail regardless of the
+// configured fsync policy — the drain hook: a graceful front-end drain
+// syncs every resident document after the last in-flight batch, so
+// every acked write survives a post-drain kill even under FsyncOff or
+// FsyncInterval. No-op for in-memory Stores.
+func (s *Store) SyncWAL() error {
+	s.mu.RLock()
+	wl := s.wl
+	s.mu.RUnlock()
+	if wl == nil {
+		return nil
+	}
+	return wl.Sync()
 }
 
 // maybeSnapshotLocked rolls a snapshot once enough ops have been
@@ -183,6 +204,7 @@ func (s *Store) maybeSnapshotLocked() {
 		return
 	}
 	pos := s.walPos
+	seq := s.lastSeq // watermark covered by pos (both under the lock)
 	gn := s.pub.Load()
 	if gn.g != s.g || !gn.tryAcquire() {
 		// Unreachable while the ApplyAll ordering holds (publish, then
@@ -195,7 +217,7 @@ func (s *Store) maybeSnapshotLocked() {
 	go func() {
 		enc, err := encodeGrammar(gn.g)
 		if err == nil {
-			err = s.wl.WriteSnapshot(pos, enc)
+			err = s.wl.WriteSnapshot(pos, seq, enc)
 		}
 		s.mu.Lock()
 		s.snapInflight = false

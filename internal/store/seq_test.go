@@ -1,0 +1,145 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/update"
+	"repro/internal/wal"
+)
+
+// TestApplyAllSeqExactlyOnce pins the in-memory dup/gap semantics: a
+// duplicate sequence acks without re-applying (byte-identical state,
+// DupBatches bumped), a gapped sequence is rejected without applying,
+// and the watermark advances one batch at a time.
+func TestApplyAllSeqExactlyOnce(t *testing.T) {
+	g0, batches := durWorkload(t, "XM", 40, 10)
+	st := New(g0.Clone(), Config{Ratio: -1})
+
+	if err := st.ApplyAllSeq(batches[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	after1 := encLive(t, st)
+	if got := st.LastSeq(); got != 1 {
+		t.Fatalf("LastSeq %d, want 1", got)
+	}
+
+	// Retry of batch 1: acked, nothing applied.
+	if err := st.ApplyAllSeq(batches[0], 1); err != nil {
+		t.Fatalf("duplicate sequence not acked: %v", err)
+	}
+	if !bytes.Equal(encLive(t, st), after1) {
+		t.Fatal("duplicate sequence re-applied the batch")
+	}
+	if ds := st.Stats(); ds.DupBatches != 1 || ds.Batches != 1 {
+		t.Fatalf("dup=%d batches=%d, want 1/1", ds.DupBatches, ds.Batches)
+	}
+
+	// Gap: batch 3 before batch 2 means batch 2 was lost in transit.
+	if err := st.ApplyAllSeq(batches[2], 3); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gapped sequence returned %v, want ErrSeqGap", err)
+	}
+	if !bytes.Equal(encLive(t, st), after1) {
+		t.Fatal("gapped sequence mutated the store")
+	}
+
+	if err := st.ApplyAllSeq(batches[1], 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.LastSeq(); got != 2 {
+		t.Fatalf("LastSeq %d, want 2", got)
+	}
+
+	// A different batch under an old sequence is still just acked: the
+	// sequence, not the payload, is the identity.
+	if err := st.ApplyAllSeq(batches[2], 1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().DupBatches != 2 {
+		t.Fatal("old sequence not counted as duplicate")
+	}
+}
+
+// TestSeqWatermarkSurvivesKillAndReopen drives sequenced batches into a
+// durable Store, simulates a crash (no Close), reopens, and retries the
+// last batch: recovery must restore the watermark from the WAL records
+// so the retry dup-acks instead of double-applying.
+func TestSeqWatermarkSurvivesKillAndReopen(t *testing.T) {
+	g0, batches := durWorkload(t, "XM", 60, 10)
+	dir := t.TempDir()
+	cfg := durCfg(dir, -1, wal.FsyncBatch, nil)
+
+	st, err := CreateDurable("doc", g0.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range batches {
+		if err := st.ApplyAllSeq(b, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := encLive(t, st)
+	// Crash: abandon st without Close.
+
+	re, err := OpenDurable("doc", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.LastSeq(); got != uint64(len(batches)) {
+		t.Fatalf("recovered LastSeq %d, want %d", got, len(batches))
+	}
+	// The client never saw the last ack: it retries the final batch.
+	if err := re.ApplyAllSeq(batches[len(batches)-1], uint64(len(batches))); err != nil {
+		t.Fatal(err)
+	}
+	if re.Stats().DupBatches != 1 {
+		t.Fatal("retried batch was not dup-acked")
+	}
+	if !bytes.Equal(encLive(t, re), want) {
+		t.Fatal("retry after recovery double-applied the batch")
+	}
+	// The next fresh sequence continues the chain.
+	extra := update.Op{Kind: update.Rename, Pos: 0, Label: "retryroot"}
+	if err := re.ApplyAllSeq([]update.Op{extra}, uint64(len(batches)+1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeqWatermarkSurvivesEviction pins the tiering seam: an in-memory
+// fleet under a tiny budget evicts a document between two deliveries of
+// the same sequenced batch; the rehydrated incarnation must still
+// remember the watermark.
+func TestSeqWatermarkSurvivesEviction(t *testing.T) {
+	g0, batches := durWorkload(t, "XM", 30, 10)
+	ss := NewSharded(2, Config{Ratio: -1, MemoryBudget: 1})
+	defer ss.Close()
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := ss.Open(id, g0.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss.ApplyAllSeq("a", batches[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	// Touch the other documents so "a" becomes the eviction victim, then
+	// force the budget pass by writing.
+	for _, id := range []string{"b", "c"} {
+		if err := ss.ApplyAll(id, batches[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seq, err := ss.LastSeq("a"); err != nil || seq != 1 {
+		t.Fatalf("LastSeq after eviction cycle: %d, %v; want 1", seq, err)
+	}
+	if err := ss.ApplyAllSeq("a", batches[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	if ds := ss.Stats(); ds.DupBatches != 1 {
+		t.Fatalf("fleet DupBatches %d, want 1", ds.DupBatches)
+	}
+	if err := ss.ApplyAllSeq("a", batches[1], 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -59,6 +59,11 @@ var (
 	// store: Apply/ApplyAll/Open after Close fail with it
 	// deterministically (reads keep working on the final state).
 	ErrClosed = errors.New("store: closed")
+	// ErrSeqGap reports a sequenced batch that skips past the document's
+	// exactly-once watermark: at least one earlier batch was lost between
+	// the client and the store, so applying this one would silently drop
+	// it. The batch is rejected without applying anything.
+	ErrSeqGap = errors.New("store: batch sequence gap")
 )
 
 // Sharded serves many documents concurrently. See the type comment at
@@ -103,8 +108,11 @@ type docEntry struct {
 	mu sync.Mutex
 	st atomic.Pointer[Store]
 	// frozen is the encoded grammar of an evicted in-memory document;
-	// nil while resident and always nil on durable fleets.
-	frozen []byte
+	// nil while resident and always nil on durable fleets. frozenSeq
+	// preserves the exactly-once watermark across the freeze (durable
+	// fleets recover it from the WAL instead).
+	frozen    []byte
+	frozenSeq uint64
 
 	lastUse   atomic.Int64
 	footprint atomic.Int64 // resident-bytes estimate last accounted
@@ -125,10 +133,12 @@ type shard struct {
 	closed bool // guarded by sendMu
 }
 
-// shardJob is one update batch handed to a shard worker.
+// shardJob is one update batch handed to a shard worker. seq is the
+// batch's exactly-once sequence number (0 = unsequenced).
 type shardJob struct {
 	e    *docEntry
 	ops  []update.Op
+	seq  uint64
 	done chan<- error
 }
 
@@ -211,7 +221,7 @@ func OpenSharded(n int, cfg Config) (*Sharded, error) {
 // never sits on a writer's latency.
 func (s *Sharded) work(sh *shard) {
 	for j := range sh.jobs {
-		j.done <- s.applyEntry(j.e, j.ops)
+		j.done <- s.applyEntry(j.e, j.ops, j.seq)
 		if s.cfg.MemoryBudget > 0 {
 			s.maybeEvict()
 		}
@@ -222,14 +232,14 @@ func (s *Sharded) work(sh *shard) {
 // it was evicted. Holding e.mu across the ApplyAll makes writes
 // eviction-transparent: the evictor's TryLock fails while a batch is in
 // flight, so a worker-path write can never land on a closing Store.
-func (s *Sharded) applyEntry(e *docEntry, ops []update.Op) error {
+func (s *Sharded) applyEntry(e *docEntry, ops []update.Op, seq uint64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st, err := s.hydrateLocked(e)
 	if err != nil {
 		return err
 	}
-	err = st.ApplyAll(ops)
+	err = st.ApplyAllSeq(ops, seq)
 	if s.cfg.MemoryBudget > 0 {
 		s.touch(e)
 		s.refreshFootprintLocked(e, st)
@@ -286,8 +296,10 @@ func (s *Sharded) hydrateLocked(e *docEntry) (*Store, error) {
 			return nil, fmt.Errorf("store: rehydrate %q: %w", e.id, err)
 		}
 		st = New(g, s.cfg)
+		st.lastSeq = e.frozenSeq // not yet shared: no lock needed
 	}
 	e.frozen = nil
+	e.frozenSeq = 0
 	e.st.Store(st)
 	s.hydrations.Add(1)
 	s.accountResident(e, st)
@@ -395,6 +407,7 @@ func (s *Sharded) evictEntry(e *docEntry) bool {
 			return false
 		}
 		e.frozen = enc
+		e.frozenSeq = st.LastSeq()
 	}
 	ds := st.Stats()
 	s.retiredMu.Lock()
@@ -522,6 +535,13 @@ func (s *Sharded) Apply(id string, op update.Op) error {
 // in parallel. An evicted document is rehydrated by the worker before
 // the batch applies — eviction is invisible to writers on this path.
 func (s *Sharded) ApplyAll(id string, ops []update.Op) error {
+	return s.ApplyAllSeq(id, ops, 0)
+}
+
+// ApplyAllSeq is ApplyAll with an exactly-once batch sequence number
+// (see Store.ApplyAllSeq): duplicates of already-applied sequences ack
+// idempotently, gaps fail with ErrSeqGap.
+func (s *Sharded) ApplyAllSeq(id string, ops []update.Op, seq uint64) error {
 	if len(ops) == 0 {
 		return nil
 	}
@@ -542,9 +562,35 @@ func (s *Sharded) ApplyAll(id string, ops []update.Op) error {
 		return fmt.Errorf("%w: %q", ErrClosed, id)
 	}
 	done := make(chan error, 1)
-	sh.jobs <- shardJob{e: e, ops: ops, done: done}
+	sh.jobs <- shardJob{e: e, ops: ops, seq: seq, done: done}
 	sh.sendMu.RUnlock()
 	return <-done
+}
+
+// LastSeq returns document id's exactly-once watermark (see
+// Store.LastSeq) — what a reconnecting client resumes its numbering
+// from.
+func (s *Sharded) LastSeq(id string) (uint64, error) {
+	st, err := s.get(id)
+	if err != nil {
+		return 0, err
+	}
+	return st.LastSeq(), nil
+}
+
+// SyncWAL fsyncs the WAL tail of every resident durable document — the
+// graceful-drain hook: called after the last in-flight batch has
+// finished, it makes every acked write durable before the process
+// exits, whatever the configured fsync policy. Returns the first sync
+// error.
+func (s *Sharded) SyncWAL() error {
+	var err error
+	for _, st := range s.residentStores() {
+		if serr := st.SyncWAL(); err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 // Query runs fn on document id's current published generation,
@@ -680,6 +726,9 @@ type ShardedStats struct {
 
 	Ops     int64
 	Batches int64
+	// DupBatches counts sequenced batches acked idempotently across the
+	// fleet — retried batches whose original ack was lost.
+	DupBatches int64
 
 	Recompressions          int64
 	AsyncRecompressions     int64
@@ -727,6 +776,7 @@ type ShardedStats struct {
 func addStats(out *ShardedStats, ds Stats) {
 	out.Ops += ds.Ops
 	out.Batches += ds.Batches
+	out.DupBatches += ds.DupBatches
 	out.Recompressions += ds.Recompressions
 	out.AsyncRecompressions += ds.AsyncRecompressions
 	out.DiscardedRecompressions += ds.DiscardedRecompressions

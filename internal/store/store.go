@@ -219,6 +219,12 @@ type Stats struct {
 	Inserts int64
 	Deletes int64
 	Batches int64 // Apply/ApplyAll calls
+	// DupBatches counts sequenced batches acked idempotently because
+	// their sequence was at or below the watermark — each one is a
+	// client retry whose original ack was lost (the exactly-once path
+	// doing its job). LastSeq is the current watermark.
+	DupBatches int64
+	LastSeq    uint64
 
 	Recompressions          int64 // GrammarRePair runs swapped in (auto + manual)
 	AsyncRecompressions     int64 // of those, runs compressed off the write lock
@@ -364,6 +370,13 @@ type Store struct {
 	snapshotFailures int64
 	recovered        wal.RecoveryStats
 
+	// Exactly-once retry state (guarded by mu): lastSeq is the highest
+	// client batch sequence applied (persisted with each WAL record and
+	// snapshot, restored at OpenDurable); dupBatches counts sequenced
+	// batches acked idempotently without re-applying.
+	lastSeq    uint64
+	dupBatches int64
+
 	ops, renames, inserts, deletes int64
 	batches                        int64
 	recompressions                 int64
@@ -447,6 +460,21 @@ func (s *Store) Apply(op update.Op) error {
 // NOT durable) and breaks the write path until the document is
 // reopened through recovery.
 func (s *Store) ApplyAll(ops []update.Op) error {
+	return s.ApplyAllSeq(ops, 0)
+}
+
+// ApplyAllSeq is ApplyAll with an exactly-once batch sequence number
+// (0 = unsequenced, plain ApplyAll semantics). Sequences make network
+// retry safe: a client that lost its connection mid-ack re-sends the
+// batch under the same sequence, and the store — which tracks the last
+// applied sequence, persisted with the WAL batch record — acks the
+// duplicate idempotently without re-applying it. A sequence more than
+// one past the watermark is a gap (a lost batch between client and
+// store) and is rejected without applying anything. The sequence is
+// consumed only when at least one op commits, so a batch rejected
+// whole (validation error on op 0) leaves the watermark unchanged and
+// exactly matches what the WAL recorded.
+func (s *Store) ApplyAllSeq(ops []update.Op, seq uint64) error {
 	if len(ops) == 0 {
 		return nil
 	}
@@ -460,6 +488,20 @@ func (s *Store) ApplyAll(ops []update.Op) error {
 		// once; applying more ops would widen the divergence.
 		return fmt.Errorf("store: wal broken (reopen to recover): %w", s.walBroken)
 	}
+	if seq > 0 {
+		if seq > wal.MaxBatchSeq {
+			return fmt.Errorf("store: batch sequence %d out of range", seq)
+		}
+		if seq <= s.lastSeq {
+			// Already applied (and, on a durable Store, logged): a retry
+			// of a batch whose ack was lost. Ack again, apply nothing.
+			s.dupBatches++
+			return nil
+		}
+		if seq != s.lastSeq+1 {
+			return fmt.Errorf("%w: batch sequence %d, store is at %d", ErrSeqGap, seq, s.lastSeq)
+		}
+	}
 	s.batches++
 	var applyErr error
 	committed := len(ops)
@@ -472,7 +514,10 @@ func (s *Store) ApplyAll(ops []update.Op) error {
 			break
 		}
 	}
-	walErr := s.appendWALLocked(ops[:committed])
+	walErr := s.appendWALLocked(ops[:committed], seq)
+	if seq > 0 && committed > 0 && walErr == nil {
+		s.lastSeq = seq
+	}
 	s.finishBatchLocked()
 	// Publish before the snapshot check so the snapshot path can pin the
 	// just-published generation instead of cloning the grammar. The
@@ -484,6 +529,15 @@ func (s *Store) ApplyAll(ops []update.Op) error {
 	}
 	s.maybeSnapshotLocked()
 	return applyErr
+}
+
+// LastSeq returns the exactly-once watermark: the highest batch
+// sequence number applied (0 if none ever carried one). A reconnecting
+// client resumes its per-document numbering from here.
+func (s *Store) LastSeq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastSeq
 }
 
 func (s *Store) applyLocked(op update.Op) error {
@@ -1081,11 +1135,13 @@ func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{
-		Ops:     s.ops,
-		Renames: s.renames,
-		Inserts: s.inserts,
-		Deletes: s.deletes,
-		Batches: s.batches,
+		Ops:        s.ops,
+		Renames:    s.renames,
+		Inserts:    s.inserts,
+		Deletes:    s.deletes,
+		Batches:    s.batches,
+		DupBatches: s.dupBatches,
+		LastSeq:    s.lastSeq,
 
 		Recompressions:          s.recompressions,
 		AsyncRecompressions:     s.asyncRecompressions,

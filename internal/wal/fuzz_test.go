@@ -40,11 +40,17 @@ func FuzzWALDecode(f *testing.F) {
 	}
 	for off := 0; off < len(seq.Ops); off += 5 {
 		end := min(off+5, len(seq.Ops))
-		if err := l.AppendBatch(int64(off), seq.Ops[off:end]); err != nil {
+		// Alternate sequenced and unsequenced batches so the corpus
+		// holds both record shapes.
+		bseq := uint64(0)
+		if (off/5)%2 == 1 {
+			bseq = uint64(off/5 + 1)
+		}
+		if err := l.AppendBatch(int64(off), bseq, seq.Ops[off:end]); err != nil {
 			f.Fatal(err)
 		}
 	}
-	if err := l.WriteSnapshot(int64(len(seq.Ops)), enc.Bytes()); err != nil {
+	if err := l.WriteSnapshot(int64(len(seq.Ops)), 3, enc.Bytes()); err != nil {
 		f.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -93,17 +99,20 @@ func FuzzWALDecode(f *testing.F) {
 			if r.start < 0 || len(r.ops) == 0 {
 				t.Fatalf("parsed record start=%d ops=%d", r.start, len(r.ops))
 			}
+			if r.seq > MaxBatchSeq {
+				t.Fatalf("parsed record sequence %d out of range", r.seq)
+			}
 			if r.end <= 0 || r.end > used {
 				t.Fatalf("record end %d past used %d", r.end, used)
 			}
 			// Every parsed batch must be one the encoder could emit:
 			// re-encoding must succeed and decode back identically.
-			payload, err := encodeBatch(nil, r.start, r.ops)
+			payload, err := encodeBatch(nil, r.start, r.seq, r.ops)
 			if err != nil {
 				t.Fatalf("parsed batch does not re-encode: %v", err)
 			}
-			s2, ops2, err := decodeBatch(payload)
-			if err != nil || s2 != r.start || len(ops2) != len(r.ops) {
+			s2, q2, ops2, err := decodeBatch(payload)
+			if err != nil || s2 != r.start || q2 != r.seq || len(ops2) != len(r.ops) {
 				t.Fatalf("batch round trip broke: %v", err)
 			}
 			end = r.start + int64(len(r.ops))
@@ -112,12 +121,12 @@ func FuzzWALDecode(f *testing.F) {
 
 		// The snapshot parser must hold the same line. wantPos 0 and
 		// the header's own claim both get a shot.
-		if g, err := parseSnapshot(data, 0); err == nil && g == nil {
-			t.Fatal("parseSnapshot returned nil grammar without error")
+		if g, seq, err := parseSnapshot(data, 0); err == nil && (g == nil || seq > MaxBatchSeq) {
+			t.Fatal("parseSnapshot returned nil grammar or bad sequence without error")
 		}
 		if start, _, err := parseHeader(data, snapMagic); err == nil {
-			if g, err := parseSnapshot(data, start); err == nil && g == nil {
-				t.Fatal("parseSnapshot returned nil grammar without error")
+			if g, seq, err := parseSnapshot(data, start); err == nil && (g == nil || seq > MaxBatchSeq) {
+				t.Fatal("parseSnapshot returned nil grammar or bad sequence without error")
 			}
 		}
 	})

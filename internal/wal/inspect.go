@@ -30,6 +30,9 @@ type SnapshotInfo struct {
 	Name  string
 	Pos   int64
 	Bytes int64
+	// Seq is the snapshot's recorded client batch sequence (0 when it
+	// was published without one).
+	Seq uint64
 	// Valid reports whether the snapshot fully validates (CRC, position
 	// agreement, grammar decode); Err explains a failure.
 	Valid bool
@@ -67,10 +70,11 @@ func InspectDoc(dir string) (*DocInfo, error) {
 		if fi, err := os.Stat(path); err == nil {
 			si.Bytes = fi.Size()
 		}
-		if _, err := readSnapshot(path, pos); err != nil {
+		if _, seq, err := readSnapshot(path, pos); err != nil {
 			si.Err = err.Error()
 		} else {
 			si.Valid = true
+			si.Seq = seq
 			if pos > snapPos {
 				snapPos = pos
 			}

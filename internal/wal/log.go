@@ -84,7 +84,7 @@ func Create(dir string, encodedGrammar []byte, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: create %s: %w", dir, err)
 	}
 	l := &Log{dir: dir, opts: opts}
-	if err := l.publishSnapshot(0, encodedGrammar); err != nil {
+	if err := l.publishSnapshot(0, 0, encodedGrammar); err != nil {
 		return nil, err
 	}
 	if err := l.openSegmentLocked(0); err != nil {
@@ -130,11 +130,14 @@ func (l *Log) Counters() Counters {
 
 // AppendBatch appends one committed batch whose first op has stream
 // position start. Batches must chain contiguously (start == Pos()); a
-// gap means the caller's in-memory state and the log disagree. Any
-// write or fsync failure marks the log broken: the batch was not acked
-// and every later append fails fast with ErrLogBroken, because disk
-// may now hold a torn prefix the in-memory document never applied.
-func (l *Log) AppendBatch(start int64, ops []update.Op) error {
+// gap means the caller's in-memory state and the log disagree. seq is
+// the client batch sequence number the batch was applied under (0 =
+// unsequenced); it rides in the record so exactly-once retry state
+// survives crash recovery. Any write or fsync failure marks the log
+// broken: the batch was not acked and every later append fails fast
+// with ErrLogBroken, because disk may now hold a torn prefix the
+// in-memory document never applied.
+func (l *Log) AppendBatch(start int64, seq uint64, ops []update.Op) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.broken != nil {
@@ -143,7 +146,7 @@ func (l *Log) AppendBatch(start int64, ops []update.Op) error {
 	if start != l.pos {
 		return fmt.Errorf("wal: batch starts at %d, log is at %d", start, l.pos)
 	}
-	payload, err := encodeBatch(nil, start, ops)
+	payload, err := encodeBatch(nil, start, seq, ops)
 	if err != nil {
 		return err
 	}
@@ -204,9 +207,14 @@ func (l *Log) syncLocked() error {
 }
 
 // Sync forces an fsync of the active segment regardless of policy.
+// A closed log is a no-op: Close already synced (or the log is broken
+// and its tail is suspect anyway).
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.w == nil {
+		return nil
+	}
 	if l.broken != nil {
 		return fmt.Errorf("%w: %v", ErrLogBroken, l.broken)
 	}

@@ -43,6 +43,12 @@ type Recovered struct {
 	// (per-batch garbage collection), which batch-oblivious replay would
 	// not.
 	BatchLens []int
+	// LastSeq is the highest client batch sequence number found in the
+	// surviving chain (snapshot included) — the exactly-once retry
+	// watermark: a reconnecting client replaying a batch with a
+	// sequence at or below it must be acked idempotently, not
+	// re-applied. 0 when no batch ever carried one.
+	LastSeq uint64
 	// Log is open and ready to append at Log.Pos().
 	Log   *Log
 	Stats RecoveryStats
@@ -51,6 +57,7 @@ type Recovered struct {
 // segRecord is one parsed, CRC-valid batch record.
 type segRecord struct {
 	start int64 // stream position of the batch's first op
+	seq   uint64
 	ops   []update.Op
 	end   int // byte offset just past this record's frame
 }
@@ -69,11 +76,11 @@ func parseSegment(data []byte) (hdrStart int64, recs []segRecord, used int, err 
 		if rerr != nil {
 			return hdrStart, recs, used, rerr
 		}
-		start, ops, derr := decodeBatch(payload)
+		start, seq, ops, derr := decodeBatch(payload)
 		if derr != nil {
 			return hdrStart, recs, used, derr
 		}
-		recs = append(recs, segRecord{start: start, ops: ops, end: end})
+		recs = append(recs, segRecord{start: start, seq: seq, ops: ops, end: end})
 		used = end
 	}
 	return hdrStart, recs, used, nil
@@ -92,11 +99,11 @@ func Recover(dir string, opts Options) (*Recovered, error) {
 	if err := removeStaleTemps(dir); err != nil {
 		return nil, err
 	}
-	g, snapPos, corrupt, err := loadNewestSnapshot(dir)
+	g, snapPos, snapSeq, corrupt, err := loadNewestSnapshot(dir)
 	if err != nil {
 		return nil, err
 	}
-	rec := &Recovered{Grammar: g, SnapshotPos: snapPos}
+	rec := &Recovered{Grammar: g, SnapshotPos: snapPos, LastSeq: snapSeq}
 	rec.Stats.SnapshotsCorrupt = corrupt
 
 	starts, err := listNums(dir, parseSegName)
@@ -148,13 +155,20 @@ func Recover(dir string, opts Options) (*Recovered, error) {
 			recEnd := r.start + int64(len(r.ops))
 			switch {
 			case recEnd <= expect:
-				// Fully below the snapshot: already covered.
+				// Fully below the snapshot: already covered (and its
+				// sequence, if any, is at or below the snapshot's).
+				if r.seq > rec.LastSeq {
+					rec.LastSeq = r.seq
+				}
 				keepOff = r.end
 			case r.start <= expect:
 				// Chains (possibly straddling the snapshot position).
 				take := r.ops[expect-r.start:]
 				rec.Tail = append(rec.Tail, take...)
 				rec.BatchLens = append(rec.BatchLens, len(take))
+				if r.seq > rec.LastSeq {
+					rec.LastSeq = r.seq
+				}
 				expect = recEnd
 				keepOff = r.end
 			default:
@@ -227,25 +241,26 @@ func removeStaleTemps(dir string) error {
 }
 
 // loadNewestSnapshot tries snapshots newest-first, deleting each
-// corrupt one it skips, and returns the first that validates.
-func loadNewestSnapshot(dir string) (*grammar.Grammar, int64, int64, error) {
+// corrupt one it skips, and returns the first that validates along
+// with its position and recorded batch sequence.
+func loadNewestSnapshot(dir string) (*grammar.Grammar, int64, uint64, int64, error) {
 	snaps, err := listNums(dir, parseSnapName)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	var corrupt int64
 	for i := len(snaps) - 1; i >= 0; i-- {
 		path := filepath.Join(dir, snapName(snaps[i]))
-		g, err := readSnapshot(path, snaps[i])
+		g, seq, err := readSnapshot(path, snaps[i])
 		if err == nil {
-			return g, snaps[i], corrupt, nil
+			return g, snaps[i], seq, corrupt, nil
 		}
 		corrupt++
 		if err := os.Remove(path); err != nil {
-			return nil, 0, 0, fmt.Errorf("wal: recover: drop snapshot: %w", err)
+			return nil, 0, 0, 0, fmt.Errorf("wal: recover: drop snapshot: %w", err)
 		}
 	}
-	return nil, 0, 0, fmt.Errorf("%w in %s", ErrNoSnapshot, dir)
+	return nil, 0, 0, 0, fmt.Errorf("%w in %s", ErrNoSnapshot, dir)
 }
 
 // IsNoSnapshot reports whether err means the directory held no

@@ -19,7 +19,11 @@ import (
 const snapRetain = 2
 
 // WriteSnapshot publishes a snapshot: encodedGrammar is the document's
-// grammar.Encode bytes with every op below pos applied. The file is
+// grammar.Encode bytes with every op below pos applied, and seq is the
+// highest client batch sequence applied by those ops (0 = none). The
+// sequence must ride in the snapshot, not only in batch records:
+// truncation deletes the segments a snapshot covers, and recovery from
+// a snapshot alone must still refuse a replayed duplicate. The file is
 // staged as a temp, fsynced, renamed into place, and the directory
 // synced — a crash at any point leaves either the old snapshot set or
 // the new one, never a half-visible file under the real name. After
@@ -28,13 +32,13 @@ const snapRetain = 2
 //
 // The heavy file work runs off the append mutex, so a concurrent
 // AppendBatch never waits on snapshot IO.
-func (l *Log) WriteSnapshot(pos int64, encodedGrammar []byte) error {
+func (l *Log) WriteSnapshot(pos int64, seq uint64, encodedGrammar []byte) error {
 	l.snapMu.Lock()
 	defer l.snapMu.Unlock()
 	if pos < 0 {
 		return fmt.Errorf("wal: snapshot at negative position %d", pos)
 	}
-	if err := l.publishSnapshot(pos, encodedGrammar); err != nil {
+	if err := l.publishSnapshot(pos, seq, encodedGrammar); err != nil {
 		return err
 	}
 	// Prune beyond the retention pair, oldest first.
@@ -60,9 +64,16 @@ func (l *Log) WriteSnapshot(pos int64, encodedGrammar []byte) error {
 	return l.truncateBefore(snaps[0])
 }
 
-// publishSnapshot stages and renames one snapshot file.
-func (l *Log) publishSnapshot(pos int64, encodedGrammar []byte) error {
+// publishSnapshot stages and renames one snapshot file. The payload is
+// uvarint(pos) | uvarint(seq) | grammar — the sequence sits before the
+// grammar because grammar.Decode reads through a buffered reader and
+// cannot report an exact consumed length for anything after it.
+func (l *Log) publishSnapshot(pos int64, seq uint64, encodedGrammar []byte) error {
+	if seq > MaxBatchSeq {
+		return fmt.Errorf("wal: snapshot sequence %d out of range", seq)
+	}
 	payload := binary.AppendUvarint(nil, uint64(pos))
+	payload = binary.AppendUvarint(payload, seq)
 	payload = append(payload, encodedGrammar...)
 	tmp := filepath.Join(l.dir, snapName(pos)+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -96,44 +107,50 @@ func (l *Log) publishSnapshot(pos int64, encodedGrammar []byte) error {
 
 // readSnapshot loads and fully validates one snapshot file: header,
 // record CRC, position agreement with the file name, grammar decode,
-// and no trailing bytes. Any defect is an error — the caller treats
-// the file as corrupt and falls back.
-func readSnapshot(path string, wantPos int64) (*grammar.Grammar, error) {
+// and no trailing bytes beyond the optional sequence varint. Any
+// defect is an error — the caller treats the file as corrupt and falls
+// back.
+func readSnapshot(path string, wantPos int64) (*grammar.Grammar, uint64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	return parseSnapshot(data, wantPos)
 }
 
 // parseSnapshot is the pure validation core of readSnapshot (and the
-// fuzz target's entry point).
-func parseSnapshot(data []byte, wantPos int64) (*grammar.Grammar, error) {
+// fuzz target's entry point). seq is the snapshot's recorded client
+// batch sequence, 0 when it was published without one.
+func parseSnapshot(data []byte, wantPos int64) (*grammar.Grammar, uint64, error) {
 	start, off, err := parseHeader(data, snapMagic)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if start != wantPos {
-		return nil, fmt.Errorf("wal: snapshot header position %d, file name says %d", start, wantPos)
+		return nil, 0, fmt.Errorf("wal: snapshot header position %d, file name says %d", start, wantPos)
 	}
 	payload, end, err := nextRecord(data, off)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if end != len(data) {
-		return nil, fmt.Errorf("wal: %d trailing bytes after snapshot record", len(data)-end)
+		return nil, 0, fmt.Errorf("wal: %d trailing bytes after snapshot record", len(data)-end)
 	}
 	pos, w := binary.Uvarint(payload)
 	if w <= 0 || int64(pos) != wantPos {
-		return nil, fmt.Errorf("wal: snapshot payload position mismatch")
+		return nil, 0, fmt.Errorf("wal: snapshot payload position mismatch")
 	}
-	r := bytes.NewReader(payload[w:])
+	seq, sw := binary.Uvarint(payload[w:])
+	if sw <= 0 || seq > MaxBatchSeq {
+		return nil, 0, fmt.Errorf("wal: bad snapshot sequence")
+	}
+	r := bytes.NewReader(payload[w+sw:])
 	g, err := grammar.Decode(r)
 	if err != nil {
-		return nil, fmt.Errorf("wal: snapshot grammar: %w", err)
+		return nil, 0, fmt.Errorf("wal: snapshot grammar: %w", err)
 	}
 	if r.Len() != 0 {
-		return nil, fmt.Errorf("wal: %d trailing bytes after snapshot grammar", r.Len())
+		return nil, 0, fmt.Errorf("wal: %d trailing bytes after snapshot grammar", r.Len())
 	}
-	return g, nil
+	return g, seq, nil
 }

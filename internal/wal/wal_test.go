@@ -60,7 +60,7 @@ func appendAll(t *testing.T, l *Log, ops []update.Op, batch int) int {
 	base := l.Pos()
 	for off := 0; off < len(ops); off += batch {
 		end := min(off+batch, len(ops))
-		if err := l.AppendBatch(base+int64(off), ops[off:end]); err != nil {
+		if err := l.AppendBatch(base+int64(off), 0, ops[off:end]); err != nil {
 			return off
 		}
 	}
@@ -126,7 +126,7 @@ func TestLogAppendRecoverRoundTrip(t *testing.T) {
 	}
 
 	// The recovered log must keep appending where the stream ended.
-	if err := rec.Log.AppendBatch(40, ops[40:]); err != nil {
+	if err := rec.Log.AppendBatch(40, 0, ops[40:]); err != nil {
 		t.Fatal(err)
 	}
 	if err := rec.Log.Close(); err != nil {
@@ -150,10 +150,10 @@ func TestAppendRejectsGapAndStaysUsable(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if err := l.AppendBatch(5, ops[5:]); err == nil {
+	if err := l.AppendBatch(5, 0, ops[5:]); err == nil {
 		t.Fatal("gapped batch accepted")
 	}
-	if err := l.AppendBatch(0, ops[:5]); err != nil {
+	if err := l.AppendBatch(0, 0, ops[:5]); err != nil {
 		t.Fatalf("log unusable after rejected gap: %v", err)
 	}
 }
@@ -216,7 +216,7 @@ func TestRecoverEveryTruncationPoint(t *testing.T) {
 		}
 		// The reopened log must accept the rest of the stream.
 		if n < len(ops) {
-			if err := rec2.Log.AppendBatch(int64(n), ops[n:]); err != nil {
+			if err := rec2.Log.AppendBatch(int64(n), 0, ops[n:]); err != nil {
 				t.Fatalf("cut %d: append after recovery: %v", cut, err)
 			}
 		}
@@ -235,10 +235,10 @@ func TestCrashPlanTearsWritesAndSticks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := clean.AppendBatch(0, ops[:5]); err != nil {
+	if err := clean.AppendBatch(0, 0, ops[:5]); err != nil {
 		t.Fatal(err)
 	}
-	if err := clean.AppendBatch(5, ops[5:10]); err != nil {
+	if err := clean.AppendBatch(5, 0, ops[5:10]); err != nil {
 		t.Fatal(err)
 	}
 	probe := clean.Counters().AppendedBytes
@@ -253,13 +253,13 @@ func TestCrashPlanTearsWritesAndSticks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.AppendBatch(0, ops[:5]); err != nil {
+	if err := l.AppendBatch(0, 0, ops[:5]); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.AppendBatch(5, ops[5:10]); err != nil {
+	if err := l.AppendBatch(5, 0, ops[5:10]); err != nil {
 		t.Fatal(err)
 	}
-	err = l.AppendBatch(10, ops[10:15])
+	err = l.AppendBatch(10, 0, ops[10:15])
 	if !errors.Is(err, ErrInjected) {
 		t.Fatalf("torn write returned %v", err)
 	}
@@ -267,7 +267,7 @@ func TestCrashPlanTearsWritesAndSticks(t *testing.T) {
 		t.Fatal("plan did not trip")
 	}
 	// The log is broken: nothing else may be acked.
-	if err := l.AppendBatch(15, ops[15:20]); !errors.Is(err, ErrLogBroken) {
+	if err := l.AppendBatch(15, 0, ops[15:20]); !errors.Is(err, ErrLogBroken) {
 		t.Fatalf("append on broken log returned %v", err)
 	}
 	if err := l.Sync(); !errors.Is(err, ErrLogBroken) {
@@ -301,10 +301,10 @@ func TestCrashPlanFsyncAndMetaBudgets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.AppendBatch(0, ops[:3]); err != nil {
+	if err := l.AppendBatch(0, 0, ops[:3]); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.AppendBatch(3, ops[3:6]); !errors.Is(err, ErrInjected) {
+	if err := l.AppendBatch(3, 0, ops[3:6]); !errors.Is(err, ErrInjected) {
 		t.Fatalf("fsync budget: got %v", err)
 	}
 	l.Close()
@@ -327,10 +327,10 @@ func TestCrashPlanFsyncAndMetaBudgets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l2.AppendBatch(0, ops[:5]); err != nil {
+	if err := l2.AppendBatch(0, 0, ops[:5]); err != nil {
 		t.Fatal(err)
 	}
-	if err := l2.WriteSnapshot(5, seed); !errors.Is(err, ErrInjected) {
+	if err := l2.WriteSnapshot(5, 0, seed); !errors.Is(err, ErrInjected) {
 		t.Fatalf("snapshot rename: got %v", err)
 	}
 	l2.Close()
@@ -357,7 +357,7 @@ func TestSnapshotRollPruneTruncate(t *testing.T) {
 		if err := update.ApplyAll(gg, ops[:pos]); err != nil {
 			t.Fatal(err)
 		}
-		if err := l.WriteSnapshot(int64(pos), encodeGrammar(t, gg)); err != nil {
+		if err := l.WriteSnapshot(int64(pos), 0, encodeGrammar(t, gg)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -447,6 +447,72 @@ func TestSnapshotRollPruneTruncate(t *testing.T) {
 	}
 	if _, err := Recover(dir3, Options{}); !errors.Is(err, ErrNoSnapshot) {
 		t.Fatalf("double corruption recovered: %v", err)
+	}
+}
+
+// TestSequenceSurvivesRecovery pins the exactly-once watermark: batch
+// sequence numbers appended with records come back as Recovered.LastSeq,
+// and a snapshot carries the watermark on its own — even when every
+// covered segment has been truncated away, recovery must not forget
+// which sequences were applied (a forgotten watermark would re-apply a
+// retried batch).
+func TestSequenceSurvivesRecovery(t *testing.T) {
+	g, ops := testWorkload(t, 30)
+	seed := encodeGrammar(t, g)
+	dir := filepath.Join(t.TempDir(), DocDir("seq"))
+	l, err := Create(dir, seed, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := l.AppendBatch(int64(i*5), uint64(i+1), ops[i*5:(i+1)*5]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(copyDir(t, dir), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LastSeq != 6 {
+		t.Fatalf("recovered LastSeq %d from records, want 6", rec.LastSeq)
+	}
+	rec.Log.Close()
+
+	// Publish a snapshot covering everything, then drop every segment:
+	// the watermark must survive on the snapshot alone.
+	l2, err := Recover(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg := g.Clone()
+	if err := update.ApplyAll(gg, ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Log.WriteSnapshot(30, 6, encodeGrammar(t, gg)); err != nil {
+		t.Fatal(err)
+	}
+	l2.Log.Close()
+	bare := copyDir(t, dir)
+	segs, err := listNums(bare, parseSegName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if err := os.Remove(filepath.Join(bare, segName(s))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec2, err := Recover(bare, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Log.Close()
+	if rec2.SnapshotPos != 30 || rec2.LastSeq != 6 {
+		t.Fatalf("snapshot-only recovery: pos=%d LastSeq=%d, want 30/6", rec2.SnapshotPos, rec2.LastSeq)
 	}
 }
 

@@ -152,37 +152,56 @@ func parseHeader(data []byte, magic string) (start int64, end int, err error) {
 	return int64(s), off + w, nil
 }
 
+// MaxBatchSeq bounds the optional per-batch client sequence number
+// (see AppendBatch). The bound matches the position bound so a decoded
+// sequence always fits an int64 too.
+const MaxBatchSeq = 1 << 62
+
 // encodeBatch builds a record payload for a committed batch: the
 // batch's stream start position, then the count-prefixed ops (the
 // shared update.AppendOps body, so the WAL and the network wire carry
-// the same batch encoding).
-func encodeBatch(dst []byte, start int64, ops []update.Op) ([]byte, error) {
+// the same batch encoding), then — only when seq > 0 — the client
+// batch sequence number as a trailing uvarint. Sequence-free records
+// are byte-identical to the pre-sequence format, so logs written
+// before sequences existed keep decoding.
+func encodeBatch(dst []byte, start int64, seq uint64, ops []update.Op) ([]byte, error) {
 	if start < 0 {
 		return dst, fmt.Errorf("wal: negative batch start %d", start)
+	}
+	if seq > MaxBatchSeq {
+		return dst, fmt.Errorf("wal: batch sequence %d out of range", seq)
 	}
 	dst = binary.AppendUvarint(dst, uint64(start))
 	dst, err := update.AppendOps(dst, ops)
 	if err != nil {
 		return dst, fmt.Errorf("wal: %w", err)
 	}
+	if seq > 0 {
+		dst = binary.AppendUvarint(dst, seq)
+	}
 	return dst, nil
 }
 
 // decodeBatch parses a record payload. The payload passed CRC, but a
 // hostile or version-skewed file can still frame garbage, so every
-// count is validated (update.DecodeOps' caps) and trailing bytes are an
-// error.
-func decodeBatch(payload []byte) (start int64, ops []update.Op, err error) {
+// count is validated (update.DecodeOps' caps) and trailing bytes
+// beyond the optional sequence varint are an error. seq is 0 for a
+// record appended without one.
+func decodeBatch(payload []byte) (start int64, seq uint64, ops []update.Op, err error) {
 	s, w := binary.Uvarint(payload)
 	if w <= 0 || s > 1<<62 {
-		return 0, nil, fmt.Errorf("wal: bad batch start position")
+		return 0, 0, nil, fmt.Errorf("wal: bad batch start position")
 	}
 	ops, used, err := update.DecodeOps(payload[w:])
 	if err != nil {
-		return 0, nil, fmt.Errorf("wal: %w", err)
+		return 0, 0, nil, fmt.Errorf("wal: %w", err)
 	}
-	if w+used != len(payload) {
-		return 0, nil, fmt.Errorf("wal: %d trailing bytes after batch", len(payload)-w-used)
+	if rest := payload[w+used:]; len(rest) > 0 {
+		sq, sw := binary.Uvarint(rest)
+		if sw <= 0 || sw != len(rest) || sq == 0 || sq > MaxBatchSeq {
+			return 0, 0, nil, fmt.Errorf("wal: %d trailing bytes after batch", len(rest))
+		}
+		seq = sq
 	}
-	return int64(s), ops, nil
+	return int64(s), seq, ops, nil
 }

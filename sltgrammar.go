@@ -134,12 +134,37 @@ type (
 	// codec for snapshot reads) over TCP, one goroutine per connection,
 	// hostile-input hardened exactly like the WAL decoder. See
 	// repro/internal/server for the frame and message formats.
+	//
+	// The server is fault-tolerant: per-connection read/write/idle
+	// deadlines shed wedged peers, an in-flight cap backpressures
+	// bursts (both tuned via ServeConfig), and Drain performs graceful
+	// handoff — stop accepting, GoAway idle connections, finish and
+	// flush in-flight batches, force-sync the WAL tails, close.
 	Server = server.Server
+	// ServeConfig tunes a Server's fault tolerance: ReadTimeout,
+	// WriteTimeout, IdleTimeout, MaxInFlight. The zero value selects
+	// defaults; negative values disable a limit.
+	ServeConfig = server.Config
 	// ServerClient is the synchronous wire client of a Server: Open,
 	// Apply (acked update batches), PointQuery, CountLabel,
 	// Snapshot/SnapshotBytes, Quiesce. One request in flight per
-	// client; open one per worker for parallel load.
+	// client; open one per worker for parallel load. The first
+	// transport fault latches: later calls fail fast and the caller
+	// reconnects (or uses a RetryClient, which does it automatically).
 	ServerClient = server.Client
+	// RetryClient is the fault-tolerant wire client: reconnect with
+	// jittered exponential backoff, per-call deadlines, and
+	// exactly-once Apply — every batch is stamped with a per-document
+	// sequence number, so a batch retried after a lost ack is applied
+	// once and acked twice, never applied twice. See DialRetry.
+	RetryClient = server.RetryClient
+	// RetryConfig tunes a RetryClient (address, per-call timeout,
+	// attempt cap, backoff, jitter seed).
+	RetryConfig = server.RetryConfig
+	// RemoteError is an application error reported by the server over a
+	// healthy connection — the one error class a retry layer must not
+	// resend, because the server answered definitively.
+	RemoteError = server.RemoteError
 )
 
 // Fsync policies for Durability.
@@ -201,10 +226,14 @@ func OpenShardedStore(shards int, cfg StoreConfig) (*ShardedStore, error) {
 }
 
 // Serve starts serving ss over ln (typically a TCP listener) and
-// returns immediately. The returned Server owns the listener; its
-// Close stops accepting, closes live connections, and drains the
-// per-connection goroutines — the ShardedStore itself stays open and
-// is still the caller's to Close:
+// returns immediately. The optional ServeConfig tunes connection
+// deadlines and the in-flight cap (omitted = defaults). The returned
+// Server owns the listener; for a rolling restart call Drain, which
+// stops accepting, tells idle connections to go away, lets in-flight
+// batches finish and flush their acks, and syncs the WAL tails so
+// every acked write survives the subsequent kill. Close is the
+// zero-grace variant. The ShardedStore itself stays open and is still
+// the caller's to Close:
 //
 //	ln, _ := net.Listen("tcp", "127.0.0.1:0")
 //	srv := sltgrammar.Serve(ln, ss)
@@ -213,10 +242,19 @@ func OpenShardedStore(shards int, cfg StoreConfig) (*ShardedStore, error) {
 //	_ = cl.Apply("doc-1", ops)          // acked update batch
 //	n, _ := cl.CountLabel("doc-1", "item")
 //	_ = n
-func Serve(ln net.Listener, ss *ShardedStore) *Server { return server.Serve(ln, ss) }
+func Serve(ln net.Listener, ss *ShardedStore, cfg ...ServeConfig) *Server {
+	return server.Serve(ln, ss, cfg...)
+}
 
 // DialServer connects a ServerClient to a Server's TCP address.
 func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
+
+// DialRetry returns a RetryClient for cfg.Addr. The connection is
+// established lazily and re-established (with jittered exponential
+// backoff) after any transport fault; Apply batches are stamped with
+// per-document sequence numbers so a retry after a lost ack is deduped
+// by the server rather than applied twice.
+func DialRetry(cfg RetryConfig) (*RetryClient, error) { return server.DialRetry(cfg) }
 
 // NewCursor returns a cursor at the root of the derived tree. Every move
 // costs time proportional to the grammar's nesting depth, never to the
